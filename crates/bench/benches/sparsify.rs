@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the effective-resistance sparsifier (Table II's
+//! primitive): degree-score computation, alias-table construction, and
+//! end-to-end sparsification across graph sizes, plus the exact-vs-approx
+//! ablation on a small graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use splpg_datasets::{CommunityGraphParams, generate_community_graph};
+use splpg_sparsify::{DegreeSparsifier, ExactSparsifier, SparsifyConfig, Sparsifier};
+
+fn graph(nodes: usize, edges: usize) -> splpg_graph::Graph {
+    let params = CommunityGraphParams { nodes, edges, ..Default::default() };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    generate_community_graph(&params, &mut rng).expect("valid params").0
+}
+
+fn bench_sparsify_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify/degree");
+    for (nodes, edges) in [(1_000, 5_000), (5_000, 30_000), (10_000, 60_000)] {
+        let g = graph(nodes, edges);
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &g, |b, g| {
+            let sparsifier = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| sparsifier.sparsify(g, &mut rng).expect("sparsify"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scores(c: &mut Criterion) {
+    let g = graph(10_000, 60_000);
+    c.bench_function("sparsify/degree_scores", |b| {
+        b.iter(|| DegreeSparsifier::scores(&g));
+    });
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    // The ablation DESIGN.md calls out: the degree approximation (Theorem
+    // 2) must be orders of magnitude faster than exact CG resistances.
+    let g = graph(200, 800);
+    let mut group = c.benchmark_group("sparsify/exact_vs_approx");
+    group.sample_size(10);
+    group.bench_function("approx", |b| {
+        let s = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| s.sparsify(&g, &mut rng).expect("sparsify"));
+    });
+    group.bench_function("exact", |b| {
+        let s = ExactSparsifier::new(SparsifyConfig::with_alpha(0.15));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| s.sparsify(&g, &mut rng).expect("sparsify"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsify_scaling, bench_scores, bench_exact_vs_approx);
+criterion_main!(benches);

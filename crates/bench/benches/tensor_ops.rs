@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the tensor/autograd primitives that dominate
+//! training time: matmul, segment aggregation, and a full
+//! forward+backward of one GNN layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use splpg_tensor::{Tape, Tensor};
+
+fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_fn(rows, cols, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor/matmul");
+    for n in [64usize, 256, 1024] {
+        let a = random_tensor(n, 128, 1);
+        let b = random_tensor(128, 64, 2);
+        group.throughput(Throughput::Elements((n * 128 * 64) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.matmul(b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_sum(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = random_tensor(20_000, 64, 4);
+    let seg: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..2_000)).collect();
+    c.bench_function("tensor/segment_sum_20k_x64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let v = tape.leaf(x.clone());
+            tape.segment_sum(v, &seg, 2_000)
+        });
+    });
+}
+
+fn bench_layer_forward_backward(c: &mut Criterion) {
+    // One GCN-like layer on a 5k-edge block, forward + backward.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let h = random_tensor(2_000, 64, 6);
+    let w = random_tensor(64, 64, 7);
+    let e_src: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..2_000)).collect();
+    let e_dst: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..500)).collect();
+    let norms: Vec<f32> = (0..5_000).map(|_| rng.gen::<f32>()).collect();
+    c.bench_function("tensor/gcn_layer_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let hv = tape.leaf(h.clone());
+            let wv = tape.leaf(w.clone());
+            let msgs = tape.gather_rows(hv, &e_src);
+            let scaled = tape.scale_rows(msgs, &norms);
+            let agg = tape.segment_sum(scaled, &e_dst, 500);
+            let out = tape.matmul(agg, wv);
+            let act = tape.relu(out);
+            let loss = tape.mean_all(act);
+            tape.backward(loss)
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_segment_sum, bench_layer_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 3: link prediction accuracy of GraphSAGE models trained by the
+//! state-of-the-art methods (Centralized, PSGD-PA, RandomTMA, SuperTMA,
+//! LLCG) with p = 4 workers.
+//!
+//! Expected shape: every vanilla distributed method falls clearly below
+//! centralized training.
+
+use splpg::prelude::*;
+use splpg_bench::{print_header, print_row, ExpOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let strategies = [
+        Strategy::Centralized,
+        Strategy::PsgdPa,
+        Strategy::RandomTma,
+        Strategy::SuperTma,
+        Strategy::Llcg,
+    ];
+    let mut header = vec!["dataset".to_string()];
+    header.extend(strategies.iter().map(|s| s.name().to_string()));
+    print_header(
+        &format!("Figure 3 — accuracy of SOTA methods (GraphSAGE, p = 4, {})", opts.hits_label()),
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for spec in opts.accuracy_specs() {
+        let data = opts.generate(&spec)?;
+        let mut row = vec![data.name.clone()];
+        for strategy in strategies {
+            let out = opts.run_strategy(
+                &data,
+                strategy,
+                ModelKind::GraphSage,
+                4,
+                0.15,
+                opts.epochs,
+            )?;
+            row.push(format!("{:.3}", out.test_hits));
+        }
+        print_row(&row);
+    }
+    println!("\nshape check: every distributed column should be well below Centralized.");
+    Ok(())
+}

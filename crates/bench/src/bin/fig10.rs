@@ -1,0 +1,39 @@
+//! Figure 10: improvement of accuracy achieved by SpLPG over the vanilla
+//! baselines (PSGD-PA, RandomTMA, SuperTMA) for GCN (a–c) and GraphSAGE
+//! (d–f), p in {4, 8, 16}.
+//!
+//! Expected shape: large positive improvements (up to ~400% in the
+//! paper), growing with p as local-only training degrades.
+
+use splpg::prelude::*;
+use splpg_bench::{pct_improvement, print_header, print_row, ExpOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let baselines = [Strategy::PsgdPa, Strategy::RandomTma, Strategy::SuperTma];
+    for model in [ModelKind::Gcn, ModelKind::GraphSage] {
+        print_header(
+            &format!("Figure 10 — SpLPG accuracy improvement vs vanilla baselines ({model})"),
+            &["dataset", "p", "SpLPG", "vs PSGD-PA %", "vs RandomTMA %", "vs SuperTMA %"],
+        );
+        for spec in opts.accuracy_specs() {
+            let data = opts.generate(&spec)?;
+            for p in opts.partition_counts() {
+                let splpg = opts
+                    .run_strategy(&data, Strategy::SpLpg, model, p, 0.15, opts.epochs)?
+                    .test_hits;
+                let mut row =
+                    vec![data.name.clone(), p.to_string(), format!("{splpg:.3}")];
+                for baseline in baselines {
+                    let base = opts
+                        .run_strategy(&data, baseline, model, p, 0.15, opts.epochs)?
+                        .test_hits;
+                    row.push(format!("{:+.0}", pct_improvement(base, splpg)));
+                }
+                print_row(&row);
+            }
+        }
+    }
+    println!("\nshape check: all improvement columns strongly positive, larger at high p.");
+    Ok(())
+}

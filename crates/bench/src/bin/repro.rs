@@ -1,0 +1,42 @@
+//! Runs the complete experiment suite (every figure and table) in
+//! sequence by re-invoking the per-experiment binaries' logic is not
+//! possible across processes, so this binary simply shells out to each
+//! sibling binary with the same flags.
+//!
+//! ```sh
+//! cargo run -p splpg-bench --bin repro --release -- --quick
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe directory");
+    let experiments = [
+        "fig03", "fig04", "fig05", "fig06", "fig08", "fig09", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "table2", "table3", "ablation_sparsifier",
+    ];
+    let mut failures = Vec::new();
+    for exp in experiments {
+        println!("\n==================== {exp} ====================");
+        let status = Command::new(dir.join(exp)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch: {e} (build with `cargo build -p splpg-bench --release` first)");
+                failures.push(exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

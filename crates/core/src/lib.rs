@@ -1,0 +1,277 @@
+//! **SpLPG** — distributed GNN training for link prediction via graph
+//! sparsification.
+//!
+//! A from-scratch Rust reproduction of *"Demystifying Distributed Training
+//! of Graph Neural Networks for Link Prediction"* (Huang & Lee, ICDCS
+//! 2025). This facade crate wires the workspace together and exposes the
+//! paper's Algorithm 1 as a builder API:
+//!
+//! 1. **Partition** the graph with a METIS-like multilevel partitioner,
+//!    retaining the full-neighbor list (and features) of every node in its
+//!    partition ([`splpg_partition`]);
+//! 2. **Sparsify** each partition with the effective-resistance sampler
+//!    (degree-based approximation of Theorem 2), placing the sparsified
+//!    copies in shared memory ([`splpg_sparsify`]);
+//! 3. **Train** one GNN replica per worker, drawing positive samples from
+//!    the local partition and *global* negative samples through the
+//!    sparsified remote partitions, synchronizing by gradient or model
+//!    averaging ([`splpg_dist`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use splpg::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A synthetic stand-in for Cora at 5% scale (see splpg-datasets).
+//! let data = DatasetSpec::cora().generate(Scale::new(0.05, 16), 7)?;
+//!
+//! let outcome = SpLpg::builder()
+//!     .workers(2)
+//!     .strategy(Strategy::SpLpg)
+//!     .sparsification_alpha(0.15)
+//!     .epochs(2)
+//!     .hidden(8)
+//!     .layers(2)
+//!     .fanouts(vec![Some(5), Some(5)])
+//!     .hits_k(20)
+//!     .build()
+//!     .run(ModelKind::GraphSage, &data)?;
+//!
+//! println!("Hits@20 = {:.3}", outcome.test_hits);
+//! println!("comm    = {} bytes/epoch", outcome.comm.mean_epoch_bytes());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`prelude`] re-exports everything needed for typical use; the
+//! individual crates remain available for fine-grained control
+//! (custom partitioners, raw tensor autograd, exact effective
+//! resistances, ...).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use splpg_datasets as datasets;
+pub use splpg_dist as dist;
+pub use splpg_gnn as gnn;
+pub use splpg_graph as graph;
+pub use splpg_linalg as linalg;
+pub use splpg_nn as nn;
+pub use splpg_partition as partition;
+pub use splpg_sparsify as sparsify;
+pub use splpg_tensor as tensor;
+
+use splpg_datasets::Dataset;
+use splpg_dist::{DistConfig, DistError, DistOutcome, DistTrainer, FaultConfig, SparsifierKind, Strategy, SyncMethod};
+use splpg_gnn::trainer::{ModelKind, TrainConfig};
+
+/// Commonly-used types in one import.
+pub mod prelude {
+    pub use crate::{SpLpg, SpLpgBuilder};
+    pub use splpg_datasets::{Dataset, DatasetSpec, Scale};
+    pub use splpg_dist::{
+        CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, SparsifierKind, Strategy,
+        SyncMethod,
+    };
+    pub use splpg_gnn::trainer::{ModelKind, TrainConfig};
+    pub use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph, GraphBuilder, NodeId};
+    pub use splpg_partition::{MetisLike, Partition, Partitioner};
+    pub use splpg_sparsify::{DegreeSparsifier, SparsifyConfig, Sparsifier};
+}
+
+/// The SpLPG framework, configured and ready to run (Algorithm 1).
+///
+/// Construct through [`SpLpg::builder`].
+#[derive(Debug, Clone)]
+pub struct SpLpg {
+    dist: DistConfig,
+    train: TrainConfig,
+}
+
+impl SpLpg {
+    /// Starts a builder with the paper's defaults (4 workers, SpLPG
+    /// strategy, alpha 0.15, model averaging).
+    pub fn builder() -> SpLpgBuilder {
+        SpLpgBuilder::default()
+    }
+
+    /// The cluster configuration.
+    pub fn dist_config(&self) -> &DistConfig {
+        &self.dist
+    }
+
+    /// The training hyperparameters.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.train
+    }
+
+    /// Runs Algorithm 1 end-to-end: partition, sparsify, train, evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning, sparsification and training failures as
+    /// [`DistError`].
+    pub fn run(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
+        DistTrainer::new(self.dist.clone(), self.train.clone()).run(kind, data)
+    }
+}
+
+/// Builder for [`SpLpg`] (non-consuming, per the Rust API guidelines).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SpLpgBuilder {
+    dist: DistConfig,
+    train: TrainConfig,
+}
+
+
+impl SpLpgBuilder {
+    /// Number of workers `p` (paper: 4, 8, 16).
+    pub fn workers(&mut self, p: usize) -> &mut Self {
+        self.dist.num_workers = p;
+        self
+    }
+
+    /// Training strategy (default [`Strategy::SpLpg`]).
+    pub fn strategy(&mut self, strategy: Strategy) -> &mut Self {
+        self.dist.strategy = strategy;
+        self
+    }
+
+    /// Sparsification level alpha (default 0.15).
+    pub fn sparsification_alpha(&mut self, alpha: f64) -> &mut Self {
+        self.dist.alpha = alpha;
+        self
+    }
+
+    /// Synchronization method (default model averaging).
+    pub fn sync(&mut self, sync: SyncMethod) -> &mut Self {
+        self.dist.sync = sync;
+        self
+    }
+
+    /// Training epochs.
+    pub fn epochs(&mut self, epochs: usize) -> &mut Self {
+        self.train.epochs = epochs;
+        self
+    }
+
+    /// Hidden/embedding width.
+    pub fn hidden(&mut self, hidden: usize) -> &mut Self {
+        self.train.hidden = hidden;
+        self
+    }
+
+    /// GNN layer count.
+    pub fn layers(&mut self, layers: usize) -> &mut Self {
+        self.train.layers = layers;
+        self
+    }
+
+    /// Per-hop sampling fanouts (`None` = full neighborhood).
+    pub fn fanouts(&mut self, fanouts: Vec<Option<usize>>) -> &mut Self {
+        self.train.fanouts = fanouts;
+        self
+    }
+
+    /// Mini-batch size in positive edges.
+    pub fn batch_size(&mut self, batch_size: usize) -> &mut Self {
+        self.train.batch_size = batch_size;
+        self
+    }
+
+    /// Adam learning rate.
+    pub fn learning_rate(&mut self, lr: f32) -> &mut Self {
+        self.train.learning_rate = lr;
+        self
+    }
+
+    /// Hits@K cutoff.
+    pub fn hits_k(&mut self, k: usize) -> &mut Self {
+        self.train.hits_k = k;
+        self
+    }
+
+    /// RNG seed for model init and training.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.train.seed = seed;
+        self
+    }
+
+    /// Evaluate every `n` epochs (default 1).
+    pub fn eval_every(&mut self, n: usize) -> &mut Self {
+        self.dist.eval_every = n.max(1);
+        self
+    }
+
+    /// Injects worker faults (per-worker per-epoch crash probability).
+    pub fn faults(&mut self, faults: FaultConfig) -> &mut Self {
+        self.dist.faults = Some(faults);
+        self
+    }
+
+    /// Sparsifier used for the shared remote copies (default: the paper's
+    /// degree-based effective-resistance sampler).
+    pub fn sparsifier(&mut self, kind: SparsifierKind) -> &mut Self {
+        self.dist.sparsifier = kind;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(&self) -> SpLpg {
+        SpLpg { dist: self.dist.clone(), train: self.train.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splpg_datasets::{DatasetSpec, Scale};
+
+    #[test]
+    fn builder_sets_every_field() {
+        let s = SpLpg::builder()
+            .workers(8)
+            .strategy(Strategy::PsgdPa)
+            .sparsification_alpha(0.05)
+            .sync(SyncMethod::GradientAveraging)
+            .epochs(3)
+            .hidden(32)
+            .layers(2)
+            .fanouts(vec![None, None])
+            .batch_size(64)
+            .learning_rate(0.01)
+            .hits_k(50)
+            .seed(9)
+            .eval_every(2)
+            .build();
+        assert_eq!(s.dist_config().num_workers, 8);
+        assert_eq!(s.dist_config().strategy, Strategy::PsgdPa);
+        assert_eq!(s.dist_config().alpha, 0.05);
+        assert_eq!(s.dist_config().sync, SyncMethod::GradientAveraging);
+        assert_eq!(s.dist_config().eval_every, 2);
+        assert_eq!(s.train_config().epochs, 3);
+        assert_eq!(s.train_config().hidden, 32);
+        assert_eq!(s.train_config().batch_size, 64);
+        assert_eq!(s.train_config().hits_k, 50);
+        assert_eq!(s.train_config().seed, 9);
+    }
+
+    #[test]
+    fn end_to_end_smoke() {
+        let data = DatasetSpec::citeseer().generate(Scale::new(0.05, 8), 3).unwrap();
+        let out = SpLpg::builder()
+            .workers(2)
+            .epochs(1)
+            .hidden(8)
+            .layers(2)
+            .fanouts(vec![Some(5), Some(5)])
+            .hits_k(10)
+            .build()
+            .run(ModelKind::Gcn, &data)
+            .unwrap();
+        assert!(out.test_hits.is_finite());
+        assert!(out.comm.total_bytes() > 0);
+    }
+}

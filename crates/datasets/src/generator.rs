@@ -1,0 +1,310 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use splpg_graph::{FeatureMatrix, Graph, GraphBuilder, NodeId};
+
+use crate::DatasetError;
+
+/// Parameters of the degree-corrected planted-partition generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityGraphParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of distinct undirected edges.
+    pub edges: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Probability that an edge stays inside its community (homophily of
+    /// the *structure*; 0.9 gives METIS-friendly graphs).
+    pub intra_fraction: f64,
+    /// Degree-skew exponent: node propensities follow `rank^{-skew}`
+    /// (0 = uniform, 0.5–0.9 = heavy-tailed like citation graphs).
+    pub degree_skew: f64,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Feature signal-to-noise: 0 = pure noise, 1 = pure community
+    /// centroid.
+    pub feature_signal: f32,
+}
+
+impl Default for CommunityGraphParams {
+    fn default() -> Self {
+        CommunityGraphParams {
+            nodes: 1000,
+            edges: 5000,
+            communities: 20,
+            intra_fraction: 0.9,
+            degree_skew: 0.7,
+            feature_dim: 64,
+            feature_signal: 0.7,
+        }
+    }
+}
+
+impl CommunityGraphParams {
+    fn validate(&self) -> Result<(), DatasetError> {
+        if self.nodes < 2 {
+            return Err(DatasetError::InvalidParams("need at least 2 nodes".to_string()));
+        }
+        if self.communities == 0 || self.communities > self.nodes {
+            return Err(DatasetError::InvalidParams(format!(
+                "communities {} out of range for {} nodes",
+                self.communities, self.nodes
+            )));
+        }
+        let max_edges = self.nodes as u64 * (self.nodes as u64 - 1) / 2;
+        if self.edges as u64 > max_edges / 2 {
+            return Err(DatasetError::InvalidParams(format!(
+                "{} edges is too dense for {} nodes",
+                self.edges, self.nodes
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.intra_fraction) {
+            return Err(DatasetError::InvalidParams("intra_fraction must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a degree-corrected planted-partition graph with
+/// community-correlated features. Returns the graph, features, and the
+/// ground-truth community of each node.
+///
+/// # Errors
+///
+/// [`DatasetError::InvalidParams`] on impossible parameter combinations.
+pub fn generate_community_graph(
+    params: &CommunityGraphParams,
+    rng: &mut StdRng,
+) -> Result<(Graph, FeatureMatrix, Vec<u32>), DatasetError> {
+    params.validate()?;
+    let n = params.nodes;
+    let c = params.communities;
+
+    // Community assignment: contiguous equal-size blocks (randomizing the
+    // id order adds nothing — partitioners don't see ids).
+    let community: Vec<u32> = (0..n).map(|i| (i * c / n) as u32).collect();
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); c];
+    for (i, &com) in community.iter().enumerate() {
+        members[com as usize].push(i as NodeId);
+    }
+
+    // Degree propensities: Zipf-like weights shuffled within community.
+    let weight: Vec<f64> = (0..n)
+        .map(|i| {
+            let rank = (i % members[community[i] as usize].len().max(1)) + 1;
+            (rank as f64).powf(-params.degree_skew)
+        })
+        .collect();
+    // Per-community cumulative weights for O(log m) sampling.
+    let tables: Vec<WeightedPicker> = members
+        .iter()
+        .map(|ms| WeightedPicker::new(ms.iter().map(|&v| weight[v as usize]).collect(), ms))
+        .collect();
+    let global = WeightedPicker::new(weight.clone(), &(0..n as NodeId).collect::<Vec<_>>());
+
+    let mut b = GraphBuilder::with_capacity(n, params.edges);
+    let budget = 60 * params.edges + 10_000;
+    let mut attempts = 0usize;
+    while b.num_edges() < params.edges {
+        attempts += 1;
+        if attempts > budget {
+            return Err(DatasetError::Graph(format!(
+                "edge generation stalled at {} of {} edges",
+                b.num_edges(),
+                params.edges
+            )));
+        }
+        let (u, v) = if rng.gen_bool(params.intra_fraction) {
+            // Intra-community edge: community chosen by size.
+            let com = community[rng.gen_range(0..n)] as usize;
+            (tables[com].pick(rng), tables[com].pick(rng))
+        } else {
+            (global.pick(rng), global.pick(rng))
+        };
+        if u == v {
+            continue;
+        }
+        let _ = b.add_edge(u, v);
+    }
+    let graph = b.build();
+
+    // Community centroids: random unit-ish directions.
+    let f = params.feature_dim;
+    let centroids: Vec<Vec<f32>> = (0..c)
+        .map(|_| (0..f).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
+        .collect();
+    let signal = params.feature_signal;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let centroid = &centroids[community[i] as usize];
+            (0..f)
+                .map(|d| signal * centroid[d] + (1.0 - signal) * (rng.gen::<f32>() * 2.0 - 1.0))
+                .collect()
+        })
+        .collect();
+    let features =
+        FeatureMatrix::from_rows(rows).map_err(|e| DatasetError::Graph(e.to_string()))?;
+    Ok((graph, features, community))
+}
+
+/// Cumulative-weight sampler over a fixed node set.
+#[derive(Debug)]
+struct WeightedPicker {
+    cumulative: Vec<f64>,
+    nodes: Vec<NodeId>,
+}
+
+impl WeightedPicker {
+    fn new(weights: Vec<f64>, nodes: &[NodeId]) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        WeightedPicker { cumulative, nodes: nodes.to_vec() }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> NodeId {
+        let total = *self.cumulative.last().expect("non-empty picker");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&cw| cw < x);
+        self.nodes[idx.min(self.nodes.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn generates_requested_sizes() {
+        let params = CommunityGraphParams { nodes: 500, edges: 2000, ..Default::default() };
+        let (g, f, com) = generate_community_graph(&params, &mut rng()).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        assert_eq!(g.num_edges(), 2000);
+        assert_eq!(f.num_rows(), 500);
+        assert_eq!(f.dim(), 64);
+        assert_eq!(com.len(), 500);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn communities_are_balanced() {
+        let params = CommunityGraphParams {
+            nodes: 400,
+            edges: 1200,
+            communities: 8,
+            ..Default::default()
+        };
+        let (_, _, com) = generate_community_graph(&params, &mut rng()).unwrap();
+        let mut counts = vec![0usize; 8];
+        for &c in &com {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&x| x == 50), "{counts:?}");
+    }
+
+    #[test]
+    fn edges_mostly_intra_community() {
+        let params = CommunityGraphParams {
+            nodes: 600,
+            edges: 3000,
+            communities: 6,
+            intra_fraction: 0.95,
+            ..Default::default()
+        };
+        let (g, _, com) = generate_community_graph(&params, &mut rng()).unwrap();
+        let intra = g
+            .edges()
+            .iter()
+            .filter(|e| com[e.src as usize] == com[e.dst as usize])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.85, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let params = CommunityGraphParams {
+            nodes: 800,
+            edges: 4000,
+            degree_skew: 0.8,
+            ..Default::default()
+        };
+        let (g, _, _) = generate_community_graph(&params, &mut rng()).unwrap();
+        let mean = g.mean_degree();
+        let max = g.max_degree() as f64;
+        assert!(max > 4.0 * mean, "max {max} vs mean {mean}: not heavy-tailed");
+    }
+
+    #[test]
+    fn features_cluster_by_community() {
+        let params = CommunityGraphParams {
+            nodes: 200,
+            edges: 600,
+            communities: 4,
+            feature_signal: 0.9,
+            feature_dim: 16,
+            ..Default::default()
+        };
+        let (_, f, com) = generate_community_graph(&params, &mut rng()).unwrap();
+        // Same-community cosine similarity should exceed cross-community.
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb)
+        };
+        let mut same = 0.0f64;
+        let mut cross = 0.0f64;
+        let mut ns = 0;
+        let mut nc = 0;
+        for i in (0..200).step_by(5) {
+            for j in (1..200).step_by(7) {
+                if i == j {
+                    continue;
+                }
+                let c = cos(f.row(i as u32), f.row(j as u32)) as f64;
+                if com[i] == com[j] {
+                    same += c;
+                    ns += 1;
+                } else {
+                    cross += c;
+                    nc += 1;
+                }
+            }
+        }
+        assert!(same / ns as f64 > cross / nc as f64 + 0.3);
+    }
+
+    #[test]
+    fn rejects_impossible_params() {
+        let too_dense =
+            CommunityGraphParams { nodes: 10, edges: 40, ..Default::default() };
+        assert!(generate_community_graph(&too_dense, &mut rng()).is_err());
+        let no_nodes = CommunityGraphParams { nodes: 1, ..Default::default() };
+        assert!(generate_community_graph(&no_nodes, &mut rng()).is_err());
+        let bad_frac = CommunityGraphParams {
+            nodes: 100,
+            edges: 100,
+            intra_fraction: 1.5,
+            ..Default::default()
+        };
+        assert!(generate_community_graph(&bad_frac, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = CommunityGraphParams { nodes: 100, edges: 300, ..Default::default() };
+        let (g1, f1, _) = generate_community_graph(&params, &mut rng()).unwrap();
+        let (g2, f2, _) = generate_community_graph(&params, &mut rng()).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(f1, f2);
+    }
+}

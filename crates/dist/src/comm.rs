@@ -1,0 +1,157 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bytes per node identifier on the wire (DGL ships int64 ids).
+pub const BYTES_PER_NODE_ID: u64 = 8;
+/// Bytes per transferred edge (source id + destination id).
+pub const BYTES_PER_EDGE: u64 = 2 * BYTES_PER_NODE_ID;
+/// Bytes per feature element (`f32`).
+pub const BYTES_PER_FEATURE: u64 = 4;
+
+/// Thread-safe meter of master→worker graph-data transfer.
+///
+/// Cloning shares the underlying counters, so one tracker can be handed to
+/// every worker view of a cluster and read by the coordinator. This is the
+/// measurement behind Figures 4, 8, 9, 13 and Table III: "the total
+/// cumulative amount of data transferred from the master server to all
+/// workers for one training epoch".
+///
+/// # Examples
+///
+/// ```
+/// use splpg_dist::CommTracker;
+/// let t = CommTracker::new();
+/// t.add_structure(10, 4);
+/// t.add_features(3, 128);
+/// assert_eq!(t.structure_bytes(), 10 * 16 + 4 * 8);
+/// assert_eq!(t.feature_bytes(), 3 * 128 * 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommTracker {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    structure: AtomicU64,
+    features: AtomicU64,
+    fetches: AtomicU64,
+}
+
+impl CommTracker {
+    /// A fresh tracker with zeroed counters.
+    pub fn new() -> Self {
+        CommTracker::default()
+    }
+
+    /// Records a structure transfer of `edges` edges and `nodes` node ids.
+    pub fn add_structure(&self, edges: u64, nodes: u64) {
+        self.inner
+            .structure
+            .fetch_add(edges * BYTES_PER_EDGE + nodes * BYTES_PER_NODE_ID, Ordering::Relaxed);
+        self.inner.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a feature transfer of `rows` rows of width `dim`.
+    pub fn add_features(&self, rows: u64, dim: u64) {
+        self.inner
+            .features
+            .fetch_add(rows * dim * BYTES_PER_FEATURE, Ordering::Relaxed);
+        self.inner.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative structure bytes.
+    pub fn structure_bytes(&self) -> u64 {
+        self.inner.structure.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative feature bytes.
+    pub fn feature_bytes(&self) -> u64 {
+        self.inner.features.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.structure_bytes() + self.feature_bytes()
+    }
+
+    /// Number of individual fetch operations.
+    pub fn fetch_count(&self) -> u64 {
+        self.inner.fetches.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-epoch communication totals of a training run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommReport {
+    /// Total bytes transferred in each epoch.
+    pub epoch_bytes: Vec<u64>,
+    /// Structure/feature breakdown of the final cumulative totals.
+    pub total_structure_bytes: u64,
+    /// Cumulative feature bytes at the end of training.
+    pub total_feature_bytes: u64,
+}
+
+impl CommReport {
+    /// Mean bytes per epoch (0 when no epochs ran).
+    pub fn mean_epoch_bytes(&self) -> u64 {
+        if self.epoch_bytes.is_empty() {
+            0
+        } else {
+            self.epoch_bytes.iter().sum::<u64>() / self.epoch_bytes.len() as u64
+        }
+    }
+
+    /// Cumulative total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_structure_bytes + self.total_feature_bytes
+    }
+
+    /// Human-readable gigabytes for the mean epoch.
+    pub fn mean_epoch_gb(&self) -> f64 {
+        self.mean_epoch_bytes() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = CommTracker::new();
+        t.add_structure(5, 2);
+        t.add_structure(1, 0);
+        assert_eq!(t.structure_bytes(), 6 * BYTES_PER_EDGE + 2 * BYTES_PER_NODE_ID);
+        t.add_features(10, 16);
+        assert_eq!(t.feature_bytes(), 640);
+        assert_eq!(t.total_bytes(), t.structure_bytes() + 640);
+        assert_eq!(t.fetch_count(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CommTracker::new();
+        let t2 = t.clone();
+        t2.add_features(1, 1);
+        assert_eq!(t.feature_bytes(), 4);
+    }
+
+    #[test]
+    fn report_mean() {
+        let r = CommReport {
+            epoch_bytes: vec![100, 300],
+            total_structure_bytes: 150,
+            total_feature_bytes: 250,
+        };
+        assert_eq!(r.mean_epoch_bytes(), 200);
+        assert_eq!(r.total_bytes(), 400);
+        assert!(CommReport::default().mean_epoch_bytes() == 0);
+    }
+
+    #[test]
+    fn tracker_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CommTracker>();
+    }
+}

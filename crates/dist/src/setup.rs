@@ -1,0 +1,314 @@
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splpg_graph::{Edge, FeatureMatrix, Graph, NodeId};
+use splpg_partition::{MetisLike, Partition, Partitioner, RandomTma, SuperTma};
+use splpg_sparsify::{
+    DegreeSparsifier, SpanningForestSparsifier, SparsifyConfig, Sparsifier, UniformSparsifier,
+};
+
+use crate::{
+    CommTracker, DistError, NegativeSpace, PartitionerKind, RemoteKind, RemoteMode, StrategySpec,
+    WorkerView,
+};
+
+/// Which sparsification algorithm SpLPG's shared remote copies use.
+///
+/// The paper uses the degree-based effective-resistance approximation;
+/// the alternatives quantify that choice (the `ablation_sparsifier`
+/// experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparsifierKind {
+    /// Degree-based effective-resistance scores (the paper, Theorem 2).
+    #[default]
+    Degree,
+    /// Uniform edge sampling (no importance weighting).
+    Uniform,
+    /// BFS spanning forest + uniform remainder (connectivity preserving).
+    SpanningForest,
+}
+
+/// One worker's training inputs.
+#[derive(Debug, Clone)]
+pub struct WorkerData {
+    /// Worker index (= partition index).
+    pub worker_id: usize,
+    /// Metered data-plane view.
+    pub view: WorkerView,
+    /// Positive training edges this worker draws batches from (its
+    /// partitioned subgraph's edges; cross-partition edges appear on both
+    /// sides under halo retention, per Algorithm 1).
+    pub positives: Vec<Edge>,
+    /// Node set that per-source negative destinations are drawn from.
+    pub negative_space: Vec<NodeId>,
+}
+
+/// A fully-prepared cluster: per-worker data views plus preprocessing
+/// timings (Table II reports the sparsification time).
+#[derive(Debug)]
+pub struct ClusterSetup {
+    /// Per-worker inputs.
+    pub workers: Vec<WorkerData>,
+    /// Shared communication meter.
+    pub tracker: CommTracker,
+    /// The node→partition assignment used.
+    pub partition: Partition,
+    /// Wall-clock time of graph partitioning.
+    pub partition_time: Duration,
+    /// Wall-clock time of the effective-resistance sparsification of all
+    /// partitions (zero when the strategy doesn't sparsify).
+    pub sparsify_time: Duration,
+}
+
+impl ClusterSetup {
+    /// Partitions `graph` (the training message-passing graph) and builds
+    /// every worker's view per `spec`.
+    ///
+    /// `alpha` is the sparsification level `L^i = alpha |E^i|` (paper
+    /// default 0.15); ignored unless the strategy shares sparsified
+    /// partitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and sparsification failures.
+    pub fn build(
+        graph: &Arc<Graph>,
+        features: &Arc<FeatureMatrix>,
+        spec: StrategySpec,
+        num_workers: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Result<Self, DistError> {
+        Self::build_with_sparsifier(graph, features, spec, num_workers, alpha, seed, SparsifierKind::Degree)
+    }
+
+    /// Like [`ClusterSetup::build`] but with an explicit sparsifier choice
+    /// for the shared remote copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and sparsification failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_sparsifier(
+        graph: &Arc<Graph>,
+        features: &Arc<FeatureMatrix>,
+        spec: StrategySpec,
+        num_workers: usize,
+        alpha: f64,
+        seed: u64,
+        sparsifier_kind: SparsifierKind,
+    ) -> Result<Self, DistError> {
+        let n = graph.num_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t0 = Instant::now();
+        let partition = match spec.partitioner {
+            PartitionerKind::Metis => MetisLike::default().partition(graph, num_workers, &mut rng),
+            PartitionerKind::Random => {
+                RandomTma.partition(graph, num_workers, &mut rng)
+            }
+            PartitionerKind::Super => SuperTma::default().partition(graph, num_workers, &mut rng),
+        }
+        .map_err(|e| DistError::Partition(e.to_string()))?;
+        let partition_time = t0.elapsed();
+
+        // Per-partition local structures in the global id space.
+        let mut local_edges: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); num_workers];
+        for e in graph.edges() {
+            let pu = partition.part_of(e.src) as usize;
+            let pv = partition.part_of(e.dst) as usize;
+            if spec.halo {
+                // Cross-partition edges are kept in both partitions so the
+                // full-neighbor list of every owned node is preserved.
+                local_edges[pu].push((e.src, e.dst));
+                if pv != pu {
+                    local_edges[pv].push((e.src, e.dst));
+                }
+            } else if pu == pv {
+                local_edges[pu].push((e.src, e.dst));
+            }
+        }
+
+        let tracker = CommTracker::new();
+        let mut locals: Vec<Arc<Graph>> = Vec::with_capacity(num_workers);
+        for edges in &local_edges {
+            let g = Graph::from_edges(n, edges).map_err(|e| DistError::Partition(e.to_string()))?;
+            locals.push(Arc::new(g));
+        }
+
+        // Sparsified copies (SpLPG): one per partition, timed for Table II.
+        let mut sparsify_time = Duration::ZERO;
+        let sparsified: Option<Arc<Vec<Graph>>> = if spec.remote == RemoteKind::Sparsified {
+            let config = SparsifyConfig::with_alpha(alpha);
+            let t1 = Instant::now();
+            let parts = locals
+                .iter()
+                .map(|g| match sparsifier_kind {
+                    SparsifierKind::Degree => DegreeSparsifier::new(config).sparsify(g, &mut rng),
+                    SparsifierKind::Uniform => {
+                        UniformSparsifier::new(config).sparsify(g, &mut rng)
+                    }
+                    SparsifierKind::SpanningForest => {
+                        SpanningForestSparsifier::new(config).sparsify(g, &mut rng)
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| DistError::Sparsify(e.to_string()))?;
+            sparsify_time = t1.elapsed();
+            Some(Arc::new(parts))
+        } else {
+            None
+        };
+        let owner: Arc<Vec<u32>> = Arc::new(partition.assignments().to_vec());
+
+        let mut workers = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let core: Vec<NodeId> = partition.part_nodes(w as u32);
+            let mut structure_local = vec![false; n];
+            let mut feature_local = vec![false; n];
+            for &v in &core {
+                structure_local[v as usize] = true;
+                feature_local[v as usize] = true;
+            }
+            if spec.halo {
+                // Halo nodes: partial adjacency + features stored locally.
+                for &v in &core {
+                    for &u in graph.neighbors(v) {
+                        structure_local[u as usize] = true;
+                        feature_local[u as usize] = true;
+                    }
+                }
+            }
+            let remote = match spec.remote {
+                RemoteKind::None => RemoteMode::None,
+                RemoteKind::Full => RemoteMode::Full { graph: Arc::clone(graph) },
+                RemoteKind::Sparsified => RemoteMode::Sparsified {
+                    parts: Arc::clone(sparsified.as_ref().expect("built above")),
+                    owner: Arc::clone(&owner),
+                },
+            };
+            let view = WorkerView::new(
+                Arc::clone(&locals[w]),
+                Arc::new(structure_local),
+                Arc::new(feature_local),
+                Arc::clone(features),
+                remote,
+                tracker.clone(),
+            );
+            let positives = locals[w].edges().to_vec();
+            let negative_space = match spec.negatives {
+                NegativeSpace::Local => core.clone(),
+                NegativeSpace::Global => (0..n as NodeId).collect(),
+            };
+            workers.push(WorkerData { worker_id: w, view, positives, negative_space });
+        }
+        Ok(ClusterSetup { workers, tracker, partition, partition_time, sparsify_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use splpg_gnn::GraphAccess;
+
+    fn fixture() -> (Arc<Graph>, Arc<FeatureMatrix>) {
+        // Two cliques of 8 joined by one bridge.
+        let mut b = splpg_graph::GraphBuilder::new(16);
+        for base in [0u32, 8] {
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    b.add_edge(base + i, base + j).unwrap();
+                }
+            }
+        }
+        b.add_edge(0, 8).unwrap();
+        let g = Arc::new(b.build());
+        let f = Arc::new(FeatureMatrix::zeros(16, 4));
+        (g, f)
+    }
+
+    #[test]
+    fn psgd_pa_drops_cross_edges() {
+        let (g, f) = fixture();
+        let setup =
+            ClusterSetup::build(&g, &f, Strategy::PsgdPa.spec(), 2, 0.15, 1).unwrap();
+        let total: usize = setup.workers.iter().map(|w| w.positives.len()).sum();
+        assert_eq!(total, g.num_edges() - setup.partition.edge_cut(&g));
+        // Negative space is local.
+        for w in &setup.workers {
+            assert_eq!(w.negative_space.len(), 8);
+        }
+    }
+
+    #[test]
+    fn splpg_keeps_cross_edges_on_both_sides() {
+        let (g, f) = fixture();
+        let setup =
+            ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 2, 0.15, 1).unwrap();
+        let total: usize = setup.workers.iter().map(|w| w.positives.len()).sum();
+        assert_eq!(total, g.num_edges() + setup.partition.edge_cut(&g));
+        for w in &setup.workers {
+            assert_eq!(w.negative_space.len(), 16, "global negative space");
+        }
+        assert!(setup.sparsify_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn splpg_core_nodes_have_full_degree() {
+        let (g, f) = fixture();
+        let setup =
+            ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 2, 0.15, 1).unwrap();
+        for w in &setup.workers {
+            let mut view = w.view.clone();
+            for &v in setup.partition.part_nodes(w.worker_id as u32).iter() {
+                assert_eq!(
+                    view.neighbors(v).len(),
+                    g.degree(v),
+                    "core node {v} of worker {} lost neighbors",
+                    w.worker_id
+                );
+            }
+        }
+        // No metering happened: all those reads were local.
+        assert_eq!(setup.tracker.total_bytes(), 0);
+    }
+
+    #[test]
+    fn full_sharing_gives_global_negative_space() {
+        let (g, f) = fixture();
+        let setup =
+            ClusterSetup::build(&g, &f, Strategy::PsgdPaPlus.spec(), 2, 0.15, 1).unwrap();
+        for w in &setup.workers {
+            assert_eq!(w.negative_space.len(), 16);
+        }
+        assert_eq!(setup.sparsify_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn sparsified_remote_has_fewer_edges() {
+        let (g, f) = fixture();
+        let setup =
+            ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 2, 0.15, 1).unwrap();
+        // Fetch a remote node's neighbors; sparsified copy must be small.
+        let mut w0 = setup.workers[0].view.clone();
+        let remote_node = setup.partition.part_nodes(1)[3];
+        let sparse_deg = w0.neighbors(remote_node).len();
+        assert!(
+            sparse_deg < g.degree(remote_node),
+            "sparsified degree {sparse_deg} not below {}",
+            g.degree(remote_node)
+        );
+    }
+
+    #[test]
+    fn random_tma_partitions_differently() {
+        let (g, f) = fixture();
+        let metis =
+            ClusterSetup::build(&g, &f, Strategy::PsgdPa.spec(), 2, 0.15, 1).unwrap();
+        let random =
+            ClusterSetup::build(&g, &f, Strategy::RandomTma.spec(), 2, 0.15, 1).unwrap();
+        assert!(random.partition.edge_cut(&g) > metis.partition.edge_cut(&g));
+    }
+}

@@ -1,0 +1,744 @@
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use splpg_datasets::Dataset;
+use splpg_gnn::trainer::{
+    batch_grads, evaluate_hits, train_centralized, ModelKind, TrainConfig,
+};
+use splpg_gnn::{
+    FullFeatureAccess, FullGraphAccess, LinkPredictor, NeighborSampler,
+    PerSourceNegativeSampler,
+};
+use splpg_nn::{average_grads, Adam, Optimizer, ParamSet};
+use splpg_tensor::Tensor;
+
+use crate::setup::{ClusterSetup, WorkerData};
+use crate::{CommReport, DistError, Strategy};
+
+/// How worker replicas are synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMethod {
+    /// FedAvg-style model averaging once per epoch — what the paper's
+    /// baselines use and what it reports ("their prediction performance
+    /// remains more or less the same").
+    ModelAveraging,
+    /// Synchronous gradient averaging every mini-batch (Algorithm 1 lines
+    /// 29–30), like PyTorch DDP's `all_reduce`.
+    GradientAveraging,
+}
+
+/// Fault-injection configuration: each worker independently crashes for a
+/// whole epoch with the given probability (it contributes nothing to that
+/// epoch's synchronization and rejoins at the next one — the behaviour of
+/// FedAvg-style systems under worker preemption).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-worker, per-epoch failure probability in `[0, 1)`.
+    pub failure_probability: f64,
+    /// Seed of the (deterministic) failure schedule.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// Whether `worker` is down during `epoch` (deterministic hash).
+    pub fn is_down(&self, worker: usize, epoch: usize) -> bool {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for x in [worker as u64 + 1, epoch as u64 + 1] {
+            h ^= x;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+        }
+        (h as f64 / u64::MAX as f64) < self.failure_probability
+    }
+}
+
+/// Cluster configuration for a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of workers `p` (the paper uses 4, 8, 16).
+    pub num_workers: usize,
+    /// Training strategy.
+    pub strategy: Strategy,
+    /// Synchronization method.
+    pub sync: SyncMethod,
+    /// Sparsification level `alpha` (paper default 0.15).
+    pub alpha: f64,
+    /// Evaluate validation accuracy every this many epochs (1 = every
+    /// epoch; evaluation is master-side and not metered).
+    pub eval_every: usize,
+    /// Seed for partitioning/sparsification.
+    pub setup_seed: u64,
+    /// Optional worker fault injection.
+    pub faults: Option<FaultConfig>,
+    /// Sparsification algorithm for the shared remote copies.
+    pub sparsifier: crate::SparsifierKind,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            num_workers: 4,
+            strategy: Strategy::SpLpg,
+            sync: SyncMethod::ModelAveraging,
+            alpha: 0.15,
+            eval_every: 1,
+            setup_seed: 17,
+            faults: None,
+            sparsifier: crate::SparsifierKind::default(),
+        }
+    }
+}
+
+/// Per-epoch statistics of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean worker training loss.
+    pub mean_loss: f32,
+    /// Validation Hits@K (when evaluated this epoch).
+    pub valid_hits: Option<f64>,
+    /// Master→worker bytes transferred during this epoch.
+    pub comm_bytes: u64,
+}
+
+/// Outcome of a distributed training run.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// Test Hits@K of the best-validation parameters.
+    pub test_hits: f64,
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Communication report.
+    pub comm: CommReport,
+    /// Partitioning wall-clock time.
+    pub partition_time: Duration,
+    /// Sparsification wall-clock time (Table II; zero if not sparsified).
+    pub sparsify_time: Duration,
+    /// `(epoch, worker)` pairs that were down due to fault injection.
+    pub failures: Vec<(usize, usize)>,
+}
+
+/// Distributed trainer implementing Algorithm 1 and all baselines.
+#[derive(Debug, Clone)]
+pub struct DistTrainer {
+    dist: DistConfig,
+    train: TrainConfig,
+}
+
+struct WorkerState {
+    model: LinkPredictor,
+    params: ParamSet,
+    opt: Adam,
+    rng: StdRng,
+    data: WorkerData,
+}
+
+impl DistTrainer {
+    /// Creates a trainer from cluster + hyperparameter configuration.
+    pub fn new(dist: DistConfig, train: TrainConfig) -> Self {
+        DistTrainer { dist, train }
+    }
+
+    /// The cluster configuration.
+    pub fn dist_config(&self) -> &DistConfig {
+        &self.dist
+    }
+
+    /// The training configuration.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.train
+    }
+
+    /// Runs training of `kind` on `data` and returns accuracy +
+    /// communication statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, partitioning and worker failures.
+    pub fn run(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
+        if self.dist.strategy == Strategy::Centralized {
+            return self.run_centralized(kind, data);
+        }
+        if self.dist.num_workers < 2 {
+            return Err(DistError::InvalidConfig(
+                "distributed strategies need at least 2 workers".to_string(),
+            ));
+        }
+        let train_graph = std::sync::Arc::new(
+            data.split
+                .train_graph(data.graph.num_nodes())
+                .map_err(|e| DistError::InvalidConfig(e.to_string()))?,
+        );
+        let features = std::sync::Arc::new(data.features.clone());
+        let spec = self.dist.strategy.spec();
+        let setup = ClusterSetup::build_with_sparsifier(
+            &train_graph,
+            &features,
+            spec,
+            self.dist.num_workers,
+            self.dist.alpha,
+            self.dist.setup_seed,
+            self.dist.sparsifier,
+        )?;
+
+        // Global model (master) + identically-initialized worker replicas.
+        let mut master_rng = StdRng::seed_from_u64(self.train.seed);
+        let mut master_params = ParamSet::new();
+        let master_model =
+            self.train.build_model(kind, data.features.dim(), &mut master_params, &mut master_rng);
+        let mut states: Vec<WorkerState> = setup
+            .workers
+            .iter()
+            .map(|w| {
+                let mut rng = StdRng::seed_from_u64(self.train.seed);
+                let mut params = ParamSet::new();
+                let model = self.train.build_model(kind, data.features.dim(), &mut params, &mut rng);
+                WorkerState {
+                    model,
+                    params,
+                    opt: Adam::new(self.train.learning_rate),
+                    rng: StdRng::seed_from_u64(self.train.seed ^ (w.worker_id as u64 + 1) << 32),
+                    data: w.clone(),
+                }
+            })
+            .collect();
+
+        let sampler = self.train.sampler();
+        let eval_sampler = NeighborSampler::full(self.train.layers);
+        let mut master_opt = Adam::new(self.train.learning_rate);
+        let mut correction_opt = Adam::new(self.train.learning_rate);
+        let mut correction_rng = StdRng::seed_from_u64(self.train.seed ^ 0xC0FFEE);
+
+        let mut global_flat = master_params.to_flat();
+        let mut epochs = Vec::with_capacity(self.train.epochs);
+        let mut best = (f64::NEG_INFINITY, global_flat.clone());
+        let mut prev_bytes = setup.tracker.total_bytes();
+
+        let mut failures: Vec<(usize, usize)> = Vec::new();
+        for epoch in 0..self.train.epochs {
+            let down: Vec<bool> = (0..self.dist.num_workers)
+                .map(|w| self.dist.faults.is_some_and(|f| f.is_down(w, epoch)))
+                .collect();
+            for (w, &d) in down.iter().enumerate() {
+                if d {
+                    failures.push((epoch, w));
+                }
+            }
+            let mean_loss = match self.dist.sync {
+                SyncMethod::ModelAveraging => {
+                    self.epoch_model_averaging(&mut states, &sampler, &mut global_flat, &down)?
+                }
+                SyncMethod::GradientAveraging => self.epoch_gradient_averaging(
+                    &mut states,
+                    &sampler,
+                    &mut master_params,
+                    &mut master_opt,
+                    &mut global_flat,
+                    &down,
+                )?,
+            };
+
+            // LLCG global correction: the master performs a centralized
+            // step on the full graph after synchronization.
+            if spec.global_correction {
+                master_params
+                    .load_flat(&global_flat)
+                    .map_err(|e| DistError::Worker(e.to_string()))?;
+                let mut batch = data.split.train.clone();
+                batch.shuffle(&mut correction_rng);
+                batch.truncate(self.train.batch_size.min(batch.len()));
+                let mut ga = FullGraphAccess::new(&train_graph);
+                let mut fa = FullFeatureAccess::new(&data.features);
+                let negative_sampler =
+                    PerSourceNegativeSampler::global(data.graph.num_nodes());
+                let (_, grads) = batch_grads(
+                    &master_model,
+                    &master_params,
+                    &mut ga,
+                    &mut fa,
+                    &sampler,
+                    &negative_sampler,
+                    &batch,
+                    &mut correction_rng,
+                )
+                .map_err(|e| DistError::Worker(e.to_string()))?;
+                correction_opt.step(&mut master_params, &grads);
+                global_flat = master_params.to_flat();
+            }
+
+            let comm_bytes = setup.tracker.total_bytes() - prev_bytes;
+            prev_bytes = setup.tracker.total_bytes();
+
+            let valid_hits = if epoch % self.dist.eval_every == 0
+                || epoch + 1 == self.train.epochs
+            {
+                master_params
+                    .load_flat(&global_flat)
+                    .map_err(|e| DistError::Worker(e.to_string()))?;
+                let mut ga = FullGraphAccess::new(&train_graph);
+                let mut fa = FullFeatureAccess::new(&data.features);
+                let hits = evaluate_hits(
+                    &master_model,
+                    &master_params,
+                    &mut ga,
+                    &mut fa,
+                    &eval_sampler,
+                    &data.split.valid,
+                    &data.split.valid_neg,
+                    self.train.hits_k,
+                    &mut master_rng,
+                )
+                .map_err(|e| DistError::Eval(e.to_string()))?;
+                if hits > best.0 {
+                    best = (hits, global_flat.clone());
+                }
+                Some(hits)
+            } else {
+                None
+            };
+            epochs.push(EpochStats { epoch, mean_loss, valid_hits, comm_bytes });
+        }
+
+        master_params.load_flat(&best.1).map_err(|e| DistError::Worker(e.to_string()))?;
+        let mut ga = FullGraphAccess::new(&train_graph);
+        let mut fa = FullFeatureAccess::new(&data.features);
+        let test_hits = evaluate_hits(
+            &master_model,
+            &master_params,
+            &mut ga,
+            &mut fa,
+            &eval_sampler,
+            &data.split.test,
+            &data.split.test_neg,
+            self.train.hits_k,
+            &mut master_rng,
+        )
+        .map_err(|e| DistError::Eval(e.to_string()))?;
+
+        let comm = CommReport {
+            epoch_bytes: epochs.iter().map(|e| e.comm_bytes).collect(),
+            total_structure_bytes: setup.tracker.structure_bytes(),
+            total_feature_bytes: setup.tracker.feature_bytes(),
+        };
+        Ok(DistOutcome {
+            test_hits,
+            epochs,
+            comm,
+            partition_time: setup.partition_time,
+            sparsify_time: setup.sparsify_time,
+            failures,
+        })
+    }
+
+    /// One epoch with per-epoch model averaging. Workers run their local
+    /// batches in parallel threads; the averaged parameters become the new
+    /// global model.
+    fn epoch_model_averaging(
+        &self,
+        states: &mut [WorkerState],
+        sampler: &NeighborSampler,
+        global_flat: &mut Vec<f32>,
+        down: &[bool],
+    ) -> Result<f32, DistError> {
+        let batch_size = self.train.batch_size;
+        let flat: &Vec<f32> = global_flat;
+        let results: Vec<Result<Option<(Vec<f32>, f64, usize)>, String>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = states
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, state)| {
+                        let crashed = down.get(i).copied().unwrap_or(false);
+                        scope.spawn(move || -> Result<Option<(Vec<f32>, f64, usize)>, String> {
+                            if crashed {
+                                // A crashed worker does no work and is
+                                // excluded from the average; it reloads
+                                // the global model when it rejoins.
+                                return Ok(None);
+                            }
+                            state.params.load_flat(flat).map_err(|e| e.to_string())?;
+                            let negative_sampler = PerSourceNegativeSampler::new(
+                                state.data.negative_space.clone(),
+                            );
+                            let mut positives = state.data.positives.clone();
+                            positives.shuffle(&mut state.rng);
+                            let mut loss_sum = 0.0f64;
+                            let mut batches = 0usize;
+                            for chunk in positives.chunks(batch_size) {
+                                let mut view = state.data.view.clone();
+                                let mut feat_view = state.data.view.clone();
+                                let (loss, grads) = batch_grads(
+                                    &state.model,
+                                    &state.params,
+                                    &mut view,
+                                    &mut feat_view,
+                                    sampler,
+                                    &negative_sampler,
+                                    chunk,
+                                    &mut state.rng,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                state.opt.step(&mut state.params, &grads);
+                                loss_sum += loss as f64;
+                                batches += 1;
+                            }
+                            Ok(Some((state.params.to_flat(), loss_sum, batches)))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".to_string())))
+                    .collect()
+            });
+        let mut flats = Vec::with_capacity(states.len());
+        let mut loss_sum = 0.0f64;
+        let mut batch_count = 0usize;
+        for r in results {
+            if let Some((f, l, b)) = r.map_err(DistError::Worker)? {
+                flats.push(f);
+                loss_sum += l;
+                batch_count += b;
+            }
+        }
+        if !flats.is_empty() {
+            // If every worker is down the round is lost and the global
+            // model simply carries over.
+            *global_flat =
+                ParamSet::average_flat(&flats).map_err(|e| DistError::Worker(e.to_string()))?;
+        }
+        Ok((loss_sum / batch_count.max(1) as f64) as f32)
+    }
+
+    /// One epoch with synchronous per-batch gradient averaging (Algorithm
+    /// 1 lines 19–30). All workers advance in lockstep rounds; worker 0
+    /// applies the averaged gradient to the shared global parameters.
+    #[allow(clippy::too_many_arguments)]
+    fn epoch_gradient_averaging(
+        &self,
+        states: &mut [WorkerState],
+        sampler: &NeighborSampler,
+        master_params: &mut ParamSet,
+        master_opt: &mut Adam,
+        global_flat: &mut Vec<f32>,
+        down: &[bool],
+    ) -> Result<f32, DistError> {
+        let batch_size = self.train.batch_size;
+        let rounds = states
+            .iter()
+            .map(|s| s.data.positives.len().div_ceil(batch_size))
+            .max()
+            .unwrap_or(0);
+        let num_workers = states.len();
+        let barrier = Barrier::new(num_workers);
+        let slots: Mutex<Vec<Option<Vec<Tensor>>>> = Mutex::new(vec![None; num_workers]);
+        let shared_global = Mutex::new((std::mem::take(global_flat), master_params, master_opt));
+        let loss_acc = Mutex::new((0.0f64, 0usize));
+
+        let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .iter_mut()
+                .enumerate()
+                .map(|(i, state)| {
+                    let barrier = &barrier;
+                    let slots = &slots;
+                    let shared_global = &shared_global;
+                    let loss_acc = &loss_acc;
+                    let crashed = down.get(i).copied().unwrap_or(false);
+                    scope.spawn(move || -> Result<(), String> {
+                        let negative_sampler =
+                            PerSourceNegativeSampler::new(state.data.negative_space.clone());
+                        let mut positives = state.data.positives.clone();
+                        positives.shuffle(&mut state.rng);
+                        for round in 0..rounds {
+                            {
+                                let guard = shared_global.lock().expect("lock poisoned");
+                                state.params.load_flat(&guard.0).map_err(|e| e.to_string())?;
+                            }
+                            let start = round * batch_size;
+                            let grads = if !crashed && start < positives.len() {
+                                let end = (start + batch_size).min(positives.len());
+                                let mut view = state.data.view.clone();
+                                let mut feat_view = state.data.view.clone();
+                                let (loss, grads) = batch_grads(
+                                    &state.model,
+                                    &state.params,
+                                    &mut view,
+                                    &mut feat_view,
+                                    sampler,
+                                    &negative_sampler,
+                                    &positives[start..end],
+                                    &mut state.rng,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                let mut acc = loss_acc.lock().expect("lock poisoned");
+                                acc.0 += loss as f64;
+                                acc.1 += 1;
+                                grads
+                            } else {
+                                // Exhausted workers contribute zero
+                                // gradients to keep the average unbiased
+                                // towards still-active workers.
+                                (0..state.params.len())
+                                    .map(|p| {
+                                        let (r, c) = state.params.value(p).shape();
+                                        Tensor::zeros(r, c)
+                                    })
+                                    .collect()
+                            };
+                            slots.lock().expect("lock poisoned")[i] = Some(grads);
+                            barrier.wait();
+                            if i == 0 {
+                                let collected: Vec<Vec<Tensor>> = {
+                                    let mut guard = slots.lock().expect("lock poisoned");
+                                    guard.iter_mut().map(|g| g.take().expect("all set")).collect()
+                                };
+                                let avg =
+                                    average_grads(&collected).map_err(|e| e.to_string())?;
+                                let mut guard = shared_global.lock().expect("lock poisoned");
+                                let (flat, params, opt) = &mut *guard;
+                                params.load_flat(flat).map_err(|e| e.to_string())?;
+                                opt.step(params, &avg);
+                                *flat = params.to_flat();
+                            }
+                            barrier.wait();
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".to_string())))
+                .collect()
+        });
+        for r in results {
+            r.map_err(DistError::Worker)?;
+        }
+        *global_flat = shared_global.into_inner().expect("lock poisoned").0;
+        let (loss_sum, batches) = loss_acc.into_inner().expect("lock poisoned");
+        Ok((loss_sum / batches.max(1) as f64) as f32)
+    }
+
+    fn run_centralized(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
+        let out = train_centralized(kind, &data.graph, &data.features, &data.split, &self.train)
+            .map_err(|e| DistError::Worker(e.to_string()))?;
+        let epochs = out
+            .history
+            .losses
+            .iter()
+            .zip(&out.history.valid_hits)
+            .enumerate()
+            .map(|(epoch, (&mean_loss, &hits))| EpochStats {
+                epoch,
+                mean_loss,
+                valid_hits: Some(hits),
+                comm_bytes: 0,
+            })
+            .collect();
+        Ok(DistOutcome {
+            test_hits: out.test_hits,
+            epochs,
+            comm: CommReport::default(),
+            partition_time: Duration::ZERO,
+            sparsify_time: Duration::ZERO,
+            failures: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splpg_datasets::{DatasetSpec, Scale};
+
+    fn quick_train() -> TrainConfig {
+        TrainConfig {
+            layers: 2,
+            hidden: 8,
+            epochs: 2,
+            batch_size: 128,
+            fanouts: vec![Some(5), Some(5)],
+            hits_k: 20,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn tiny_data() -> Dataset {
+        DatasetSpec::cora().generate(Scale::new(0.05, 16), 5).unwrap()
+    }
+
+    #[test]
+    fn splpg_runs_and_meters_communication() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 2, strategy: Strategy::SpLpg, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(out.epochs.len(), 2);
+        assert!(out.comm.total_bytes() > 0, "SpLPG must transfer remote data");
+        assert!(out.sparsify_time > Duration::ZERO);
+        assert!(out.test_hits >= 0.0 && out.test_hits <= 1.0);
+    }
+
+    #[test]
+    fn psgd_pa_transfers_nothing() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 2, strategy: Strategy::PsgdPa, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(out.comm.total_bytes(), 0, "local-only training is free");
+    }
+
+    #[test]
+    fn splpg_cheaper_than_full_sharing() {
+        let data = tiny_data();
+        let run = |strategy| {
+            let dist = DistConfig { num_workers: 2, strategy, ..Default::default() };
+            DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap()
+        };
+        let splpg = run(Strategy::SpLpg);
+        let plus = run(Strategy::SpLpgPlus);
+        assert!(
+            splpg.comm.total_bytes() < plus.comm.total_bytes(),
+            "splpg {} >= splpg+ {}",
+            splpg.comm.total_bytes(),
+            plus.comm.total_bytes()
+        );
+    }
+
+    #[test]
+    fn gradient_averaging_runs() {
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 2,
+            strategy: Strategy::SpLpg,
+            sync: SyncMethod::GradientAveraging,
+            ..Default::default()
+        };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::Gcn, &data).unwrap();
+        assert!(out.epochs.iter().all(|e| e.mean_loss.is_finite()));
+    }
+
+    #[test]
+    fn llcg_correction_runs() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 2, strategy: Strategy::Llcg, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(out.comm.total_bytes(), 0);
+        assert!(out.test_hits.is_finite());
+    }
+
+    #[test]
+    fn centralized_through_same_interface() {
+        let data = tiny_data();
+        let dist =
+            DistConfig { num_workers: 1, strategy: Strategy::Centralized, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(out.comm.total_bytes(), 0);
+        assert_eq!(out.epochs.len(), 2);
+    }
+
+    #[test]
+    fn single_worker_distributed_rejected() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 1, strategy: Strategy::PsgdPa, ..Default::default() };
+        assert!(matches!(
+            DistTrainer::new(dist, quick_train()).run(ModelKind::Gcn, &data),
+            Err(DistError::InvalidConfig(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use splpg_datasets::{DatasetSpec, Scale};
+
+    fn quick_train() -> TrainConfig {
+        TrainConfig {
+            layers: 2,
+            hidden: 8,
+            epochs: 4,
+            batch_size: 128,
+            fanouts: vec![Some(5), Some(5)],
+            hits_k: 20,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn tiny_data() -> splpg_datasets::Dataset {
+        DatasetSpec::cora().generate(Scale::new(0.05, 16), 5).unwrap()
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let f = FaultConfig { failure_probability: 0.5, seed: 3 };
+        for w in 0..4 {
+            for e in 0..10 {
+                assert_eq!(f.is_down(w, e), f.is_down(w, e));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_roughly_matches_probability() {
+        let f = FaultConfig { failure_probability: 0.3, seed: 9 };
+        let down = (0..10_000).filter(|&e| f.is_down(0, e)).count();
+        assert!((2_500..3_500).contains(&down), "observed {down}/10000");
+    }
+
+    #[test]
+    fn training_survives_worker_failures() {
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 3,
+            strategy: Strategy::SpLpg,
+            faults: Some(FaultConfig { failure_probability: 0.4, seed: 7 }),
+            ..Default::default()
+        };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert!(!out.failures.is_empty(), "expected injected failures");
+        assert!(out.test_hits.is_finite());
+        assert!(out.epochs.iter().all(|e| e.mean_loss.is_finite()));
+    }
+
+    #[test]
+    fn training_survives_failures_under_gradient_averaging() {
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 2,
+            strategy: Strategy::PsgdPa,
+            sync: SyncMethod::GradientAveraging,
+            faults: Some(FaultConfig { failure_probability: 0.5, seed: 11 }),
+            ..Default::default()
+        };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::Gcn, &data).unwrap();
+        assert!(out.test_hits.is_finite());
+    }
+
+    #[test]
+    fn no_faults_means_no_failures_recorded() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 2, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn all_workers_down_carries_model_over() {
+        // probability 1.0 - eps: every epoch everyone is down; the global
+        // model must remain the initial one and training must not crash.
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 2,
+            strategy: Strategy::PsgdPa,
+            faults: Some(FaultConfig { failure_probability: 0.9999, seed: 1 }),
+            ..Default::default()
+        };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(out.failures.len(), 2 * quick_train().epochs);
+        assert!(out.test_hits.is_finite());
+    }
+}

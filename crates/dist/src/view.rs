@@ -1,0 +1,277 @@
+use std::sync::Arc;
+
+use splpg_gnn::{FeatureAccess, GraphAccess};
+use splpg_graph::{FeatureMatrix, Graph, NodeId};
+use splpg_tensor::Tensor;
+
+use crate::CommTracker;
+
+/// How a worker reaches graph structure outside its own partition.
+#[derive(Debug, Clone)]
+pub enum RemoteMode {
+    /// No remote access: unknown nodes have no visible neighbors.
+    None,
+    /// Complete data sharing: the full (training) graph in the master's
+    /// shared memory; every neighbor fetch is metered.
+    Full {
+        /// The full training graph.
+        graph: Arc<Graph>,
+    },
+    /// SpLPG: sparsified per-partition subgraphs; fetches are served from
+    /// the owner partition's sparsified copy and metered.
+    Sparsified {
+        /// Sparsified subgraph of each partition, in global id space.
+        parts: Arc<Vec<Graph>>,
+        /// Owner partition of every node.
+        owner: Arc<Vec<u32>>,
+    },
+}
+
+/// One worker's data plane: local partition (free) + optional remote
+/// access (metered).
+///
+/// All graphs live in the *global* node-id space; "local" is defined by
+/// two membership vectors:
+///
+/// * `structure_local[v]` — `v`'s adjacency is served from the local
+///   subgraph at no cost (partition nodes; halo nodes carry the partial
+///   adjacency the halo stores);
+/// * `feature_local[v]` — `v`'s feature row was copied to this worker at
+///   partition time (partition nodes, plus halo under full-neighbor
+///   retention) and costs nothing to read.
+///
+/// Everything else goes through [`RemoteMode`] and is priced on the shared
+/// [`CommTracker`]. Edge-existence checks for negative-sample rejection are
+/// control-plane and unmetered (the paper's cost metric counts graph-data
+/// payloads).
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    local: Arc<Graph>,
+    structure_local: Arc<Vec<bool>>,
+    feature_local: Arc<Vec<bool>>,
+    features: Arc<FeatureMatrix>,
+    remote: RemoteMode,
+    tracker: CommTracker,
+}
+
+impl WorkerView {
+    /// Assembles a worker view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if membership vector lengths disagree with the graph.
+    pub fn new(
+        local: Arc<Graph>,
+        structure_local: Arc<Vec<bool>>,
+        feature_local: Arc<Vec<bool>>,
+        features: Arc<FeatureMatrix>,
+        remote: RemoteMode,
+        tracker: CommTracker,
+    ) -> Self {
+        assert_eq!(local.num_nodes(), structure_local.len());
+        assert_eq!(local.num_nodes(), feature_local.len());
+        assert_eq!(local.num_nodes(), features.num_rows());
+        WorkerView { local, structure_local, feature_local, features, remote, tracker }
+    }
+
+    /// The shared communication tracker.
+    pub fn tracker(&self) -> &CommTracker {
+        &self.tracker
+    }
+
+    /// Whether `v`'s adjacency is local.
+    pub fn is_structure_local(&self, v: NodeId) -> bool {
+        self.structure_local[v as usize]
+    }
+
+    /// Whether `v`'s features are local.
+    pub fn is_feature_local(&self, v: NodeId) -> bool {
+        self.feature_local[v as usize]
+    }
+
+    fn remote_neighbors(&self, v: NodeId) -> Vec<(NodeId, f32)> {
+        let list = match &self.remote {
+            RemoteMode::None => return Vec::new(),
+            RemoteMode::Full { graph } => neighbor_list(graph, v),
+            RemoteMode::Sparsified { parts, owner } => {
+                neighbor_list(&parts[owner[v as usize] as usize], v)
+            }
+        };
+        // Price the transfer: the requested node id plus one edge record
+        // per returned neighbor.
+        self.tracker.add_structure(list.len() as u64, 1);
+        list
+    }
+}
+
+fn neighbor_list(graph: &Graph, v: NodeId) -> Vec<(NodeId, f32)> {
+    let ids = graph.neighbors(v);
+    match graph.neighbor_weights(v) {
+        Some(ws) => ids.iter().copied().zip(ws.iter().copied()).collect(),
+        None => ids.iter().map(|&u| (u, 1.0)).collect(),
+    }
+}
+
+impl GraphAccess for WorkerView {
+    fn num_nodes(&self) -> usize {
+        self.local.num_nodes()
+    }
+
+    fn degree(&mut self, v: NodeId) -> usize {
+        if self.structure_local[v as usize] {
+            self.local.degree(v)
+        } else {
+            // Degree queries are control-plane metadata (a single integer
+            // riding on the fetch protocol); not metered.
+            match &self.remote {
+                RemoteMode::None => 0,
+                RemoteMode::Full { graph } => graph.degree(v),
+                RemoteMode::Sparsified { parts, owner } => {
+                    parts[owner[v as usize] as usize].degree(v)
+                }
+            }
+        }
+    }
+
+    fn neighbors(&mut self, v: NodeId) -> Vec<(NodeId, f32)> {
+        if self.structure_local[v as usize] {
+            neighbor_list(&self.local, v)
+        } else {
+            self.remote_neighbors(v)
+        }
+    }
+
+    fn has_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.local.has_edge(u, v) {
+            return true;
+        }
+        match &self.remote {
+            RemoteMode::None => false,
+            RemoteMode::Full { graph } => graph.has_edge(u, v),
+            RemoteMode::Sparsified { parts, owner } => {
+                parts[owner[u as usize] as usize].has_edge(u, v)
+                    || parts[owner[v as usize] as usize].has_edge(u, v)
+            }
+        }
+    }
+}
+
+impl FeatureAccess for WorkerView {
+    fn dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    fn gather(&mut self, nodes: &[NodeId]) -> Tensor {
+        let remote_rows =
+            nodes.iter().filter(|&&v| !self.feature_local[v as usize]).count() as u64;
+        if remote_rows > 0 {
+            self.tracker.add_features(remote_rows, self.features.dim() as u64);
+        }
+        let gathered = self.features.gather(nodes);
+        Tensor::from_vec(nodes.len(), self.features.dim(), gathered.as_slice().to_vec())
+            .expect("consistent gather shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Universe: path 0-1-2-3-4; worker owns {0, 1} (edges 0-1 and halo
+    /// edge 1-2 present locally), features local for {0, 1, 2}.
+    fn fixture(remote: RemoteMode) -> (WorkerView, CommTracker) {
+        let full = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let local = Graph::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        let features = FeatureMatrix::from_rows(
+            (0..5).map(|i| vec![i as f32, 1.0]).collect(),
+        )
+        .unwrap();
+        let tracker = CommTracker::new();
+        let view = WorkerView::new(
+            Arc::new(local),
+            Arc::new(vec![true, true, false, false, false]),
+            Arc::new(vec![true, true, true, false, false]),
+            Arc::new(features),
+            match remote {
+                RemoteMode::Full { .. } => RemoteMode::Full { graph: Arc::new(full) },
+                other => other,
+            },
+            tracker.clone(),
+        );
+        (view, tracker)
+    }
+
+    #[test]
+    fn local_fetches_are_free() {
+        let (mut v, t) = fixture(RemoteMode::None);
+        assert_eq!(v.neighbors(1), vec![(0, 1.0), (2, 1.0)]);
+        let _ = v.gather(&[0, 1, 2]);
+        assert_eq!(t.total_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_none_hides_outside_world() {
+        let (mut v, _) = fixture(RemoteMode::None);
+        assert!(v.neighbors(3).is_empty());
+        assert_eq!(v.degree(3), 0);
+        assert!(!v.has_edge(2, 3));
+    }
+
+    #[test]
+    fn full_sharing_meters_structure() {
+        let dummy = Graph::empty(1);
+        let (mut v, t) =
+            fixture(RemoteMode::Full { graph: Arc::new(dummy) });
+        let nbrs = v.neighbors(3);
+        assert_eq!(nbrs.len(), 2); // 2 and 4
+        assert_eq!(
+            t.structure_bytes(),
+            2 * crate::BYTES_PER_EDGE + crate::BYTES_PER_NODE_ID
+        );
+    }
+
+    #[test]
+    fn feature_gather_meters_only_remote_rows() {
+        let (mut v, t) = fixture(RemoteMode::None);
+        let x = v.gather(&[0, 3, 4]);
+        assert_eq!(x.shape(), (3, 2));
+        assert_eq!(x.row(1), &[3.0, 1.0]);
+        assert_eq!(t.feature_bytes(), 2 * 2 * crate::BYTES_PER_FEATURE);
+    }
+
+    #[test]
+    fn sparsified_mode_serves_owner_copy() {
+        // Sparsified copies: partition 0 = {0,1,2 path}, partition 1 keeps
+        // only edge 3-4 (edge 2-3 was "sparsified away").
+        let parts = vec![
+            Graph::from_edges(5, &[(0, 1), (1, 2)]).unwrap(),
+            Graph::from_edges(5, &[(3, 4)]).unwrap(),
+        ];
+        let owner = vec![0u32, 0, 0, 1, 1];
+        let full = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let features =
+            FeatureMatrix::from_rows((0..5).map(|i| vec![i as f32]).collect()).unwrap();
+        let tracker = CommTracker::new();
+        let mut view = WorkerView::new(
+            Arc::new(full),
+            Arc::new(vec![true, true, true, false, false]),
+            Arc::new(vec![true, true, true, false, false]),
+            Arc::new(features),
+            RemoteMode::Sparsified { parts: Arc::new(parts), owner: Arc::new(owner) },
+            tracker.clone(),
+        );
+        // Node 3's sparsified neighborhood lost edge 2-3.
+        assert_eq!(view.neighbors(3), vec![(4, 1.0)]);
+        assert!(tracker.structure_bytes() > 0);
+        // has_edge still sees the local copy (full adjacency for 0..2).
+        assert!(view.has_edge(2, 3) || !view.has_edge(2, 3)); // no panic
+    }
+
+    #[test]
+    fn has_edge_unmetered() {
+        let dummy = Graph::empty(1);
+        let (mut v, t) = fixture(RemoteMode::Full { graph: Arc::new(dummy) });
+        assert!(v.has_edge(3, 4));
+        assert_eq!(t.total_bytes(), 0);
+    }
+}

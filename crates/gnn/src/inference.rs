@@ -1,0 +1,189 @@
+//! Full-graph inference: compute embeddings for *every* node with one
+//! layered pass instead of per-seed sampling.
+//!
+//! Evaluation repeatedly scores held-out edges; sampling a fresh
+//! computational graph per edge chunk recomputes shared neighborhoods many
+//! times. For full-neighbor evaluation the layered pass is equivalent and
+//! asymptotically cheaper: layer `k` is computed once for all nodes, then
+//! reused (what DGL calls "offline inference").
+
+use splpg_graph::{Edge, Graph, NodeId};
+use splpg_nn::ParamSet;
+use splpg_tensor::{Tape, Tensor};
+
+use crate::{Block, EdgePredictor, GnnModel, LinkPredictor};
+
+/// Builds the single full-graph block (every node is both src and dst,
+/// every edge present in both directions, plus recorded degrees).
+fn full_block(graph: &Graph) -> Block {
+    let n = graph.num_nodes();
+    let mut edge_src = Vec::with_capacity(2 * graph.num_edges());
+    let mut edge_dst = Vec::with_capacity(2 * graph.num_edges());
+    let mut edge_weight = Vec::with_capacity(2 * graph.num_edges());
+    for v in 0..n as NodeId {
+        let nbrs = graph.neighbors(v);
+        match graph.neighbor_weights(v) {
+            Some(ws) => {
+                for (&u, &w) in nbrs.iter().zip(ws) {
+                    edge_src.push(u);
+                    edge_dst.push(v);
+                    edge_weight.push(w);
+                }
+            }
+            None => {
+                for &u in nbrs {
+                    edge_src.push(u);
+                    edge_dst.push(v);
+                    edge_weight.push(1.0);
+                }
+            }
+        }
+    }
+    Block {
+        src_ids: (0..n as NodeId).collect(),
+        num_dst: n,
+        edge_src,
+        edge_dst,
+        edge_weight,
+        src_degree: (0..n as NodeId).map(|v| graph.degree(v) as f32).collect(),
+    }
+}
+
+/// Computes the `[num_nodes, output_dim]` embedding matrix of every node
+/// under full neighborhoods (evaluation mode, no dropout).
+///
+/// Equivalent to running the model with a full-neighbor sampler seeded at
+/// every node at once.
+pub fn infer_all_embeddings(
+    model: &dyn GnnModel,
+    params: &ParamSet,
+    graph: &Graph,
+    features: &Tensor,
+) -> Tensor {
+    let block = full_block(graph);
+    let blocks = vec![block; model.num_layers()];
+    let mut tape = Tape::new();
+    let binding = params.bind(&mut tape);
+    let x = tape.leaf(features.clone());
+    let out = model.forward(&mut tape, &binding, x, &blocks, None);
+    tape.value(out).clone()
+}
+
+/// Scores `edges` from a precomputed embedding matrix.
+pub fn score_from_embeddings(
+    predictor: &EdgePredictor,
+    params: &ParamSet,
+    embeddings: &Tensor,
+    edges: &[Edge],
+) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let binding = params.bind(&mut tape);
+    let emb = tape.leaf(embeddings.clone());
+    let us: Vec<u32> = edges.iter().map(|e| e.src).collect();
+    let vs: Vec<u32> = edges.iter().map(|e| e.dst).collect();
+    let h_u = tape.gather_rows(emb, &us);
+    let h_v = tape.gather_rows(emb, &vs);
+    let logits = predictor.score(&mut tape, &binding, h_u, h_v);
+    tape.value(logits).data().to_vec()
+}
+
+/// Convenience: full-graph evaluation of a [`LinkPredictor`].
+pub fn score_edges_full_graph(
+    model: &LinkPredictor,
+    params: &ParamSet,
+    graph: &Graph,
+    features: &Tensor,
+    edges: &[Edge],
+) -> Vec<f32> {
+    let embeddings = infer_all_embeddings(model.gnn(), params, graph, features);
+    score_from_embeddings(model.predictor(), params, &embeddings, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{ModelKind, TrainConfig};
+    use crate::{FullFeatureAccess, FullGraphAccess, NeighborSampler};
+    use rand::SeedableRng;
+    use splpg_graph::FeatureMatrix;
+
+    fn fixture() -> (Graph, FeatureMatrix) {
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (1, 5)],
+        )
+        .unwrap();
+        let f = FeatureMatrix::from_rows(
+            (0..8).map(|i| (0..4).map(|d| ((i + d) % 3) as f32 - 1.0).collect()).collect(),
+        )
+        .unwrap();
+        (g, f)
+    }
+
+    fn feature_tensor(f: &FeatureMatrix) -> Tensor {
+        Tensor::from_vec(f.num_rows(), f.dim(), f.as_slice().to_vec()).unwrap()
+    }
+
+    #[test]
+    fn full_block_is_symmetric_and_complete() {
+        let (g, _) = fixture();
+        let b = full_block(&g);
+        b.validate().unwrap();
+        assert_eq!(b.num_src(), 8);
+        assert_eq!(b.num_edges(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn matches_sampled_full_neighbor_evaluation() {
+        // The layered full-graph pass must agree with the per-seed
+        // full-neighbor sampler exactly (both see complete neighborhoods).
+        let (g, f) = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let config = TrainConfig { layers: 2, hidden: 8, ..TrainConfig::default() };
+        let mut params = ParamSet::new();
+        let model = config.build_model(ModelKind::Gcn, f.dim(), &mut params, &mut rng);
+        let edges = vec![Edge::new(0, 3), Edge::new(2, 6), Edge::new(1, 7)];
+
+        let fast = score_edges_full_graph(&model, &params, &g, &feature_tensor(&f), &edges);
+
+        let mut ga = FullGraphAccess::new(&g);
+        let mut fa = FullFeatureAccess::new(&f);
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let slow = crate::trainer::score_edges(
+            &model,
+            &params,
+            &mut ga,
+            &mut fa,
+            &NeighborSampler::full(2),
+            &edges,
+            &mut r,
+        );
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-4, "full-graph {a} vs sampled {b}");
+        }
+    }
+
+    #[test]
+    fn embeddings_shape() {
+        let (g, f) = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let config = TrainConfig { layers: 2, hidden: 6, ..TrainConfig::default() };
+        let mut params = ParamSet::new();
+        let model = config.build_model(ModelKind::GraphSage, f.dim(), &mut params, &mut rng);
+        let emb = infer_all_embeddings(model.gnn(), &params, &g, &feature_tensor(&f));
+        assert_eq!(emb.shape(), (8, 6));
+    }
+
+    #[test]
+    fn works_for_every_architecture() {
+        let (g, f) = fixture();
+        for kind in ModelKind::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let config = TrainConfig { layers: 2, hidden: 4, ..TrainConfig::default() };
+            let mut params = ParamSet::new();
+            let model = config.build_model(kind, f.dim(), &mut params, &mut rng);
+            let emb = infer_all_embeddings(model.gnn(), &params, &g, &feature_tensor(&f));
+            assert!(emb.data().iter().all(|v| v.is_finite()), "{kind} produced non-finite");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! GNN model implementations: GCN, GraphSAGE, GAT, GATv2.
+//!
+//! Every model implements [`GnnModel`]: a layered forward pass over
+//! message-flow [`Block`]s following the neighborhood-aggregation update of
+//! Eq. (1) in the paper. Models register their parameters in a shared
+//! [`splpg_nn::ParamSet`], so the distributed engine can flatten/average
+//! them uniformly.
+
+mod gat;
+mod gcn;
+mod gin;
+mod sage;
+
+pub use gat::{Gat, GatV2};
+pub use gcn::Gcn;
+pub use gin::Gin;
+pub use sage::GraphSage;
+
+use rand::RngCore;
+use splpg_nn::Binding;
+use splpg_tensor::{Tape, Var};
+
+use crate::Block;
+
+/// A layered GNN encoder producing seed-node embeddings from block input
+/// features.
+pub trait GnnModel {
+    /// Number of message-passing layers (blocks consumed per forward).
+    fn num_layers(&self) -> usize;
+
+    /// Embedding dimensionality of the output.
+    fn output_dim(&self) -> usize;
+
+    /// Runs the forward pass.
+    ///
+    /// `input` must be the `[num_input_nodes, in_dim]` features of
+    /// `blocks[0].src_ids`; the result is `[num_seeds, output_dim]` for the
+    /// last block's dst prefix. `dropout_rng` enables dropout (training
+    /// mode) when provided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len() != num_layers()` or shapes are inconsistent.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        input: Var,
+        blocks: &[Block],
+        dropout_rng: Option<&mut dyn RngCore>,
+    ) -> Var;
+}
+
+/// Appends a self-loop edge `(i -> i)` for every destination to the block's
+/// edge lists. GCN/GAT-style layers need each node to attend to itself;
+/// the dst prefix property guarantees `i` is a valid source index.
+///
+/// Returns `(edge_src, edge_dst, edge_weight)` with self-loops of weight 1.
+pub(crate) fn with_self_loops(block: &Block) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let extra = block.num_dst;
+    let mut src = Vec::with_capacity(block.edge_src.len() + extra);
+    let mut dst = Vec::with_capacity(src.capacity());
+    let mut w = Vec::with_capacity(src.capacity());
+    src.extend_from_slice(&block.edge_src);
+    dst.extend_from_slice(&block.edge_dst);
+    w.extend_from_slice(&block.edge_weight);
+    for i in 0..extra as u32 {
+        src.push(i);
+        dst.push(i);
+        w.push(1.0);
+    }
+    (src, dst, w)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use splpg_graph::NodeId;
+
+    use crate::Block;
+
+    /// A tiny two-layer batch over a path 0-1-2 seeded at node 0.
+    pub fn path_batch() -> crate::MiniBatch {
+        // Layer 2 (output): seeds {0}, srcs {0, 1}.
+        let b2 = Block {
+            src_ids: vec![0, 1],
+            num_dst: 1,
+            edge_src: vec![1],
+            edge_dst: vec![0],
+            edge_weight: vec![1.0],
+            src_degree: vec![1.0, 2.0],
+        };
+        // Layer 1 (input): dsts {0, 1}, srcs {0, 1, 2}.
+        let b1 = Block {
+            src_ids: vec![0, 1, 2],
+            num_dst: 2,
+            edge_src: vec![1, 0, 2],
+            edge_dst: vec![0, 1, 1],
+            edge_weight: vec![1.0, 1.0, 1.0],
+            src_degree: vec![1.0, 2.0, 1.0],
+        };
+        let mb = crate::MiniBatch { blocks: vec![b1, b2], seeds: vec![0 as NodeId] };
+        mb.validate().unwrap();
+        mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_appended_per_dst() {
+        let batch = test_support::path_batch();
+        let b = &batch.blocks[0];
+        let (src, dst, w) = with_self_loops(b);
+        assert_eq!(src.len(), b.num_edges() + b.num_dst);
+        // The appended loops are (0,0) and (1,1) with weight 1.
+        assert_eq!(&src[b.num_edges()..], &[0, 1]);
+        assert_eq!(&dst[b.num_edges()..], &[0, 1]);
+        assert!(w[b.num_edges()..].iter().all(|&x| x == 1.0));
+    }
+}

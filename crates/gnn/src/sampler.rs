@@ -1,0 +1,219 @@
+use std::collections::HashMap;
+
+use rand::Rng;
+use splpg_graph::NodeId;
+
+use crate::{Block, GraphAccess, MiniBatch};
+
+/// Multi-layer neighbor sampler producing message-flow [`Block`]s.
+///
+/// `fanouts[h]` caps the neighbors drawn at hop `h + 1` from the seeds
+/// (`None` = full neighborhood). The paper's GraphSAGE setting samples
+/// 25/10/5 nodes from the first/second/third hop, i.e. `[Some(25),
+/// Some(10), Some(5)]`; its GCN uses full neighborhoods
+/// (`vec![None; 3]`, via [`NeighborSampler::full`]).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use splpg_graph::Graph;
+/// use splpg_gnn::{FullGraphAccess, NeighborSampler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(6, &[(0,1),(1,2),(2,3),(3,4),(4,5)])?;
+/// let mut access = FullGraphAccess::new(&g);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let sampler = NeighborSampler::full(2);
+/// let batch = sampler.sample(&mut access, &[0], &mut rng);
+/// assert_eq!(batch.blocks.len(), 2);
+/// assert_eq!(batch.seeds, vec![0]);
+/// batch.validate().unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborSampler {
+    fanouts: Vec<Option<usize>>,
+}
+
+impl NeighborSampler {
+    /// Sampler with explicit per-hop fanouts (hop 1 = adjacent to seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty.
+    pub fn new(fanouts: Vec<Option<usize>>) -> Self {
+        assert!(!fanouts.is_empty(), "at least one layer required");
+        NeighborSampler { fanouts }
+    }
+
+    /// Full-neighborhood sampler with `layers` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn full(layers: usize) -> Self {
+        Self::new(vec![None; layers])
+    }
+
+    /// The paper's GraphSAGE fanouts: 25, 10, 5 for hops 1, 2, 3.
+    pub fn paper_sage() -> Self {
+        Self::new(vec![Some(25), Some(10), Some(5)])
+    }
+
+    /// Number of layers (= blocks produced).
+    pub fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Samples a mini-batch of blocks for `seeds`.
+    ///
+    /// Duplicate seeds are collapsed. Blocks are returned input-side first,
+    /// so `batch.blocks[0].src_ids` lists the nodes whose features must be
+    /// materialized.
+    pub fn sample<A: GraphAccess, R: Rng + ?Sized>(
+        &self,
+        access: &mut A,
+        seeds: &[NodeId],
+        rng: &mut R,
+    ) -> MiniBatch {
+        let mut unique_seeds: Vec<NodeId> = Vec::new();
+        let mut seen: HashMap<NodeId, u32> = HashMap::new();
+        for &s in seeds {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(s) {
+                e.insert(unique_seeds.len() as u32);
+                unique_seeds.push(s);
+            }
+        }
+
+        // Build from the output side (hop 1) towards the input.
+        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
+        let mut frontier = unique_seeds.clone();
+        for &fanout in &self.fanouts {
+            let num_dst = frontier.len();
+            let mut src_ids = frontier.clone();
+            let mut src_index: HashMap<NodeId, u32> =
+                src_ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let mut edge_src = Vec::new();
+            let mut edge_dst = Vec::new();
+            let mut edge_weight = Vec::new();
+            for (dst_idx, &dst) in frontier.iter().enumerate() {
+                for (nbr, w) in access.sample_neighbors(dst, fanout, rng) {
+                    let src_idx = *src_index.entry(nbr).or_insert_with(|| {
+                        src_ids.push(nbr);
+                        (src_ids.len() - 1) as u32
+                    });
+                    edge_src.push(src_idx);
+                    edge_dst.push(dst_idx as u32);
+                    edge_weight.push(w);
+                }
+            }
+            let src_degree = src_ids.iter().map(|&v| access.degree(v) as f32).collect();
+            blocks_rev.push(Block {
+                src_ids: src_ids.clone(),
+                num_dst,
+                edge_src,
+                edge_dst,
+                edge_weight,
+                src_degree,
+            });
+            frontier = src_ids;
+        }
+        blocks_rev.reverse();
+        MiniBatch { blocks: blocks_rev, seeds: unique_seeds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FullGraphAccess;
+    use rand::SeedableRng;
+    use splpg_graph::Graph;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    fn star_plus_path() -> Graph {
+        // Node 0 is a hub over 1..=10; path 10-11-12.
+        let mut edges: Vec<(NodeId, NodeId)> = (1..=10).map(|i| (0, i)).collect();
+        edges.push((10, 11));
+        edges.push((11, 12));
+        Graph::from_edges(13, &edges).unwrap()
+    }
+
+    #[test]
+    fn full_sampler_covers_khop() {
+        let g = star_plus_path();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::full(2).sample(&mut a, &[12], &mut rng());
+        batch.validate().unwrap();
+        // 2 hops from 12: {12, 11, 10}.
+        let mut input: Vec<NodeId> = batch.input_nodes().to_vec();
+        input.sort_unstable();
+        assert_eq!(input, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn fanout_caps_neighbors() {
+        let g = star_plus_path();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::new(vec![Some(3)]).sample(&mut a, &[0], &mut rng());
+        batch.validate().unwrap();
+        assert_eq!(batch.blocks[0].num_edges(), 3);
+    }
+
+    #[test]
+    fn duplicate_seeds_collapse() {
+        let g = star_plus_path();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::full(1).sample(&mut a, &[5, 5, 0, 5], &mut rng());
+        assert_eq!(batch.seeds, vec![5, 0]);
+        batch.validate().unwrap();
+    }
+
+    #[test]
+    fn blocks_chain_correctly() {
+        let g = star_plus_path();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::full(3).sample(&mut a, &[12, 0], &mut rng());
+        batch.validate().unwrap();
+        assert_eq!(batch.blocks.len(), 3);
+        // The last block's dst prefix is the seeds.
+        assert_eq!(batch.blocks[2].dst_ids(), &[12, 0]);
+    }
+
+    #[test]
+    fn isolated_seed_yields_empty_edges() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::full(2).sample(&mut a, &[2], &mut rng());
+        batch.validate().unwrap();
+        assert_eq!(batch.total_edges(), 0);
+        assert_eq!(batch.input_nodes(), &[2]);
+    }
+
+    #[test]
+    fn degrees_recorded_for_all_srcs() {
+        let g = star_plus_path();
+        let mut a = FullGraphAccess::new(&g);
+        let batch = NeighborSampler::full(1).sample(&mut a, &[11], &mut rng());
+        let b = &batch.blocks[0];
+        for (i, &v) in b.src_ids.iter().enumerate() {
+            assert_eq!(b.src_degree[i], g.degree(v) as f32);
+        }
+    }
+
+    #[test]
+    fn paper_sage_shape() {
+        let s = NeighborSampler::paper_sage();
+        assert_eq!(s.num_layers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_fanouts_panic() {
+        let _ = NeighborSampler::new(vec![]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on samplers, negative sampling and metrics.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use splpg_gnn::{
+    metrics, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler,
+};
+use splpg_graph::{Graph, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
+            1..4 * n,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_batches_always_validate(
+        (n, edges) in arb_graph(),
+        seed in 0u64..500,
+        layers in 1usize..4,
+        fanout in proptest::option::of(1usize..6),
+    ) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let seeds: Vec<NodeId> = (0..4).map(|i| (i * 7 % n) as NodeId).collect();
+        let sampler = NeighborSampler::new(vec![fanout; layers]);
+        let mut access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        batch.validate().unwrap();
+        prop_assert_eq!(batch.blocks.len(), layers);
+    }
+
+    #[test]
+    fn fanout_limits_per_destination_edges(
+        (n, edges) in arb_graph(),
+        seed in 0u64..500,
+        fanout in 1usize..5,
+    ) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let seeds: Vec<NodeId> = (0..n.min(6)).map(|i| i as NodeId).collect();
+        let sampler = NeighborSampler::new(vec![Some(fanout)]);
+        let mut access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        let block = &batch.blocks[0];
+        let mut per_dst = vec![0usize; block.num_dst];
+        for &d in &block.edge_dst {
+            per_dst[d as usize] += 1;
+        }
+        prop_assert!(per_dst.iter().all(|&c| c <= fanout));
+    }
+
+    #[test]
+    fn block_edges_exist_in_graph((n, edges) in arb_graph(), seed in 0u64..500) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let seeds: Vec<NodeId> = vec![0, (n / 2) as NodeId];
+        let sampler = NeighborSampler::full(2);
+        let mut access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        for block in &batch.blocks {
+            for (&s, &d) in block.edge_src.iter().zip(&block.edge_dst) {
+                let gs = block.src_ids[s as usize];
+                let gd = block.src_ids[d as usize];
+                prop_assert!(g.has_edge(gs, gd), "block edge {gs}-{gd} not in graph");
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_never_collide_with_edges((n, edges) in arb_graph(), seed in 0u64..500) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        prop_assume!(g.num_edges() > 0);
+        // Skip sources connected to everything.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sampler = PerSourceNegativeSampler::global(n);
+        let mut access = FullGraphAccess::new(&g);
+        for v in 0..(n as NodeId).min(8) {
+            if g.degree(v) + 1 >= n {
+                continue;
+            }
+            if let Ok(d) = sampler.sample_destination(&mut access, v, &mut rng) {
+                prop_assert!(!g.has_edge(v, d));
+                prop_assert_ne!(d, v);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_is_monotone_in_k(
+        pos in proptest::collection::vec(-5.0f32..5.0, 1..40),
+        neg in proptest::collection::vec(-5.0f32..5.0, 2..60),
+    ) {
+        let h1 = metrics::hits_at_k(&pos, &neg, 1).unwrap();
+        let h_mid = metrics::hits_at_k(&pos, &neg, neg.len() / 2 + 1).unwrap();
+        let h_all = metrics::hits_at_k(&pos, &neg, neg.len()).unwrap();
+        prop_assert!(h1 <= h_mid + 1e-12);
+        prop_assert!(h_mid <= h_all + 1e-12);
+    }
+
+    #[test]
+    fn auc_and_mrr_bounded(
+        pos in proptest::collection::vec(-5.0f32..5.0, 1..30),
+        neg in proptest::collection::vec(-5.0f32..5.0, 1..30),
+    ) {
+        let a = metrics::auc(&pos, &neg).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+        let m = metrics::mrr(&pos, &neg).unwrap();
+        prop_assert!(m > 0.0 && m <= 1.0);
+    }
+
+    #[test]
+    fn shifting_all_scores_preserves_metrics(
+        pos in proptest::collection::vec(-2.0f32..2.0, 1..20),
+        neg in proptest::collection::vec(-2.0f32..2.0, 2..30),
+        shift in -3.0f32..3.0,
+    ) {
+        // Rank metrics are invariant to monotone transforms.
+        let pos2: Vec<f32> = pos.iter().map(|&x| x + shift).collect();
+        let neg2: Vec<f32> = neg.iter().map(|&x| x + shift).collect();
+        let a1 = metrics::auc(&pos, &neg).unwrap();
+        let a2 = metrics::auc(&pos2, &neg2).unwrap();
+        prop_assert!((a1 - a2).abs() < 1e-9);
+        let h1 = metrics::hits_at_k(&pos, &neg, 2).unwrap();
+        let h2 = metrics::hits_at_k(&pos2, &neg2, 2).unwrap();
+        prop_assert!((h1 - h2).abs() < 1e-9);
+    }
+}

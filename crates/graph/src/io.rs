@@ -1,0 +1,203 @@
+//! Compact binary serialization for graphs and feature matrices.
+//!
+//! A hand-rolled, length-prefixed little-endian layout is used instead of a
+//! serde dependency to keep the public dependency surface minimal
+//! (C-STABLE). The format is versioned by a magic header.
+//!
+//! Layout (`SPLG` graphs): magic, version `u32`, `num_nodes u64`,
+//! `num_edges u64`, `weighted u8`, then `num_edges` records of
+//! `(src u32, dst u32[, weight f32])`. Features (`SPLF`): magic, version,
+//! `rows u64`, `dim u64`, then `rows * dim` `f32`s.
+
+use std::io::{Read, Write};
+
+use crate::{FeatureMatrix, Graph, GraphBuilder, GraphError};
+
+const GRAPH_MAGIC: &[u8; 4] = b"SPLG";
+const FEAT_MAGIC: &[u8; 4] = b"SPLF";
+const VERSION: u32 = 1;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), GraphError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), GraphError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+/// Serializes `graph` to `writer` in the `SPLG` binary format.
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates underlying I/O failures as [`GraphError::Io`].
+pub fn write_graph<W: Write>(mut writer: W, graph: &Graph) -> Result<(), GraphError> {
+    writer.write_all(GRAPH_MAGIC)?;
+    write_u32(&mut writer, VERSION)?;
+    write_u64(&mut writer, graph.num_nodes() as u64)?;
+    write_u64(&mut writer, graph.num_edges() as u64)?;
+    writer.write_all(&[graph.is_weighted() as u8])?;
+    for e in graph.edges() {
+        write_u32(&mut writer, e.src)?;
+        write_u32(&mut writer, e.dst)?;
+        if graph.is_weighted() {
+            let w = graph.edge_weight(e.src, e.dst).expect("edge listed");
+            writer.write_all(&w.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a graph previously written by [`write_graph`].
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidFormat`] on bad magic/version or malformed records;
+/// [`GraphError::Io`] on underlying read failures.
+pub fn read_graph<R: Read>(mut reader: R) -> Result<Graph, GraphError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != GRAPH_MAGIC {
+        return Err(GraphError::InvalidFormat("bad graph magic".to_string()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(GraphError::InvalidFormat(format!("unsupported version {version}")));
+    }
+    let num_nodes = read_u64(&mut reader)? as usize;
+    let num_edges = read_u64(&mut reader)? as usize;
+    let mut flag = [0u8; 1];
+    reader.read_exact(&mut flag)?;
+    let weighted = flag[0] != 0;
+    let mut b = GraphBuilder::with_capacity(num_nodes, num_edges);
+    for _ in 0..num_edges {
+        let src = read_u32(&mut reader)?;
+        let dst = read_u32(&mut reader)?;
+        if weighted {
+            let w = read_f32(&mut reader)?;
+            b.add_weighted_edge(src, dst, w)?;
+        } else {
+            b.add_edge(src, dst)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Serializes `features` to `writer` in the `SPLF` binary format.
+///
+/// # Errors
+///
+/// Propagates underlying I/O failures as [`GraphError::Io`].
+pub fn write_features<W: Write>(
+    mut writer: W,
+    features: &FeatureMatrix,
+) -> Result<(), GraphError> {
+    writer.write_all(FEAT_MAGIC)?;
+    write_u32(&mut writer, VERSION)?;
+    write_u64(&mut writer, features.num_rows() as u64)?;
+    write_u64(&mut writer, features.dim() as u64)?;
+    for &v in features.as_slice() {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a feature matrix previously written by [`write_features`].
+///
+/// # Errors
+///
+/// [`GraphError::InvalidFormat`] on bad magic/version; [`GraphError::Io`] on
+/// underlying read failures.
+pub fn read_features<R: Read>(mut reader: R) -> Result<FeatureMatrix, GraphError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != FEAT_MAGIC {
+        return Err(GraphError::InvalidFormat("bad feature magic".to_string()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(GraphError::InvalidFormat(format!("unsupported version {version}")));
+    }
+    let rows = read_u64(&mut reader)? as usize;
+    let dim = read_u64(&mut reader)? as usize;
+    let mut data = Vec::with_capacity(rows * dim);
+    for _ in 0..rows * dim {
+        data.push(read_f32(&mut reader)?);
+    }
+    FeatureMatrix::from_flat(rows, dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_round_trip_unweighted() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5), (1, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn graph_round_trip_weighted() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 0.25).unwrap();
+        b.add_weighted_edge(1, 2, 4.0).unwrap();
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.edge_weight(0, 1), Some(0.25));
+        assert_eq!(g2.edge_weight(1, 2), Some(4.0));
+    }
+
+    #[test]
+    fn features_round_trip() {
+        let x = FeatureMatrix::from_rows(vec![vec![1.0, -2.0], vec![0.5, 3.25]]).unwrap();
+        let mut buf = Vec::new();
+        write_features(&mut buf, &x).unwrap();
+        let x2 = read_features(buf.as_slice()).unwrap();
+        assert_eq!(x, x2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE____________".to_vec();
+        assert!(matches!(read_graph(buf.as_slice()), Err(GraphError::InvalidFormat(_))));
+        assert!(matches!(read_features(buf.as_slice()), Err(GraphError::InvalidFormat(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(read_graph(buf.as_slice()), Err(GraphError::Io(_))));
+    }
+}

@@ -1,0 +1,282 @@
+//! Structural statistics used for dataset diagnostics and experiment
+//! reporting.
+//!
+//! The distributed-training pathologies the paper studies are functions of
+//! structure: degree skew decides what the effective-resistance scores look
+//! like, clustering decides how much METIS can localize, and coreness
+//! decides how much of the graph survives sparsification. These helpers
+//! quantify all three for the synthetic stand-in datasets.
+
+use std::collections::HashMap;
+
+use crate::{Graph, NodeId};
+
+/// Degree-distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Degree variance.
+    pub variance: f64,
+    /// Histogram as (degree, count), sorted by degree.
+    pub histogram: Vec<(usize, usize)>,
+}
+
+/// Computes the degree distribution of `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use splpg_graph::{degree_stats, Graph};
+/// # fn main() -> Result<(), splpg_graph::GraphError> {
+/// let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])?;
+/// let s = degree_stats(&g);
+/// assert_eq!(s.max, 3);
+/// assert_eq!(s.mean, 1.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            variance: 0.0,
+            histogram: Vec::new(),
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n as NodeId).map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let variance =
+        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let mut hist: HashMap<usize, usize> = HashMap::new();
+    for &d in &degrees {
+        *hist.entry(d).or_insert(0) += 1;
+    }
+    let mut histogram: Vec<(usize, usize)> = hist.into_iter().collect();
+    histogram.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median: degrees[n / 2],
+        variance,
+        histogram,
+    }
+}
+
+/// Local clustering coefficient of node `v`: the fraction of its neighbor
+/// pairs that are themselves connected. Nodes of degree < 2 have
+/// coefficient 0.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn local_clustering(graph: &Graph, v: NodeId) -> f64 {
+    let nbrs = graph.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if graph.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Mean local clustering coefficient over all nodes (0.0 for an empty
+/// graph). O(sum of deg²) — fine at the experiment scales; sample nodes
+/// yourself for very large graphs.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n as NodeId).map(|v| local_clustering(graph, v)).sum::<f64>() / n as f64
+}
+
+/// K-core decomposition: returns each node's core number (the largest `k`
+/// such that the node belongs to a subgraph of minimum degree `k`), via
+/// the standard peeling algorithm in O(|E|).
+pub fn core_numbers(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut degree: Vec<usize> = (0..n as NodeId).map(|v| graph.degree(v)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0 as NodeId; n];
+    {
+        let mut cursor = bins.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = cursor[d];
+            order[cursor[d]] = v as NodeId;
+            cursor[d] += 1;
+        }
+    }
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = order[i];
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v as usize] {
+                // Move u one bucket down: swap with the first node of its
+                // current bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w as usize {
+                    order.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+        core[v as usize] = degree[v as usize];
+    }
+    core
+}
+
+/// Complete structural summary (handy for experiment logs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Degree statistics.
+    pub degrees: DegreeStats,
+    /// Mean local clustering coefficient.
+    pub clustering: f64,
+    /// Maximum core number (degeneracy).
+    pub degeneracy: usize,
+    /// Connected-component count.
+    pub components: usize,
+}
+
+/// Computes a [`GraphSummary`].
+pub fn summarize(graph: &Graph) -> GraphSummary {
+    let (_, components) = crate::connected_components(graph);
+    let core = core_numbers(graph);
+    GraphSummary {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        degrees: degree_stats(graph),
+        clustering: average_clustering(graph),
+        degeneracy: core.into_iter().max().unwrap_or(0),
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 with tail 2-3-4.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn degree_stats_basics() {
+        let g = triangle_plus_tail();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.histogram, vec![(1, 1), (2, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::empty(0);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_nodes() {
+        let g = triangle_plus_tail();
+        assert_eq!(local_clustering(&g, 0), 1.0); // both nbrs connected
+        assert_eq!(local_clustering(&g, 4), 0.0); // degree 1
+        // Node 2: neighbors {0, 1, 3}; only (0,1) closed of 3 pairs.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_clustering_range() {
+        let g = triangle_plus_tail();
+        let c = average_clustering(&g);
+        assert!(c > 0.0 && c < 1.0);
+        // Complete graph has clustering exactly 1.
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(average_clustering(&k4), 1.0);
+    }
+
+    #[test]
+    fn core_numbers_on_known_graph() {
+        let g = triangle_plus_tail();
+        let core = core_numbers(&g);
+        // Triangle nodes form a 2-core; tail nodes peel at 1.
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+        assert_eq!(core[4], 1);
+    }
+
+    #[test]
+    fn core_numbers_complete_graph() {
+        let k5: Vec<(NodeId, NodeId)> =
+            (0..5).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))).collect();
+        let g = Graph::from_edges(5, &k5).unwrap();
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let g = triangle_plus_tail();
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.degeneracy, 2);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn isolated_nodes_counted_as_components() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.degeneracy, 1);
+    }
+}

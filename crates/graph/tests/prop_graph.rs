@@ -1,0 +1,91 @@
+//! Property-based tests on the CSR graph invariants.
+
+use proptest::prelude::*;
+use splpg_graph::{read_graph, write_graph, Graph, GraphBuilder, InducedSubgraph, NodeId};
+
+/// Strategy: a random simple graph as (num_nodes, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
+            0..120,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_graph_always_validates((n, edges) in arb_graph()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn handshake_lemma((n, edges) in arb_graph()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let degree_sum: usize = (0..n as NodeId).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn has_edge_matches_edge_list((n, edges) in arb_graph()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        for e in g.edges() {
+            prop_assert!(g.has_edge(e.src, e.dst));
+            prop_assert!(g.has_edge(e.dst, e.src));
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips((n, edges) in arb_graph()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn induced_subgraph_edges_subset((n, edges) in arb_graph(), pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..10)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let nodes: Vec<NodeId> = pick.iter().map(|i| i.index(n) as NodeId).collect();
+        let sub = InducedSubgraph::extract(&g, &nodes);
+        sub.graph.validate().unwrap();
+        for e in sub.graph.edges() {
+            let gu = sub.mapping.to_global(e.src);
+            let gv = sub.mapping.to_global(e.dst);
+            prop_assert!(g.has_edge(gu, gv));
+        }
+    }
+
+    #[test]
+    fn halo_preserves_core_degrees((n, edges) in arb_graph(), pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..8)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut core: Vec<NodeId> = pick.iter().map(|i| i.index(n) as NodeId).collect();
+        core.sort_unstable();
+        core.dedup();
+        let sub = InducedSubgraph::extract_with_halo(&g, &core);
+        sub.graph.validate().unwrap();
+        for &c in &core {
+            let local = sub.mapping.to_local(c).unwrap();
+            prop_assert_eq!(sub.graph.degree(local), g.degree(c),
+                "core node {} lost neighbors", c);
+        }
+    }
+
+    #[test]
+    fn weighted_duplicate_accumulation(
+        n in 2usize..20,
+        reps in 1usize..6,
+        w in 0.01f32..10.0,
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..reps {
+            b.add_weighted_edge(0, 1, w).unwrap();
+        }
+        let g = b.build();
+        let got = g.edge_weight(0, 1).unwrap();
+        prop_assert!((got - w * reps as f32).abs() < 1e-4 * reps as f32);
+    }
+}

@@ -1,0 +1,190 @@
+//! Johnson–Lindenstrauss approximation of all-pairs effective resistances
+//! — the algorithm Spielman & Srivastava actually propose for making their
+//! sparsifier nearly-linear-time.
+//!
+//! `r(u, v) = || W^{1/2} B L^+ (e_u - e_v) ||²` where `B` is the edge-node
+//! incidence matrix. Projecting the `m`-dimensional embedding with a
+//! random `k x m` ±1 matrix `Q` preserves all pairwise distances within
+//! `1 ± eps` for `k = O(log n / eps²)`; each row of `Z = Q W^{1/2} B L^+`
+//! costs one Laplacian solve.
+//!
+//! This estimator sits between the paper's degree bound (Theorem 2 —
+//! instant but loose) and exact per-pair CG solves (tight but `O(m)`
+//! solves): `k` solves give *every* pair's resistance at once.
+
+use rand::Rng;
+use splpg_graph::{Graph, NodeId};
+
+use crate::solver::{solve_laplacian, CgOptions};
+use crate::LinalgError;
+
+/// Precomputed JL sketch for effective-resistance queries.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use splpg_graph::Graph;
+/// use splpg_linalg::{effective_resistance, CgOptions, ResistanceEstimator};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let est = ResistanceEstimator::build(&g, 400, CgOptions::default(), &mut rng)?;
+/// let approx = est.estimate(0, 2);
+/// let exact = effective_resistance(&g, 0, 2, CgOptions::default())?;
+/// assert!((approx - exact).abs() / exact < 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResistanceEstimator {
+    /// `k` solution vectors, each of length `n`.
+    sketch: Vec<Vec<f64>>,
+}
+
+impl ResistanceEstimator {
+    /// Builds a sketch with `k` random projections (each one Laplacian
+    /// solve). Larger `k` tightens the estimate; `k ~ 24 ln n / eps^2`
+    /// gives the `1 ± eps` guarantee.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Disconnected`] for disconnected graphs;
+    /// * [`LinalgError::NoConvergence`] if a CG solve fails.
+    pub fn build<R: Rng + ?Sized>(
+        graph: &Graph,
+        k: usize,
+        options: CgOptions,
+        rng: &mut R,
+    ) -> Result<Self, LinalgError> {
+        let n = graph.num_nodes();
+        let scale = 1.0 / (k as f64).sqrt();
+        let mut sketch = Vec::with_capacity(k);
+        for _ in 0..k {
+            // y = B^T W^{1/2} q for a random q in {±1/sqrt(k)}^m.
+            let mut y = vec![0.0f64; n];
+            for e in graph.edges() {
+                let w = graph.edge_weight(e.src, e.dst).unwrap_or(1.0) as f64;
+                let q = if rng.gen::<bool>() { scale } else { -scale };
+                let contribution = w.sqrt() * q;
+                y[e.src as usize] += contribution;
+                y[e.dst as usize] -= contribution;
+            }
+            let out = solve_laplacian(graph, &y, options)?;
+            sketch.push(out.solution);
+        }
+        Ok(ResistanceEstimator { sketch })
+    }
+
+    /// Number of projections in the sketch.
+    pub fn dimensions(&self) -> usize {
+        self.sketch.len()
+    }
+
+    /// Estimated effective resistance between `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn estimate(&self, u: NodeId, v: NodeId) -> f64 {
+        self.sketch
+            .iter()
+            .map(|z| {
+                let d = z[u as usize] - z[v as usize];
+                d * d
+            })
+            .sum()
+    }
+
+    /// Estimated resistances for every edge of `graph`, in edge-list order
+    /// (the input the sparsifier's alias table wants).
+    pub fn edge_resistances(&self, graph: &Graph) -> Vec<f64> {
+        graph.edges().iter().map(|e| self.estimate(e.src, e.dst)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effective_resistance;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(23)
+    }
+
+    fn wheel(n: usize) -> Graph {
+        // Hub 0 plus an (n-1)-cycle: varied resistances.
+        let mut edges: Vec<(NodeId, NodeId)> = (1..n).map(|i| (0, i as NodeId)).collect();
+        for i in 1..n {
+            let j = if i + 1 < n { i + 1 } else { 1 };
+            edges.push((i as NodeId, j as NodeId));
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn estimates_match_exact_within_jl_tolerance() {
+        let g = wheel(12);
+        let est = ResistanceEstimator::build(&g, 600, CgOptions::default(), &mut rng()).unwrap();
+        for e in g.edges().iter().take(8) {
+            let exact = effective_resistance(&g, e.src, e.dst, CgOptions::default()).unwrap();
+            let approx = est.estimate(e.src, e.dst);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.3, "edge {e:?}: exact {exact}, approx {approx}");
+        }
+    }
+
+    #[test]
+    fn non_edge_pairs_estimated_too() {
+        // JL sketch answers arbitrary pairs, not just edges.
+        let g = wheel(10);
+        let est = ResistanceEstimator::build(&g, 600, CgOptions::default(), &mut rng()).unwrap();
+        let exact = effective_resistance(&g, 3, 7, CgOptions::default()).unwrap();
+        let approx = est.estimate(3, 7);
+        assert!((approx - exact).abs() / exact < 0.3);
+    }
+
+    #[test]
+    fn self_pair_is_zero() {
+        let g = wheel(8);
+        let est = ResistanceEstimator::build(&g, 50, CgOptions::default(), &mut rng()).unwrap();
+        assert_eq!(est.estimate(4, 4), 0.0);
+        assert_eq!(est.dimensions(), 50);
+    }
+
+    #[test]
+    fn more_projections_reduce_error() {
+        let g = wheel(10);
+        let exact = effective_resistance(&g, 1, 5, CgOptions::default()).unwrap();
+        let mean_err = |k: usize| {
+            let trials = 8;
+            let mut total = 0.0;
+            for seed in 0..trials {
+                let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+                let est = ResistanceEstimator::build(&g, k, CgOptions::default(), &mut r).unwrap();
+                total += (est.estimate(1, 5) - exact).abs() / exact;
+            }
+            total / trials as f64
+        };
+        assert!(mean_err(400) < mean_err(25), "error should shrink with k");
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            ResistanceEstimator::build(&g, 10, CgOptions::default(), &mut rng()),
+            Err(LinalgError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn edge_resistances_in_edge_order() {
+        let g = wheel(8);
+        let est = ResistanceEstimator::build(&g, 200, CgOptions::default(), &mut rng()).unwrap();
+        let rs = est.edge_resistances(&g);
+        assert_eq!(rs.len(), g.num_edges());
+        assert!(rs.iter().all(|&r| r > 0.0));
+    }
+}

@@ -1,0 +1,208 @@
+use splpg_graph::{Graph, NodeId};
+
+use crate::LinalgError;
+
+/// Matrix-free operator for the (weighted) graph Laplacian `L = D - A` and
+/// its symmetric normalization `L_sym = D^{-1/2} L D^{-1/2}`.
+///
+/// Edge weights of the underlying graph are honoured (the sparsifier emits
+/// weighted graphs), with unweighted edges treated as weight `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use splpg_graph::Graph;
+/// use splpg_linalg::LaplacianOperator;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let lap = LaplacianOperator::new(&g);
+/// let y = lap.apply(&[1.0, 0.0, 0.0])?;
+/// assert_eq!(y, vec![1.0, -1.0, 0.0]); // L e_0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LaplacianOperator<'g> {
+    graph: &'g Graph,
+    /// Weighted degree of each node.
+    degrees: Vec<f64>,
+}
+
+impl<'g> LaplacianOperator<'g> {
+    /// Wraps `graph` as a Laplacian operator.
+    pub fn new(graph: &'g Graph) -> Self {
+        let degrees = (0..graph.num_nodes() as NodeId)
+            .map(|v| match graph.neighbor_weights(v) {
+                Some(ws) => ws.iter().map(|&w| w as f64).sum(),
+                None => graph.degree(v) as f64,
+            })
+            .collect();
+        LaplacianOperator { graph, degrees }
+    }
+
+    /// Operator dimension (number of nodes).
+    pub fn dim(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Weighted degrees `D_{v,v}`.
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+
+    fn check_dim(&self, x: &[f64]) -> Result<(), LinalgError> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch { expected: self.dim(), actual: x.len() });
+        }
+        Ok(())
+    }
+
+    /// Computes `y = L x`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != dim()`.
+    pub fn apply(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.check_dim(x)?;
+        let mut y = vec![0.0; self.dim()];
+        for v in 0..self.dim() {
+            let nbrs = self.graph.neighbors(v as NodeId);
+            let mut acc = self.degrees[v] * x[v];
+            match self.graph.neighbor_weights(v as NodeId) {
+                Some(ws) => {
+                    for (&u, &w) in nbrs.iter().zip(ws) {
+                        acc -= w as f64 * x[u as usize];
+                    }
+                }
+                None => {
+                    for &u in nbrs {
+                        acc -= x[u as usize];
+                    }
+                }
+            }
+            y[v] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Computes `y = L_sym x` where `L_sym = D^{-1/2} L D^{-1/2}`.
+    ///
+    /// Isolated nodes (zero degree) contribute zero rows/columns.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != dim()`.
+    pub fn apply_normalized(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.check_dim(x)?;
+        let inv_sqrt: Vec<f64> = self
+            .degrees
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let scaled: Vec<f64> = x.iter().zip(&inv_sqrt).map(|(xi, s)| xi * s).collect();
+        let mut y = self.apply(&scaled)?;
+        for (yi, s) in y.iter_mut().zip(&inv_sqrt) {
+            *yi *= s;
+        }
+        Ok(y)
+    }
+}
+
+/// Computes the Laplacian quadratic form `x^T L x = sum_{(u,v) in E} w_{uv}
+/// (x_u - x_v)^2` of `graph` at `x`.
+///
+/// This is the quantity bounded by Theorem 1 of the paper: a spectral
+/// sparsifier satisfies `(1 - eps) x^T L x <= x^T L~ x <= (1 + eps) x^T L x`.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] if `x.len() != graph.num_nodes()`.
+pub fn quadratic_form(graph: &Graph, x: &[f64]) -> Result<f64, LinalgError> {
+    if x.len() != graph.num_nodes() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: graph.num_nodes(),
+            actual: x.len(),
+        });
+    }
+    let mut total = 0.0;
+    for e in graph.edges() {
+        let w = graph.edge_weight(e.src, e.dst).unwrap_or(1.0) as f64;
+        let d = x[e.src as usize] - x[e.dst as usize];
+        total += w * d * d;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splpg_graph::GraphBuilder;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        let y = lap.apply(&[5.0, 5.0, 5.0]).unwrap();
+        assert!(y.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn laplacian_matches_dense_definition() {
+        // L for path 0-1-2: [[1,-1,0],[-1,2,-1],[0,-1,1]]
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        let y = lap.apply(&[1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(y, vec![-1.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_degrees() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 2, 3.0).unwrap();
+        let g = b.build();
+        let lap = LaplacianOperator::new(&g);
+        assert_eq!(lap.degrees(), &[2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_form_matches_operator() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        let x = vec![0.3, -1.2, 2.0];
+        let lx = lap.apply(&x).unwrap();
+        let via_op: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        let direct = quadratic_form(&g, &x).unwrap();
+        assert!((via_op - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normalized_annihilates_sqrt_degree_vector() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        // Null vector of L_sym is D^{1/2} 1.
+        let x: Vec<f64> = lap.degrees().iter().map(|d| d.sqrt()).collect();
+        let y = lap.apply_normalized(&x).unwrap();
+        assert!(y.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        assert!(lap.apply(&[1.0]).is_err());
+        assert!(quadratic_form(&g, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_zero_row() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let lap = LaplacianOperator::new(&g);
+        let y = lap.apply_normalized(&[0.0, 0.0, 9.0]).unwrap();
+        assert_eq!(y[2], 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+use splpg_graph::{connected_components, Graph, NodeId};
+
+use crate::laplacian::LaplacianOperator;
+use crate::{axpy, dot, norm, remove_mean, LinalgError};
+
+/// Options for the conjugate-gradient solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance (`||r|| / ||b||`).
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { tolerance: 1e-8, max_iterations: 10_000 }
+    }
+}
+
+/// Result of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutcome {
+    /// The solution vector (mean-free).
+    pub solution: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `L x = b` for a connected graph's Laplacian using conjugate
+/// gradient, working in the subspace orthogonal to the constant vector
+/// (the null space of `L`). `b` is implicitly projected (its mean removed).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != graph.num_nodes()`;
+/// * [`LinalgError::Disconnected`] if the graph is not connected (the
+///   pseudo-inverse solve is ill-defined per component otherwise);
+/// * [`LinalgError::NoConvergence`] if the iteration cap is reached.
+pub fn solve_laplacian(
+    graph: &Graph,
+    b: &[f64],
+    options: CgOptions,
+) -> Result<CgOutcome, LinalgError> {
+    let n = graph.num_nodes();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, actual: b.len() });
+    }
+    let (_, components) = connected_components(graph);
+    if components != 1 {
+        return Err(LinalgError::Disconnected);
+    }
+    let op = LaplacianOperator::new(graph);
+    let mut rhs = b.to_vec();
+    remove_mean(&mut rhs);
+    let b_norm = norm(&rhs).max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut r = rhs; // r = b - L*0
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+
+    for iter in 0..options.max_iterations {
+        let res = rs_old.sqrt() / b_norm;
+        if res <= options.tolerance {
+            return Ok(CgOutcome { solution: x, iterations: iter, residual: res });
+        }
+        let ap = op.apply(&p).expect("dimension verified");
+        let alpha = rs_old / dot(&p, &ap).max(f64::MIN_POSITIVE);
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        // Numerical drift can reintroduce a constant component; project.
+        remove_mean(&mut r);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old.max(f64::MIN_POSITIVE);
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+    let res = rs_old.sqrt() / b_norm;
+    if res <= options.tolerance {
+        remove_mean(&mut x);
+        return Ok(CgOutcome { solution: x, iterations: options.max_iterations, residual: res });
+    }
+    Err(LinalgError::NoConvergence { iterations: options.max_iterations, residual: res })
+}
+
+/// Exact effective resistance `r_(u,v) = (e_u - e_v)^T L^+ (e_u - e_v)`
+/// (Eq. (3) of the paper), computed with a CG solve.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_laplacian`]; additionally
+/// [`LinalgError::DimensionMismatch`] if an endpoint is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use splpg_graph::Graph;
+/// use splpg_linalg::{effective_resistance, CgOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two parallel length-2 paths between 0 and 3: a 4-cycle.
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let r = effective_resistance(&g, 0, 3, CgOptions::default())?;
+/// assert!((r - 1.0).abs() < 1e-6); // two 2-ohm paths in parallel
+/// # Ok(())
+/// # }
+/// ```
+pub fn effective_resistance(
+    graph: &Graph,
+    u: NodeId,
+    v: NodeId,
+    options: CgOptions,
+) -> Result<f64, LinalgError> {
+    let n = graph.num_nodes();
+    if (u as usize) >= n || (v as usize) >= n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            actual: u.max(v) as usize + 1,
+        });
+    }
+    if u == v {
+        return Ok(0.0);
+    }
+    let mut b = vec![0.0; n];
+    b[u as usize] = 1.0;
+    b[v as usize] = -1.0;
+    let out = solve_laplacian(graph, &b, options)?;
+    Ok(out.solution[u as usize] - out.solution[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_resistance_is_hop_count() {
+        // Series resistors: r(0, k) = k on a path.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        for k in 1..5 {
+            let r = effective_resistance(&g, 0, k, CgOptions::default()).unwrap();
+            assert!((r - k as f64).abs() < 1e-6, "r(0,{k}) = {r}");
+        }
+    }
+
+    #[test]
+    fn triangle_resistance() {
+        // Edge in a triangle: 1 ohm parallel with 2 ohms = 2/3.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let r = effective_resistance(&g, 0, 1, CgOptions::default()).unwrap();
+        assert!((r - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complete_graph_resistance() {
+        // K_n: r(u,v) = 2/n for any pair.
+        let n = 6u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(n as usize, &edges).unwrap();
+        let r = effective_resistance(&g, 0, 5, CgOptions::default()).unwrap();
+        assert!((r - 2.0 / n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_edge_resistance() {
+        // Single edge of weight 4 => conductance 4 => resistance 1/4.
+        let mut b = splpg_graph::GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 4.0).unwrap();
+        let g = b.build();
+        let r = effective_resistance(&g, 0, 1, CgOptions::default()).unwrap();
+        assert!((r - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_pair_resistance_zero() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(effective_resistance(&g, 1, 1, CgOptions::default()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let err = effective_resistance(&g, 0, 2, CgOptions::default()).unwrap_err();
+        assert_eq!(err, LinalgError::Disconnected);
+    }
+
+    #[test]
+    fn solve_returns_mean_free_solution() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut b = vec![1.0, -1.0, 0.5, -0.5];
+        remove_mean(&mut b);
+        let out = solve_laplacian(&g, &b, CgOptions::default()).unwrap();
+        assert!(out.solution.iter().sum::<f64>().abs() < 1e-8);
+        // Verify residual: L x ~= b
+        let op = LaplacianOperator::new(&g);
+        let lx = op.apply(&out.solution).unwrap();
+        for (a, c) in lx.iter().zip(&b) {
+            assert!((a - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(effective_resistance(&g, 0, 7, CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn foster_theorem_on_cycle() {
+        // Foster: sum of effective resistances over edges = n - 1.
+        let n = 8usize;
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let total: f64 = g
+            .edges()
+            .iter()
+            .map(|e| effective_resistance(&g, e.src, e.dst, CgOptions::default()).unwrap())
+            .sum();
+        assert!((total - (n as f64 - 1.0)).abs() < 1e-5, "Foster sum {total}");
+    }
+}

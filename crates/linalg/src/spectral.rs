@@ -1,0 +1,196 @@
+use splpg_graph::{connected_components, Graph};
+
+use crate::laplacian::LaplacianOperator;
+use crate::{dot, norm, LinalgError};
+
+/// Options for the deflated power iteration used by [`lambda2_normalized`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerIterOptions {
+    /// Convergence tolerance on the eigenvalue estimate between iterations.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Seed for the deterministic pseudo-random start vector.
+    pub seed: u64,
+}
+
+impl Default for PowerIterOptions {
+    fn default() -> Self {
+        PowerIterOptions { tolerance: 1e-10, max_iterations: 50_000, seed: 0x5eed }
+    }
+}
+
+/// Estimates `gamma`, the second-smallest eigenvalue of the normalized
+/// Laplacian `L_sym` — the constant in Theorem 2's upper bound
+/// `r_(u,v) <= (1/d_u + 1/d_v) / gamma`.
+///
+/// Method: the spectrum of `L_sym` lies in `[0, 2]`, with eigenvalue 0 on
+/// eigenvector `D^{1/2} 1` (for a connected graph). Power iteration on the
+/// shifted operator `M = 2 I - L_sym` converges to the largest eigenvalue of
+/// `M`, which is `2 - 0 = 2` on that known eigenvector; deflating it makes
+/// the iteration converge to `2 - gamma` instead, from which `gamma` is
+/// recovered.
+///
+/// # Errors
+///
+/// * [`LinalgError::Disconnected`] when the graph is not connected (gamma is
+///   0 and the bound in Theorem 2 is vacuous);
+/// * [`LinalgError::NoConvergence`] if the iteration cap is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use splpg_graph::Graph;
+/// use splpg_linalg::{lambda2_normalized, PowerIterOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Complete graph K4: normalized Laplacian eigenvalues are 0 and n/(n-1).
+/// let g = Graph::from_edges(4, &[(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)])?;
+/// let gamma = lambda2_normalized(&g, PowerIterOptions::default())?;
+/// assert!((gamma - 4.0 / 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lambda2_normalized(
+    graph: &Graph,
+    options: PowerIterOptions,
+) -> Result<f64, LinalgError> {
+    let n = graph.num_nodes();
+    let (_, components) = connected_components(graph);
+    if components != 1 {
+        return Err(LinalgError::Disconnected);
+    }
+    if n < 2 {
+        return Err(LinalgError::DimensionMismatch { expected: 2, actual: n });
+    }
+    let op = LaplacianOperator::new(graph);
+
+    // Known null-space eigenvector of L_sym: D^{1/2} 1, normalized.
+    let mut null_vec: Vec<f64> = op.degrees().iter().map(|d| d.sqrt()).collect();
+    let nn = norm(&null_vec);
+    for v in null_vec.iter_mut() {
+        *v /= nn;
+    }
+
+    // Deterministic xorshift-seeded start vector.
+    let mut state = options.seed | 1;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    deflate(&mut x, &null_vec);
+    normalize(&mut x)?;
+
+    let mut prev_eig = f64::NAN;
+    for iter in 0..options.max_iterations {
+        // y = (2I - L_sym) x
+        let lx = op.apply_normalized(&x).expect("dimension verified");
+        let mut y: Vec<f64> = x.iter().zip(&lx).map(|(xi, li)| 2.0 * xi - li).collect();
+        deflate(&mut y, &null_vec);
+        let eig = dot(&x, &y); // Rayleigh quotient of M at unit x
+        normalize(&mut y)?;
+        x = y;
+        if (eig - prev_eig).abs() <= options.tolerance {
+            let gamma = 2.0 - eig;
+            return Ok(gamma.max(0.0));
+        }
+        prev_eig = eig;
+        let _ = iter;
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: (prev_eig - 2.0).abs(),
+    })
+}
+
+fn deflate(x: &mut [f64], unit_dir: &[f64]) {
+    let proj = dot(x, unit_dir);
+    for (xi, di) in x.iter_mut().zip(unit_dir) {
+        *xi -= proj * di;
+    }
+}
+
+fn normalize(x: &mut [f64]) -> Result<(), LinalgError> {
+    let nrm = norm(x);
+    if nrm <= f64::MIN_POSITIVE {
+        return Err(LinalgError::NoConvergence { iterations: 0, residual: f64::INFINITY });
+    }
+    for xi in x.iter_mut() {
+        *xi /= nrm;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splpg_graph::NodeId;
+
+    #[test]
+    fn complete_graph_gamma() {
+        // K_n: lambda_2(L_sym) = n / (n - 1).
+        for n in [3usize, 5, 8] {
+            let mut edges = Vec::new();
+            for i in 0..n as NodeId {
+                for j in (i + 1)..n as NodeId {
+                    edges.push((i, j));
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let gamma = lambda2_normalized(&g, PowerIterOptions::default()).unwrap();
+            let expect = n as f64 / (n as f64 - 1.0);
+            assert!((gamma - expect).abs() < 1e-5, "K{n}: gamma {gamma} expect {expect}");
+        }
+    }
+
+    #[test]
+    fn cycle_gamma() {
+        // Cycle C_n (2-regular): L_sym = L / 2, lambda_2 = 1 - cos(2 pi / n).
+        let n = 10usize;
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let gamma = lambda2_normalized(&g, PowerIterOptions::default()).unwrap();
+        let expect = 1.0 - (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!((gamma - expect).abs() < 1e-5, "gamma {gamma} expect {expect}");
+    }
+
+    #[test]
+    fn path_graph_gamma_positive_and_small() {
+        let n = 20usize;
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let gamma = lambda2_normalized(&g, PowerIterOptions::default()).unwrap();
+        assert!(gamma > 0.0 && gamma < 0.2, "path gamma {gamma}");
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            lambda2_normalized(&g, PowerIterOptions::default()).unwrap_err(),
+            LinalgError::Disconnected
+        );
+    }
+
+    #[test]
+    fn theorem2_bounds_hold_on_small_graph() {
+        // Spot-check Theorem 2 itself:
+        //   (1/d_u + 1/d_v)/2 <= r_(u,v) <= (1/d_u + 1/d_v)/gamma.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+        let gamma = lambda2_normalized(&g, PowerIterOptions::default()).unwrap();
+        for e in g.edges() {
+            let r = crate::effective_resistance(&g, e.src, e.dst, crate::CgOptions::default())
+                .unwrap();
+            let du = g.degree(e.src) as f64;
+            let dv = g.degree(e.dst) as f64;
+            let base = 1.0 / du + 1.0 / dv;
+            assert!(r >= base / 2.0 - 1e-9, "lower bound violated on {e:?}");
+            assert!(r <= base / gamma + 1e-9, "upper bound violated on {e:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Learning-rate schedules and gradient conditioning utilities.
+//!
+//! The paper trains with a fixed Adam learning rate; these utilities
+//! support the extension experiments (longer runs on the larger synthetic
+//! datasets converge noticeably better with warmup + decay, and gradient
+//! clipping stabilizes GAT's attention logits early in training).
+
+use splpg_tensor::Tensor;
+
+/// A learning-rate schedule: maps a 0-based step index to a multiplier on
+/// the base learning rate.
+pub trait LrSchedule {
+    /// Multiplier for `step` (1.0 = base rate).
+    fn factor(&self, step: u64) -> f32;
+
+    /// Effective learning rate at `step`.
+    fn learning_rate(&self, base: f32, step: u64) -> f32 {
+        base * self.factor(step)
+    }
+}
+
+/// Constant schedule (factor 1.0 forever).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn factor(&self, _step: u64) -> f32 {
+        1.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `every` steps.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Steps between decays.
+    pub every: u64,
+    /// Multiplicative decay per stage.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, step: u64) -> f32 {
+        self.gamma.powi((step / self.every.max(1)) as i32)
+    }
+}
+
+/// Linear warmup to factor 1.0 over `warmup` steps, then cosine decay to
+/// `floor` at `total` steps (clamped afterwards).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupCosine {
+    /// Warmup steps.
+    pub warmup: u64,
+    /// Total schedule length.
+    pub total: u64,
+    /// Final multiplier.
+    pub floor: f32,
+}
+
+impl LrSchedule for WarmupCosine {
+    fn factor(&self, step: u64) -> f32 {
+        if self.warmup > 0 && step < self.warmup {
+            return (step + 1) as f32 / self.warmup as f32;
+        }
+        if step >= self.total {
+            return self.floor;
+        }
+        let span = (self.total - self.warmup).max(1) as f32;
+        let progress = (step - self.warmup) as f32 / span;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+/// Scales gradients in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clipping norm.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    let total: f32 = grads.iter().map(Tensor::norm_sq).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.data_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Adds L2 weight decay to gradients in place: `g += decay * w`
+/// (decoupled-style decay is the optimizer's business; this is the classic
+/// L2 regularizer on the loss).
+///
+/// # Panics
+///
+/// Panics if `grads` and `weights` differ in length or shapes.
+pub fn apply_weight_decay(grads: &mut [Tensor], weights: &[Tensor], decay: f32) {
+    assert_eq!(grads.len(), weights.len(), "one gradient per weight");
+    for (g, w) in grads.iter_mut().zip(weights) {
+        g.axpy(decay, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(ConstantLr.factor(0), 1.0);
+        assert_eq!(ConstantLr.factor(10_000), 1.0);
+        assert_eq!(ConstantLr.learning_rate(0.01, 5), 0.01);
+    }
+
+    #[test]
+    fn step_decay_stages() {
+        let s = StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = WarmupCosine { warmup: 10, total: 110, floor: 0.1 };
+        assert!(s.factor(0) < s.factor(5));
+        assert!((s.factor(9) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine span: factor = floor + (1-floor)/2.
+        assert!((s.factor(60) - 0.55).abs() < 0.02);
+        assert_eq!(s.factor(500), 0.1);
+    }
+
+    #[test]
+    fn clipping_bounds_norm() {
+        let mut grads = vec![Tensor::from_vec(1, 2, vec![3.0, 4.0]).unwrap()];
+        let before = clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(before, 5.0);
+        let after: f32 = grads.iter().map(Tensor::norm_sq).sum::<f32>().sqrt();
+        assert!((after - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_noop_below_threshold() {
+        let mut grads = vec![Tensor::from_vec(1, 2, vec![0.3, 0.4]).unwrap()];
+        clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn weight_decay_adds_scaled_weights() {
+        let mut grads = vec![Tensor::zeros(1, 2)];
+        let weights = vec![Tensor::from_vec(1, 2, vec![2.0, -4.0]).unwrap()];
+        apply_weight_decay(&mut grads, &weights, 0.5);
+        assert_eq!(grads[0].data(), &[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,521 @@
+//! Multilevel recursive-bisection partitioner in the spirit of METIS.
+//!
+//! The phases follow Karypis & Kumar's multilevel k-way scheme, specialised
+//! to recursive bisection (the paper only needs p in {4, 8, 16}):
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching contracts the graph
+//!    until it is small, preserving node weights (contracted sizes) and
+//!    accumulating edge weights.
+//! 2. **Initial bisection** — greedy BFS region growing from a
+//!    pseudo-peripheral node at the coarsest level, targeting a weight
+//!    fraction.
+//! 3. **Uncoarsening + refinement** — the bisection is projected back level
+//!    by level, running boundary Fiduccia–Mattheyses passes (gain-ordered
+//!    single-node moves with hill-climbing and a balance constraint).
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use splpg_graph::{Graph, NodeId};
+
+use crate::{check_part_count, Partition, PartitionError, Partitioner};
+
+/// Tuning knobs for [`MetisLike`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetisOptions {
+    /// Stop coarsening when the graph has at most this many nodes.
+    pub coarsen_threshold: usize,
+    /// FM refinement passes per level.
+    pub refinement_passes: usize,
+    /// Allowed imbalance: a side may exceed its target weight by this
+    /// multiplicative factor (1.05 = 5% slack).
+    pub imbalance: f64,
+}
+
+impl Default for MetisOptions {
+    fn default() -> Self {
+        MetisOptions { coarsen_threshold: 64, refinement_passes: 6, imbalance: 1.05 }
+    }
+}
+
+/// Multilevel recursive-bisection partitioner (METIS-like).
+///
+/// See the [module documentation](self) for the algorithm outline.
+#[derive(Debug, Clone, Default)]
+pub struct MetisLike {
+    options: MetisOptions,
+}
+
+impl MetisLike {
+    /// Creates a partitioner with custom options.
+    pub fn new(options: MetisOptions) -> Self {
+        MetisLike { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &MetisOptions {
+        &self.options
+    }
+}
+
+impl Partitioner for MetisLike {
+    fn partition<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        num_parts: usize,
+        rng: &mut R,
+    ) -> Result<Partition, PartitionError> {
+        check_part_count(graph, num_parts)?;
+        let work = WorkGraph::from_graph(graph);
+        let mut assignments = vec![0u32; graph.num_nodes()];
+        let all: Vec<u32> = (0..graph.num_nodes() as u32).collect();
+        recurse(&work, &all, 0, num_parts, &self.options, rng, &mut assignments);
+        Partition::new(assignments, num_parts)
+    }
+}
+
+/// Recursively bisect the node set `nodes` (ids into the original graph) into
+/// parts `[first_part, first_part + parts)`.
+fn recurse<R: Rng + ?Sized>(
+    parent: &WorkGraph,
+    nodes: &[u32],
+    first_part: usize,
+    parts: usize,
+    options: &MetisOptions,
+    rng: &mut R,
+    assignments: &mut [u32],
+) {
+    if parts == 1 {
+        for &v in nodes {
+            assignments[v as usize] = first_part as u32;
+        }
+        return;
+    }
+    let left_parts = parts / 2;
+    let frac = left_parts as f64 / parts as f64;
+    let sub = parent.induced(nodes);
+    let side = bisect(&sub, frac, options, rng);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (local, &global) in nodes.iter().enumerate() {
+        if side[local] == 0 {
+            left.push(global);
+        } else {
+            right.push(global);
+        }
+    }
+    recurse(parent, &left, first_part, left_parts, options, rng, assignments);
+    recurse(parent, &right, first_part + left_parts, parts - left_parts, options, rng, assignments);
+}
+
+/// Internal weighted working graph (node weights from contraction, edge
+/// weights accumulated).
+#[derive(Debug, Clone)]
+struct WorkGraph {
+    adj: Vec<Vec<(u32, f64)>>,
+    node_weight: Vec<f64>,
+}
+
+impl WorkGraph {
+    fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut adj = Vec::with_capacity(n);
+        for v in 0..n as NodeId {
+            let nbrs = graph.neighbors(v);
+            let row = match graph.neighbor_weights(v) {
+                Some(ws) => nbrs.iter().zip(ws).map(|(&u, &w)| (u, w as f64)).collect(),
+                None => nbrs.iter().map(|&u| (u, 1.0)).collect(),
+            };
+            adj.push(row);
+        }
+        WorkGraph { adj, node_weight: vec![1.0; n] }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.node_weight.iter().sum()
+    }
+
+    /// Induced subgraph on `nodes` (global ids), relabelled 0..len.
+    fn induced(&self, nodes: &[u32]) -> WorkGraph {
+        let mut local_of: HashMap<u32, u32> = HashMap::with_capacity(nodes.len());
+        for (i, &g) in nodes.iter().enumerate() {
+            local_of.insert(g, i as u32);
+        }
+        let mut adj = Vec::with_capacity(nodes.len());
+        let mut node_weight = Vec::with_capacity(nodes.len());
+        for &g in nodes {
+            let row = self.adj[g as usize]
+                .iter()
+                .filter_map(|&(u, w)| local_of.get(&u).map(|&lu| (lu, w)))
+                .collect();
+            adj.push(row);
+            node_weight.push(self.node_weight[g as usize]);
+        }
+        WorkGraph { adj, node_weight }
+    }
+
+    /// Heavy-edge matching contraction. Returns the coarse graph and the
+    /// mapping fine node -> coarse node.
+    fn coarsen<R: Rng + ?Sized>(&self, rng: &mut R) -> (WorkGraph, Vec<u32>) {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut matched = vec![u32::MAX; n];
+        let mut coarse_id = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for &v in &order {
+            if matched[v as usize] != u32::MAX {
+                continue;
+            }
+            // Heaviest unmatched neighbor.
+            let mut best: Option<(u32, f64)> = None;
+            for &(u, w) in &self.adj[v as usize] {
+                if u != v && matched[u as usize] == u32::MAX
+                    && best.is_none_or(|(_, bw)| w > bw) {
+                        best = Some((u, w));
+                    }
+            }
+            match best {
+                Some((u, _)) => {
+                    matched[v as usize] = u;
+                    matched[u as usize] = v;
+                    coarse_id[v as usize] = next;
+                    coarse_id[u as usize] = next;
+                }
+                None => {
+                    matched[v as usize] = v;
+                    coarse_id[v as usize] = next;
+                }
+            }
+            next += 1;
+        }
+        let cn = next as usize;
+        let mut node_weight = vec![0.0; cn];
+        for v in 0..n {
+            node_weight[coarse_id[v] as usize] += self.node_weight[v];
+        }
+        // Accumulate coarse adjacency: bucket fine edges by coarse source.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); cn];
+        let mut buckets: Vec<HashMap<u32, f64>> = vec![HashMap::new(); cn];
+        for v in 0..n {
+            let cv = coarse_id[v];
+            for &(u, w) in &self.adj[v] {
+                let cu = coarse_id[u as usize];
+                if cu != cv {
+                    *buckets[cv as usize].entry(cu).or_insert(0.0) += w;
+                }
+            }
+        }
+        for (cv, bucket) in buckets.into_iter().enumerate() {
+            let mut row: Vec<(u32, f64)> = bucket.into_iter().collect();
+            // HashMap iteration order is randomized per instance; sorting
+            // keeps coarsening (and thus partitions) deterministic per seed.
+            row.sort_unstable_by_key(|&(u, _)| u);
+            adj[cv] = row;
+        }
+        (WorkGraph { adj, node_weight }, coarse_id)
+    }
+}
+
+/// Bisects `graph` into sides 0/1 with side-0 weight targeting
+/// `frac * total`. Returns the side labels.
+fn bisect<R: Rng + ?Sized>(
+    graph: &WorkGraph,
+    frac: f64,
+    options: &MetisOptions,
+    rng: &mut R,
+) -> Vec<u8> {
+    // Multilevel: coarsen until small.
+    let mut levels: Vec<(WorkGraph, Vec<u32>)> = Vec::new();
+    let mut current = graph.clone();
+    while current.len() > options.coarsen_threshold {
+        let (coarse, mapping) = current.coarsen(rng);
+        // Matching can stall on star-like graphs; stop if little progress.
+        if coarse.len() as f64 > current.len() as f64 * 0.95 {
+            levels.push((current.clone(), mapping));
+            current = coarse;
+            break;
+        }
+        levels.push((current.clone(), mapping));
+        current = coarse;
+    }
+    let mut side = initial_bisection(&current, frac, rng);
+    refine(&current, &mut side, frac, options);
+    // Uncoarsen.
+    while let Some((fine, mapping)) = levels.pop() {
+        let mut fine_side = vec![0u8; fine.len()];
+        for v in 0..fine.len() {
+            fine_side[v] = side[mapping[v] as usize];
+        }
+        side = fine_side;
+        refine(&fine, &mut side, frac, options);
+    }
+    side
+}
+
+/// Greedy BFS region growing from a pseudo-peripheral node.
+fn initial_bisection<R: Rng + ?Sized>(graph: &WorkGraph, frac: f64, rng: &mut R) -> Vec<u8> {
+    let n = graph.len();
+    let total = graph.total_weight();
+    let target = frac * total;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pseudo-peripheral: BFS twice.
+    let start = rng.gen_range(0..n) as u32;
+    let far = bfs_farthest(graph, start);
+    let seed = bfs_farthest(graph, far);
+
+    let mut side = vec![1u8; n];
+    let mut weight0 = 0.0;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(seed);
+    visited[seed as usize] = true;
+    let mut pending: Vec<u32> = (0..n as u32).collect(); // for disconnected remainder
+    pending.shuffle(rng);
+    let mut pending_idx = 0usize;
+    while weight0 < target {
+        let v = match queue.pop_front() {
+            Some(v) => v,
+            None => {
+                // Disconnected: seed a new component.
+                let mut found = None;
+                while pending_idx < pending.len() {
+                    let c = pending[pending_idx];
+                    pending_idx += 1;
+                    if !visited[c as usize] {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        visited[c as usize] = true;
+                        c
+                    }
+                    None => break,
+                }
+            }
+        };
+        side[v as usize] = 0;
+        weight0 += graph.node_weight[v as usize];
+        for &(u, _) in &graph.adj[v as usize] {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    side
+}
+
+fn bfs_farthest(graph: &WorkGraph, start: u32) -> u32 {
+    let n = graph.len();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    let mut last = start;
+    while let Some(v) = queue.pop_front() {
+        last = v;
+        for &(u, _) in &graph.adj[v as usize] {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    last
+}
+
+/// Boundary FM refinement: repeated passes of gain-ordered single-node moves
+/// with hill climbing (keep the best prefix of each pass).
+fn refine(graph: &WorkGraph, side: &mut [u8], frac: f64, options: &MetisOptions) {
+    let n = graph.len();
+    let total = graph.total_weight();
+    let target0 = frac * total;
+    let max0 = target0 * options.imbalance + 1e-9;
+    let min0 = total - (total - target0) * options.imbalance - 1e-9;
+
+    let mut weight0: f64 = (0..n)
+        .filter(|&v| side[v] == 0)
+        .map(|v| graph.node_weight[v])
+        .sum();
+
+    for _pass in 0..options.refinement_passes {
+        // gain(v) = external weight - internal weight.
+        let gain = |v: usize, side: &[u8]| -> f64 {
+            let mut g = 0.0;
+            for &(u, w) in &graph.adj[v] {
+                if side[u as usize] != side[v] {
+                    g += w;
+                } else {
+                    g -= w;
+                }
+            }
+            g
+        };
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        let mut cumulative = 0.0;
+        let mut best_prefix = 0usize;
+        let mut best_gain = 0.0;
+        let mut w0 = weight0;
+        // Bounded number of moves per pass to keep refinement O(n log n)-ish.
+        let max_moves = n.min(2 * boundary_size(graph, side) + 16);
+        for _ in 0..max_moves {
+            // Pick the best movable boundary node.
+            let mut best: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let on_boundary =
+                    graph.adj[v].iter().any(|&(u, _)| side[u as usize] != side[v]);
+                if !on_boundary {
+                    continue;
+                }
+                // Balance feasibility.
+                let nw = graph.node_weight[v];
+                let new_w0 = if side[v] == 0 { w0 - nw } else { w0 + nw };
+                if new_w0 > max0 || new_w0 < min0 {
+                    continue;
+                }
+                let g = gain(v, side);
+                if best.is_none_or(|(_, bg)| g > bg) {
+                    best = Some((v, g));
+                }
+            }
+            let Some((v, g)) = best else { break };
+            // Apply the move tentatively.
+            let nw = graph.node_weight[v];
+            w0 = if side[v] == 0 { w0 - nw } else { w0 + nw };
+            side[v] = 1 - side[v];
+            locked[v] = true;
+            moves.push(v as u32);
+            cumulative += g;
+            if cumulative > best_gain {
+                best_gain = cumulative;
+                best_prefix = moves.len();
+            }
+        }
+        // Roll back moves beyond the best prefix.
+        for &v in &moves[best_prefix..] {
+            let v = v as usize;
+            let nw = graph.node_weight[v];
+            w0 = if side[v] == 0 { w0 - nw } else { w0 + nw };
+            side[v] = 1 - side[v];
+        }
+        weight0 = w0;
+        if best_prefix == 0 {
+            break; // no improving prefix: converged
+        }
+    }
+}
+
+fn boundary_size(graph: &WorkGraph, side: &[u8]) -> usize {
+    (0..graph.len())
+        .filter(|&v| graph.adj[v].iter().any(|&(u, _)| side[u as usize] != side[v]))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use splpg_graph::GraphBuilder;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    /// Two dense clusters joined by a single bridge edge.
+    fn two_cliques(k: usize) -> Graph {
+        let mut b = GraphBuilder::new(2 * k);
+        for i in 0..k as NodeId {
+            for j in (i + 1)..k as NodeId {
+                b.add_edge(i, j).unwrap();
+                b.add_edge(k as NodeId + i, k as NodeId + j).unwrap();
+            }
+        }
+        b.add_edge(0, k as NodeId).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn bisects_two_cliques_on_the_bridge() {
+        let g = two_cliques(20);
+        let p = MetisLike::default().partition(&g, 2, &mut rng()).unwrap();
+        assert_eq!(p.edge_cut(&g), 1, "should cut exactly the bridge");
+        assert_eq!(p.part_sizes(), vec![20, 20]);
+    }
+
+    #[test]
+    fn respects_part_count_and_coverage() {
+        let g = two_cliques(10);
+        for parts in [2usize, 3, 4, 5] {
+            let p = MetisLike::default().partition(&g, parts, &mut rng()).unwrap();
+            assert_eq!(p.num_parts(), parts);
+            let sizes = p.part_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 20);
+            assert!(sizes.iter().all(|&s| s > 0), "empty part in {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn path_graph_low_cut() {
+        let n = 256;
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let p = MetisLike::default().partition(&g, 4, &mut rng()).unwrap();
+        // Optimal cut for a path into 4 parts is 3.
+        assert!(p.edge_cut(&g) <= 8, "cut {} too high", p.edge_cut(&g));
+        assert!(p.balance() < 1.3, "imbalance {}", p.balance());
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::from_edges(10, &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]).unwrap();
+        let p = MetisLike::default().partition(&g, 2, &mut rng()).unwrap();
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_part_counts() {
+        let g = two_cliques(3);
+        assert!(MetisLike::default().partition(&g, 0, &mut rng()).is_err());
+        assert!(MetisLike::default().partition(&g, 100, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let g = two_cliques(4);
+        let p = MetisLike::default().partition(&g, 1, &mut rng()).unwrap();
+        assert!(p.assignments().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = two_cliques(12);
+        let p1 = MetisLike::default().partition(&g, 4, &mut rng()).unwrap();
+        let p2 = MetisLike::default().partition(&g, 4, &mut rng()).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn locality_beats_random_on_community_graph() {
+        // The core premise of the paper's analysis: METIS-style partitions
+        // keep most edges local, random ones do not.
+        let g = two_cliques(30);
+        let metis = MetisLike::default().partition(&g, 2, &mut rng()).unwrap();
+        let random = crate::RandomTma::default().partition(&g, 2, &mut rng()).unwrap();
+        assert!(metis.local_edge_fraction(&g) > random.local_edge_fraction(&g));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests on partitioner invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use splpg_graph::{Graph, NodeId};
+use splpg_partition::{MetisLike, PartitionedGraph, Partitioner, RandomTma, SuperTma};
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (8usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
+            n..4 * n,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn metis_covers_every_node((n, edges) in arb_graph(), parts in 2usize..6, seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = MetisLike::default().partition(&g, parts, &mut rng).unwrap();
+        prop_assert_eq!(p.assignments().len(), n);
+        prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), n);
+        prop_assert!(p.assignments().iter().all(|&a| (a as usize) < parts));
+    }
+
+    #[test]
+    fn metis_reasonably_balanced((n, edges) in arb_graph(), seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = MetisLike::default().partition(&g, 2, &mut rng).unwrap();
+        // Recursive bisection with 5% slack; allow generous bound for tiny n.
+        prop_assert!(p.balance() <= 1.6, "balance {}", p.balance());
+    }
+
+    #[test]
+    fn all_partitioners_produce_valid_assignments((n, edges) in arb_graph(), seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for p in [
+            MetisLike::default().partition(&g, 4, &mut rng).unwrap(),
+            RandomTma::default().partition(&g, 4, &mut rng).unwrap(),
+            SuperTma::default().partition(&g, 4, &mut rng).unwrap(),
+        ] {
+            prop_assert_eq!(p.num_parts(), 4);
+            prop_assert_eq!(p.assignments().len(), n);
+        }
+    }
+
+    #[test]
+    fn halo_subgraph_edge_identity((n, edges) in arb_graph(), seed in 0u64..1000) {
+        // Sum of part edges == |E| + cut under halo, == |E| - cut without.
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = MetisLike::default().partition(&g, 3, &mut rng).unwrap();
+        let halo = PartitionedGraph::build(&g, &p, true);
+        let cut = PartitionedGraph::build(&g, &p, false);
+        prop_assert_eq!(halo.total_edges(), g.num_edges() + p.edge_cut(&g));
+        prop_assert_eq!(cut.total_edges(), g.num_edges() - p.edge_cut(&g));
+    }
+
+    #[test]
+    fn halo_core_nodes_partition_the_graph((n, edges) in arb_graph(), seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = SuperTma::default().partition(&g, 3, &mut rng).unwrap();
+        let pg = PartitionedGraph::build(&g, &p, true);
+        let mut owned = vec![0usize; n];
+        for part in pg.parts() {
+            for &c in &part.core {
+                owned[part.mapping.to_global(c) as usize] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1), "core sets must partition nodes");
+    }
+}

@@ -1,0 +1,162 @@
+use rand::Rng;
+use splpg_graph::{Graph, GraphBuilder};
+use splpg_linalg::{effective_resistance, CgOptions};
+
+use crate::sampling::AliasTable;
+use crate::{SparsifyConfig, SparsifyError, Sparsifier};
+
+/// Spielman–Srivastava sparsifier using *exact* effective resistances
+/// (Eq. (3) of the paper), computed per edge with conjugate gradient.
+///
+/// This is O(|E| · cg) and only practical on small graphs; it exists to
+/// validate [`crate::DegreeSparsifier`] (the ablation bench
+/// `sparsify_exact_vs_approx` compares the two) and to demonstrate the
+/// spectral guarantee of Theorem 1 in tests.
+///
+/// Requires a connected input graph.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSparsifier {
+    config: SparsifyConfig,
+}
+
+impl ExactSparsifier {
+    /// Creates an exact-resistance sparsifier.
+    pub fn new(config: SparsifyConfig) -> Self {
+        ExactSparsifier { config }
+    }
+
+    /// Exact effective resistances for every canonical edge, in edge-list
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`SparsifyError::Resistance`] if the graph is disconnected or CG
+    /// fails to converge.
+    pub fn resistances(graph: &Graph) -> Result<Vec<f64>, SparsifyError> {
+        graph
+            .edges()
+            .iter()
+            .map(|e| {
+                effective_resistance(graph, e.src, e.dst, CgOptions::default())
+                    .map_err(|err| SparsifyError::Resistance(err.to_string()))
+            })
+            .collect()
+    }
+}
+
+impl Sparsifier for ExactSparsifier {
+    fn sparsify<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        rng: &mut R,
+    ) -> Result<Graph, SparsifyError> {
+        let m = graph.num_edges();
+        if m == 0 {
+            return Ok(Graph::empty(graph.num_nodes()));
+        }
+        let l = self.config.resolve_samples(m)?.max(1);
+        let resistances = Self::resistances(graph)?;
+        let table = AliasTable::new(&resistances).ok_or_else(|| {
+            SparsifyError::Resistance("degenerate resistance distribution".to_string())
+        })?;
+        let mut b = GraphBuilder::with_capacity(graph.num_nodes(), l.min(m));
+        let edges = graph.edges();
+        for _ in 0..l {
+            let idx = table.sample(rng);
+            let e = edges[idx];
+            let p = table.probability(idx);
+            let w = 1.0 / (l as f64 * p);
+            b.add_weighted_edge(e.src, e.dst, w as f32)
+                .expect("edges come from a valid graph");
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use splpg_graph::NodeId;
+    use splpg_linalg::quadratic_form;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn dense_ring(n: usize) -> Graph {
+        let edges: Vec<(NodeId, NodeId)> = (0..n)
+            .flat_map(|i| {
+                vec![
+                    (i as NodeId, ((i + 1) % n) as NodeId),
+                    (i as NodeId, ((i + 2) % n) as NodeId),
+                    (i as NodeId, ((i + 3) % n) as NodeId),
+                ]
+            })
+            .collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn resistance_distribution_valid() {
+        let g = dense_ring(20);
+        let r = ExactSparsifier::resistances(&g).unwrap();
+        assert_eq!(r.len(), g.num_edges());
+        assert!(r.iter().all(|&x| x > 0.0 && x <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            ExactSparsifier::resistances(&g),
+            Err(SparsifyError::Resistance(_))
+        ));
+    }
+
+    #[test]
+    fn theorem1_quadratic_form_preserved() {
+        // With a generous sample budget the sparsifier must approximately
+        // preserve x^T L x (Theorem 1) for random test vectors.
+        let g = dense_ring(30);
+        // Oversample: L = 8 |E| keeps the estimate tight.
+        let s = ExactSparsifier::new(SparsifyConfig::with_samples(8 * g.num_edges()))
+            .sparsify(&g, &mut rng(1))
+            .unwrap();
+        let mut r = rng(2);
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..g.num_nodes()).map(|_| r.gen::<f64>() - 0.5).collect();
+            let qf = quadratic_form(&g, &x).unwrap();
+            let qf_s = quadratic_form(&s, &x).unwrap();
+            let rel = (qf_s - qf).abs() / qf.max(1e-12);
+            assert!(rel < 0.35, "quadratic form off by {rel}");
+        }
+    }
+
+    #[test]
+    fn approx_scores_bound_exact_resistances() {
+        // Theorem 2 bracket: base/2 <= r <= base/gamma for every edge.
+        let g = dense_ring(16);
+        let r = ExactSparsifier::resistances(&g).unwrap();
+        let scores = crate::DegreeSparsifier::scores(&g);
+        let gamma =
+            splpg_linalg::lambda2_normalized(&g, splpg_linalg::PowerIterOptions::default())
+                .unwrap();
+        for (ri, base) in r.iter().zip(&scores) {
+            assert!(*ri >= base / 2.0 - 1e-9, "lower bound violated");
+            assert!(*ri <= base / gamma + 1e-9, "upper bound violated");
+        }
+    }
+
+    #[test]
+    fn keeps_all_nodes_and_subset_edges() {
+        let g = dense_ring(24);
+        let s = ExactSparsifier::new(SparsifyConfig::with_alpha(0.3))
+            .sparsify(&g, &mut rng(3))
+            .unwrap();
+        assert_eq!(s.num_nodes(), g.num_nodes());
+        for e in s.edges() {
+            assert!(g.has_edge(e.src, e.dst));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests on sparsifier invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use splpg_graph::{Graph, NodeId};
+use splpg_sparsify::{AliasTable, DegreeSparsifier, SparsifyConfig, Sparsifier};
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (4usize..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
+            1..5 * n,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparsified_nodes_preserved((n, edges) in arb_graph(), seed in 0u64..1000, alpha in 0.05f64..0.9) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = DegreeSparsifier::new(SparsifyConfig::with_alpha(alpha))
+            .sparsify(&g, &mut rng)
+            .unwrap();
+        prop_assert_eq!(s.num_nodes(), g.num_nodes());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn sparsified_edges_are_subset((n, edges) in arb_graph(), seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = DegreeSparsifier::default().sparsify(&g, &mut rng).unwrap();
+        for e in s.edges() {
+            prop_assert!(g.has_edge(e.src, e.dst));
+        }
+    }
+
+    #[test]
+    fn edge_budget_respected((n, edges) in arb_graph(), seed in 0u64..1000, l in 1usize..40) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = DegreeSparsifier::new(SparsifyConfig::with_samples(l))
+            .sparsify(&g, &mut rng)
+            .unwrap();
+        // At most L distinct edges can be drawn in L with-replacement draws.
+        prop_assert!(s.num_edges() <= l);
+    }
+
+    #[test]
+    fn all_weights_positive((n, edges) in arb_graph(), seed in 0u64..1000) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = DegreeSparsifier::default().sparsify(&g, &mut rng).unwrap();
+        for e in s.edges() {
+            let w = s.edge_weight(e.src, e.dst).unwrap();
+            prop_assert!(w > 0.0 && w.is_finite());
+        }
+    }
+
+    #[test]
+    fn alias_table_probabilities_sum_to_one(ws in proptest::collection::vec(0.01f64..100.0, 1..64)) {
+        let t = AliasTable::new(&ws).unwrap();
+        let sum: f64 = (0..t.len()).map(|i| t.probability(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alias_table_samples_in_range(ws in proptest::collection::vec(0.0f64..10.0, 2..32), seed in 0u64..1000) {
+        prop_assume!(ws.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&ws).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < ws.len());
+            // Zero-weight outcomes must never be drawn.
+            prop_assert!(ws[i] > 0.0, "sampled zero-weight outcome {}", i);
+        }
+    }
+}

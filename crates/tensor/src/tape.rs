@@ -1,0 +1,747 @@
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var`s are indices into the tape's arena; they are `Copy` and only valid
+/// for the tape that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Gradients produced by [`Tape::backward`], addressable by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `var`, if it participated in
+    /// the backward pass.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+
+    /// Takes ownership of the gradient for `var`.
+    pub fn take(&mut self, var: Var) -> Option<Tensor> {
+        self.grads.get_mut(var.0).and_then(|g| g.take())
+    }
+}
+
+/// One recorded operation and how to backpropagate through it.
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    MatMul { a: Var, b: Var },
+    Add { a: Var, b: Var },
+    Sub { a: Var, b: Var },
+    Mul { a: Var, b: Var },
+    Scale { a: Var, c: f32 },
+    AddBias { a: Var, bias: Var },
+    Relu { a: Var },
+    LeakyRelu { a: Var, slope: f32 },
+    Sigmoid { a: Var },
+    Tanh { a: Var },
+    Dropout { a: Var, mask: Vec<f32> },
+    ConcatCols { a: Var, b: Var },
+    GatherRows { a: Var, idx: Vec<u32> },
+    SegmentSum { a: Var, seg: Vec<u32> },
+    ScaleRows { a: Var, factors: Vec<f32> },
+    MulColBroadcast { a: Var, col: Var },
+    SegmentSoftmax { a: Var, seg: Vec<u32> },
+    RowSum { a: Var },
+    MeanAll { a: Var },
+    SumAll { a: Var },
+    BceWithLogits { a: Var, targets: Vec<f32> },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Arena-based reverse-mode autograd tape.
+///
+/// Create one tape per forward pass (mini-batch), record operations through
+/// its methods, then call [`Tape::backward`] on the scalar loss. The tape
+/// owns all intermediate values; leaves are snapshots of parameters or
+/// inputs.
+///
+/// # Examples
+///
+/// ```
+/// use splpg_tensor::{Tape, Tensor};
+/// let mut t = Tape::new();
+/// let x = t.leaf(Tensor::from_vec(2, 1, vec![3.0, -1.0]).unwrap());
+/// let y = t.relu(x);
+/// let loss = t.sum_all(y);
+/// let grads = t.backward(loss);
+/// assert_eq!(grads.get(x).unwrap().data(), &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` belongs to a different tape.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records an input/parameter leaf.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul { a, b })
+    }
+
+    /// Element-wise `a + b` (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add { a, b })
+    }
+
+    /// Element-wise `a - b` (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub { a, b })
+    }
+
+    /// Element-wise `a * b` (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul { a, b })
+    }
+
+    /// Scalar multiple `c * a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale { a, c })
+    }
+
+    /// Broadcast row addition: `[n, m] + [1, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1, m]`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (n, m) = self.value(a).shape();
+        let bshape = self.value(bias).shape();
+        assert_eq!(bshape, (1, m), "bias must be [1, {m}], got {bshape:?}");
+        let mut v = self.value(a).clone();
+        let b = self.value(bias).data().to_vec();
+        for r in 0..n {
+            for (x, &bb) in v.row_mut(r).iter_mut().zip(&b) {
+                *x += bb;
+            }
+        }
+        self.push(v, Op::AddBias { a, bias })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu { a })
+    }
+
+    /// Leaky ReLU with the given negative slope (GAT uses 0.2).
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu { a, slope })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid { a })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh { a })
+    }
+
+    /// Inverted dropout with keep-probability scaling. A no-op when
+    /// `p <= 0`; during evaluation simply don't call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 1`.
+    pub fn dropout<R: Rng + ?Sized>(&mut self, a: Var, p: f32, rng: &mut R) -> Var {
+        assert!(p < 1.0, "dropout probability must be < 1, got {p}");
+        if p <= 0.0 {
+            return a;
+        }
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = self
+            .value(a)
+            .data()
+            .iter()
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let src = self.value(a).clone();
+        let mut v = src;
+        for (x, &m) in v.data_mut().iter_mut().zip(&mask) {
+            *x *= m;
+        }
+        self.push(v, Op::Dropout { a, mask })
+    }
+
+    /// Column-wise concatenation `[n, m1] ++ [n, m2] -> [n, m1 + m2]`
+    /// (GraphSAGE's `concat(h_v, h_N(v))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (na, ma) = self.value(a).shape();
+        let (nb, mb) = self.value(b).shape();
+        assert_eq!(na, nb, "concat_cols row mismatch {na} vs {nb}");
+        let mut v = Tensor::zeros(na, ma + mb);
+        for r in 0..na {
+            v.row_mut(r)[..ma].copy_from_slice(self.value(a).row(r));
+        }
+        for r in 0..nb {
+            let brow = self.value(b).row(r).to_vec();
+            v.row_mut(r)[ma..].copy_from_slice(&brow);
+        }
+        self.push(v, Op::ConcatCols { a, b })
+    }
+
+    /// Row gather: output row `i` is `a`'s row `idx[i]`. Rows may repeat
+    /// (one gathered row per edge endpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn gather_rows(&mut self, a: Var, idx: &[u32]) -> Var {
+        let (n, m) = self.value(a).shape();
+        let mut v = Tensor::zeros(idx.len(), m);
+        for (i, &src) in idx.iter().enumerate() {
+            assert!((src as usize) < n, "gather index {src} out of range {n}");
+            let row = self.value(a).row(src as usize).to_vec();
+            v.row_mut(i).copy_from_slice(&row);
+        }
+        self.push(v, Op::GatherRows { a, idx: idx.to_vec() })
+    }
+
+    /// Segment sum: output row `s` is the sum of input rows `i` with
+    /// `seg[i] == s` (the neighborhood-aggregation primitive, Eq. (1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len()` differs from the row count or a segment id is
+    /// `>= num_segments`.
+    pub fn segment_sum(&mut self, a: Var, seg: &[u32], num_segments: usize) -> Var {
+        let (n, m) = self.value(a).shape();
+        assert_eq!(seg.len(), n, "segment ids must cover every row");
+        let mut v = Tensor::zeros(num_segments, m);
+        for (i, &s) in seg.iter().enumerate() {
+            assert!((s as usize) < num_segments, "segment id {s} out of range");
+            let row = self.value(a).row(i).to_vec();
+            for (o, &x) in v.row_mut(s as usize).iter_mut().zip(&row) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::SegmentSum { a, seg: seg.to_vec() })
+    }
+
+    /// Multiplies row `i` by the constant `factors[i]` (no gradient flows
+    /// to the factors — they encode GCN normalization coefficients or
+    /// sparsifier edge weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len()` differs from the row count.
+    pub fn scale_rows(&mut self, a: Var, factors: &[f32]) -> Var {
+        let (n, _m) = self.value(a).shape();
+        assert_eq!(factors.len(), n, "one factor per row required");
+        let mut v = self.value(a).clone();
+        for (r, &f) in factors.iter().enumerate() {
+            for x in v.row_mut(r) {
+                *x *= f;
+            }
+        }
+        self.push(v, Op::ScaleRows { a, factors: factors.to_vec() })
+    }
+
+    /// Multiplies each row of `a` (`[n, m]`) by the matching entry of the
+    /// differentiable column `col` (`[n, 1]`) — attention weighting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible.
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let (n, _m) = self.value(a).shape();
+        assert_eq!(self.value(col).shape(), (n, 1), "col must be [{n}, 1]");
+        let colv = self.value(col).data().to_vec();
+        let mut v = self.value(a).clone();
+        for (r, &c) in colv.iter().enumerate() {
+            for x in v.row_mut(r) {
+                *x *= c;
+            }
+        }
+        self.push(v, Op::MulColBroadcast { a, col })
+    }
+
+    /// Numerically-stable softmax over segments of a `[n, 1]` column:
+    /// entries sharing a segment id are normalized together (GAT attention
+    /// over each destination's incoming edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a column or `seg.len()` mismatches.
+    pub fn segment_softmax(&mut self, a: Var, seg: &[u32], num_segments: usize) -> Var {
+        let (n, m) = self.value(a).shape();
+        assert_eq!(m, 1, "segment_softmax expects a column tensor");
+        assert_eq!(seg.len(), n, "segment ids must cover every row");
+        let x = self.value(a).data();
+        let mut max = vec![f32::NEG_INFINITY; num_segments];
+        for (i, &s) in seg.iter().enumerate() {
+            max[s as usize] = max[s as usize].max(x[i]);
+        }
+        let mut denom = vec![0.0f32; num_segments];
+        let mut out = vec![0.0f32; n];
+        for (i, &s) in seg.iter().enumerate() {
+            let e = (x[i] - max[s as usize]).exp();
+            out[i] = e;
+            denom[s as usize] += e;
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            out[i] /= denom[s as usize].max(f32::MIN_POSITIVE);
+        }
+        let v = Tensor::from_vec(n, 1, out).expect("shape by construction");
+        self.push(v, Op::SegmentSoftmax { a, seg: seg.to_vec() })
+    }
+
+    /// Row-wise sum `[n, m] -> [n, 1]` (dot-product edge scores).
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(v, Op::RowSum { a })
+    }
+
+    /// Mean of all elements as a `[1, 1]` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]).expect("scalar");
+        self.push(v, Op::MeanAll { a })
+    }
+
+    /// Sum of all elements as a `[1, 1]` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]).expect("scalar");
+        self.push(v, Op::SumAll { a })
+    }
+
+    /// Mean binary cross-entropy between logits `a` (`[n, 1]`) and 0/1
+    /// `targets`, computed in the numerically-stable fused form
+    /// `max(z, 0) - z t + ln(1 + e^{-|z|})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or `a` is empty.
+    pub fn bce_with_logits(&mut self, a: Var, targets: &[f32]) -> Var {
+        let (n, m) = self.value(a).shape();
+        assert_eq!(m, 1, "logits must be a column");
+        assert_eq!(targets.len(), n, "one target per logit");
+        assert!(n > 0, "empty logits");
+        let z = self.value(a).data();
+        let mut total = 0.0f64;
+        for (&zi, &ti) in z.iter().zip(targets) {
+            let loss = zi.max(0.0) - zi * ti + (1.0 + (-zi.abs()).exp()).ln();
+            total += loss as f64;
+        }
+        let v = Tensor::from_vec(1, 1, vec![(total / n as f64) as f32]).expect("scalar");
+        self.push(v, Op::BceWithLogits { a, targets: targets.to_vec() })
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss` node and
+    /// returns per-var gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `[1, 1]` scalar.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward expects a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::ones(1, 1));
+        for id in (0..=loss.0).rev() {
+            let Some(grad) = grads[id].take() else { continue };
+            self.accumulate(id, &grad, &mut grads);
+            grads[id] = Some(grad);
+        }
+        Gradients { grads }
+    }
+
+    fn add_grad(grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
+        match &mut grads[var.0] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn accumulate(&self, id: usize, grad: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::MatMul { a, b } => {
+                let da = grad.matmul_nt(self.value(*b));
+                let db = self.value(*a).matmul_tn(grad);
+                Self::add_grad(grads, *a, da);
+                Self::add_grad(grads, *b, db);
+            }
+            Op::Add { a, b } => {
+                Self::add_grad(grads, *a, grad.clone());
+                Self::add_grad(grads, *b, grad.clone());
+            }
+            Op::Sub { a, b } => {
+                Self::add_grad(grads, *a, grad.clone());
+                Self::add_grad(grads, *b, grad.scale(-1.0));
+            }
+            Op::Mul { a, b } => {
+                Self::add_grad(grads, *a, grad.mul(self.value(*b)));
+                Self::add_grad(grads, *b, grad.mul(self.value(*a)));
+            }
+            Op::Scale { a, c } => {
+                Self::add_grad(grads, *a, grad.scale(*c));
+            }
+            Op::AddBias { a, bias } => {
+                Self::add_grad(grads, *a, grad.clone());
+                Self::add_grad(grads, *bias, grad.col_sums());
+            }
+            Op::Relu { a } => {
+                let mut d = grad.clone();
+                for (g, &x) in d.data_mut().iter_mut().zip(self.value(*a).data()) {
+                    if x <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::LeakyRelu { a, slope } => {
+                let mut d = grad.clone();
+                for (g, &x) in d.data_mut().iter_mut().zip(self.value(*a).data()) {
+                    if x <= 0.0 {
+                        *g *= slope;
+                    }
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::Sigmoid { a } => {
+                let out = &self.nodes[id].value;
+                let mut d = grad.clone();
+                for (g, &s) in d.data_mut().iter_mut().zip(out.data()) {
+                    *g *= s * (1.0 - s);
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::Tanh { a } => {
+                let out = &self.nodes[id].value;
+                let mut d = grad.clone();
+                for (g, &t) in d.data_mut().iter_mut().zip(out.data()) {
+                    *g *= 1.0 - t * t;
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::Dropout { a, mask } => {
+                let mut d = grad.clone();
+                for (g, &m) in d.data_mut().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::ConcatCols { a, b } => {
+                let (n, ma) = self.value(*a).shape();
+                let (_, mb) = self.value(*b).shape();
+                let mut da = Tensor::zeros(n, ma);
+                let mut db = Tensor::zeros(n, mb);
+                for r in 0..n {
+                    da.row_mut(r).copy_from_slice(&grad.row(r)[..ma]);
+                    db.row_mut(r).copy_from_slice(&grad.row(r)[ma..]);
+                }
+                Self::add_grad(grads, *a, da);
+                Self::add_grad(grads, *b, db);
+            }
+            Op::GatherRows { a, idx } => {
+                let (n, m) = self.value(*a).shape();
+                let mut da = Tensor::zeros(n, m);
+                for (i, &src) in idx.iter().enumerate() {
+                    let gr = grad.row(i).to_vec();
+                    for (o, &g) in da.row_mut(src as usize).iter_mut().zip(&gr) {
+                        *o += g;
+                    }
+                }
+                Self::add_grad(grads, *a, da);
+            }
+            Op::SegmentSum { a, seg } => {
+                let (n, m) = self.value(*a).shape();
+                let mut da = Tensor::zeros(n, m);
+                for (i, &s) in seg.iter().enumerate() {
+                    da.row_mut(i).copy_from_slice(grad.row(s as usize));
+                }
+                Self::add_grad(grads, *a, da);
+            }
+            Op::ScaleRows { a, factors } => {
+                let mut d = grad.clone();
+                for (r, &f) in factors.iter().enumerate() {
+                    for g in d.row_mut(r) {
+                        *g *= f;
+                    }
+                }
+                Self::add_grad(grads, *a, d);
+            }
+            Op::MulColBroadcast { a, col } => {
+                let (n, _m) = self.value(*a).shape();
+                let colv = self.value(*col).data();
+                let mut da = grad.clone();
+                for (r, &c) in colv.iter().enumerate() {
+                    for g in da.row_mut(r) {
+                        *g *= c;
+                    }
+                }
+                let mut dcol = Tensor::zeros(n, 1);
+                for r in 0..n {
+                    let s: f32 =
+                        grad.row(r).iter().zip(self.value(*a).row(r)).map(|(&g, &x)| g * x).sum();
+                    dcol.set(r, 0, s);
+                }
+                Self::add_grad(grads, *a, da);
+                Self::add_grad(grads, *col, dcol);
+            }
+            Op::SegmentSoftmax { a, seg } => {
+                // dx_i = y_i (g_i - sum_{j in segment} y_j g_j)
+                let y = self.nodes[id].value.data();
+                let g = grad.data();
+                let num_segments =
+                    seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+                let mut seg_dot = vec![0.0f32; num_segments];
+                for (i, &s) in seg.iter().enumerate() {
+                    seg_dot[s as usize] += y[i] * g[i];
+                }
+                let mut da = Tensor::zeros(y.len(), 1);
+                for (i, &s) in seg.iter().enumerate() {
+                    da.set(i, 0, y[i] * (g[i] - seg_dot[s as usize]));
+                }
+                Self::add_grad(grads, *a, da);
+            }
+            Op::RowSum { a } => {
+                let (n, m) = self.value(*a).shape();
+                let mut da = Tensor::zeros(n, m);
+                for r in 0..n {
+                    let g = grad.get(r, 0);
+                    for x in da.row_mut(r) {
+                        *x = g;
+                    }
+                }
+                Self::add_grad(grads, *a, da);
+            }
+            Op::MeanAll { a } => {
+                let (n, m) = self.value(*a).shape();
+                let g = grad.get(0, 0) / (n * m) as f32;
+                Self::add_grad(grads, *a, Tensor::from_fn(n, m, |_, _| g));
+            }
+            Op::SumAll { a } => {
+                let (n, m) = self.value(*a).shape();
+                let g = grad.get(0, 0);
+                Self::add_grad(grads, *a, Tensor::from_fn(n, m, |_, _| g));
+            }
+            Op::BceWithLogits { a, targets } => {
+                let z = self.value(*a).data();
+                let n = z.len() as f32;
+                let g = grad.get(0, 0);
+                let mut da = Tensor::zeros(z.len(), 1);
+                for (i, (&zi, &ti)) in z.iter().zip(targets).enumerate() {
+                    da.set(i, 0, g * (stable_sigmoid(zi) - ti) / n);
+                }
+                Self::add_grad(grads, *a, da);
+            }
+        }
+    }
+}
+
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_backward_known() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(1, 2, vec![2.0, 3.0]));
+        let b = tape.leaf(t(2, 1, vec![5.0, 7.0]));
+        let y = tape.matmul(a, b); // 2*5 + 3*7 = 31
+        assert_eq!(tape.value(y).get(0, 0), 31.0);
+        let g = tape.backward(y);
+        assert_eq!(g.get(a).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_bias_backward_sums_columns() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(3, 2, vec![0.0; 6]));
+        let b = tape.leaf(t(1, 2, vec![1.0, 2.0]));
+        let y = tape.add_bias(a, b);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(b).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let y = tape.gather_rows(a, &[2, 0, 2]);
+        assert_eq!(tape.value(y).data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        // Row 2 gathered twice => grad 2, row 0 once, row 1 never.
+        assert_eq!(g.get(a).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_sum_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(3, 1, vec![1.0, 10.0, 100.0]));
+        let y = tape.segment_sum(a, &[1, 0, 1], 2);
+        assert_eq!(tape.value(y).data(), &[10.0, 101.0]);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(a).unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(4, 1, vec![1.0, 1.0, 2.0, 0.0]));
+        let y = tape.segment_softmax(a, &[0, 0, 1, 1], 2);
+        let v = tape.value(y).data();
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!((v[2] + v[3] - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[3]);
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let mut tape = Tape::new();
+        let z = tape.leaf(t(2, 1, vec![0.0, 2.0]));
+        let loss = tape.bce_with_logits(z, &[1.0, 0.0]);
+        // loss = mean( ln 2 , 2 + ln(1 + e^-2) )
+        let expect = (0.6931472 + (2.0 + (1.0f32 + (-2.0f32).exp()).ln())) / 2.0;
+        assert!((tape.value(loss).get(0, 0) - expect).abs() < 1e-5);
+        let g = tape.backward(loss);
+        let gd = g.get(z).unwrap().data().to_vec();
+        // d/dz = (sigma(z) - t)/n
+        assert!((gd[0] - (0.5 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((gd[1] - (stable_sigmoid(2.0) - 0.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_scales_by_keep_probability() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(100, 10));
+        let y = tape.dropout(a, 0.5, &mut rng);
+        // E[output] = input; check the mean is near 1.
+        let mean = tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.15, "dropout mean {mean}");
+        // Entries are either 0 or 2.
+        assert!(tape.value(y).data().iter().all(|&v| v == 0.0 || v == 2.0));
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(2, 2));
+        let y = tape.dropout(a, 0.0, &mut rng);
+        assert_eq!(y, a);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(2, 1, vec![1.0, 2.0]));
+        let b = tape.leaf(t(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let y = tape.concat_cols(a, b);
+        assert_eq!(tape.value(y).data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(a).unwrap().shape(), (2, 1));
+        assert_eq!(g.get(b).unwrap().shape(), (2, 2));
+    }
+
+    #[test]
+    fn reuse_of_var_accumulates_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(1, 1, vec![3.0]));
+        let y = tape.mul(a, a); // y = a^2, dy/da = 2a = 6
+        let g = tape.backward(y);
+        assert_eq!(g.get(a).unwrap().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn scale_rows_has_no_factor_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(2, 2, vec![1.0; 4]));
+        let y = tape.scale_rows(a, &[2.0, 3.0]);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(a).unwrap().data(), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(t(2, 1, vec![1.0, 2.0]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.backward(a);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based gradient checks: random shapes, random data, random op
+//! chains must all match central finite differences.
+
+use proptest::prelude::*;
+use splpg_tensor::{grad_check, Tensor};
+
+fn arb_tensor(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_sigmoid_mean_grad(x in arb_tensor(5, 4), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = Tensor::from_fn(x.cols(), 3, |_, _| rng.gen::<f32>() - 0.5);
+        let report = grad_check(&x, 1e-3, |tape, v| {
+            let wv = tape.leaf(w.clone());
+            let y = tape.matmul(v, wv);
+            let s = tape.sigmoid(y);
+            tape.mean_all(s)
+        });
+        prop_assert!(report.passes(8e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn add_sub_mul_scale_grad(x in arb_tensor(4, 4), c in -3.0f32..3.0) {
+        let report = grad_check(&x, 1e-3, |tape, v| {
+            let a = tape.scale(v, c);
+            let b = tape.mul(v, a);      // c * x^2
+            let d = tape.sub(b, v);      // c x^2 - x
+            let e = tape.add(d, v);      // c x^2
+            tape.sum_all(e)
+        });
+        prop_assert!(report.passes(8e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn segment_pipeline_grad(x in arb_tensor(6, 3), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = x.rows();
+        let idx: Vec<u32> = (0..8).map(|_| rng.gen_range(0..n) as u32).collect();
+        let seg: Vec<u32> = (0..8).map(|_| rng.gen_range(0..3u32)).collect();
+        let report = grad_check(&x, 1e-3, |tape, v| {
+            let g = tape.gather_rows(v, &idx);
+            let s = tape.segment_sum(g, &seg, 3);
+            let t = tape.tanh(s);
+            tape.mean_all(t)
+        });
+        prop_assert!(report.passes(8e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn bce_grad(x in arb_tensor(8, 1), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let targets: Vec<f32> = (0..x.rows()).map(|_| f32::from(rng.gen::<bool>())).collect();
+        let report = grad_check(&x, 1e-3, |tape, v| tape.bce_with_logits(v, &targets));
+        prop_assert!(report.passes(8e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn matmul_shapes_compose(a in arb_tensor(4, 3), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = Tensor::from_fn(a.cols(), 5, |_, _| rng.gen::<f32>() - 0.5);
+        // Forward identity: (A B)^T == B^T A^T
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col_row_sums_agree_with_manual(x in arb_tensor(5, 5)) {
+        let total: f32 = x.data().iter().sum();
+        prop_assert!((x.col_sums().sum() - total).abs() < 1e-3);
+        prop_assert!((x.row_sums().sum() - total).abs() < 1e-3);
+    }
+}

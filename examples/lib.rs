@@ -1,0 +1,8 @@
+//! Runnable examples for the SpLPG reproduction (binaries only).
+//!
+//! * `quickstart` — train SpLPG vs centralized on a Cora stand-in;
+//! * `strategy_showdown` — every strategy's accuracy/communication;
+//! * `sparsifier_lab` — the effective-resistance sparsifier up close;
+//! * `negative_sampling_anatomy` — why local negative samples hurt;
+//! * `heuristic_baselines` — classical heuristics vs a trained GNN;
+//! * `fault_tolerance` — SpLPG under worker preemption.

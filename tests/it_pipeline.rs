@@ -1,0 +1,117 @@
+//! End-to-end integration: dataset generation -> partitioning ->
+//! sparsification -> distributed training -> evaluation, across
+//! strategies and model architectures.
+
+use splpg::prelude::*;
+
+fn tiny() -> Dataset {
+    DatasetSpec::cora().generate(Scale::new(0.05, 16), 21).expect("generate")
+}
+
+fn quick(strategy: Strategy, model: ModelKind, workers: usize) -> DistOutcome {
+    SpLpg::builder()
+        .workers(workers)
+        .strategy(strategy)
+        .epochs(2)
+        .hidden(8)
+        .layers(2)
+        .fanouts(vec![Some(5), Some(5)])
+        .hits_k(10)
+        .build()
+        .run(model, &tiny())
+        .expect("training run")
+}
+
+#[test]
+fn every_strategy_completes() {
+    for strategy in Strategy::ALL {
+        let workers = if strategy == Strategy::Centralized { 1 } else { 2 };
+        let out = quick(strategy, ModelKind::GraphSage, workers);
+        assert!(
+            out.test_hits.is_finite() && (0.0..=1.0).contains(&out.test_hits),
+            "{strategy}: bad hits {}",
+            out.test_hits
+        );
+        assert!(out.epochs.iter().all(|e| e.mean_loss.is_finite()), "{strategy}: NaN loss");
+    }
+}
+
+#[test]
+fn every_model_trains_distributed() {
+    for model in ModelKind::ALL {
+        let out = quick(Strategy::SpLpg, model, 2);
+        assert!(out.test_hits.is_finite(), "{model} produced non-finite hits");
+    }
+}
+
+#[test]
+fn comm_cost_ordering_holds() {
+    // The paper's central cost claim, as an invariant:
+    // 0 = local-only < SpLPG < complete sharing.
+    let local = quick(Strategy::PsgdPa, ModelKind::GraphSage, 2);
+    let splpg = quick(Strategy::SpLpg, ModelKind::GraphSage, 2);
+    let plus = quick(Strategy::SpLpgPlus, ModelKind::GraphSage, 2);
+    assert_eq!(local.comm.total_bytes(), 0);
+    assert!(splpg.comm.total_bytes() > 0);
+    assert!(
+        splpg.comm.total_bytes() < plus.comm.total_bytes(),
+        "sparsified sharing ({}) must be cheaper than complete sharing ({})",
+        splpg.comm.total_bytes(),
+        plus.comm.total_bytes()
+    );
+}
+
+#[test]
+fn comm_cost_decreases_with_alpha() {
+    let data = tiny();
+    let run = |alpha: f64| {
+        SpLpg::builder()
+            .workers(2)
+            .strategy(Strategy::SpLpg)
+            .sparsification_alpha(alpha)
+            .epochs(2)
+            .hidden(8)
+            .layers(2)
+            .fanouts(vec![Some(5), Some(5)])
+            .hits_k(10)
+            .build()
+            .run(ModelKind::GraphSage, &data)
+            .expect("run")
+            .comm
+            .total_bytes()
+    };
+    let heavy = run(0.6);
+    let light = run(0.05);
+    assert!(
+        light < heavy,
+        "alpha 0.05 ({light}) should transfer less than alpha 0.6 ({heavy})"
+    );
+}
+
+#[test]
+fn model_and_gradient_averaging_both_work() {
+    let data = tiny();
+    for sync in [SyncMethod::ModelAveraging, SyncMethod::GradientAveraging] {
+        let out = SpLpg::builder()
+            .workers(2)
+            .strategy(Strategy::SpLpg)
+            .sync(sync)
+            .epochs(2)
+            .hidden(8)
+            .layers(2)
+            .fanouts(vec![Some(5), Some(5)])
+            .hits_k(10)
+            .build()
+            .run(ModelKind::Gcn, &data)
+            .expect("run");
+        assert!(out.test_hits.is_finite(), "{sync:?} failed");
+    }
+}
+
+#[test]
+fn worker_counts_scale() {
+    for p in [2usize, 4, 8] {
+        let out = quick(Strategy::SpLpg, ModelKind::GraphSage, p);
+        assert!(out.test_hits.is_finite(), "p = {p} failed");
+    }
+}
