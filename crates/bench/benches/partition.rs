@@ -1,47 +1,51 @@
 //! Micro-benchmarks of the three partitioners on community graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use splpg_bench::timing;
 use splpg_datasets::{generate_community_graph, CommunityGraphParams};
 use splpg_partition::{MetisLike, Partitioner, RandomTma, SuperTma};
+use splpg_rng::SeedableRng;
 
 fn graph(nodes: usize, edges: usize) -> splpg_graph::Graph {
     let params = CommunityGraphParams { nodes, edges, ..Default::default() };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(4);
     generate_community_graph(&params, &mut rng).expect("valid params").0
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
+    timing::section("partition/p8 (5k nodes, 30k edges)");
     let g = graph(5_000, 30_000);
-    let mut group = c.benchmark_group("partition/p8");
-    group.sample_size(10);
-    group.bench_function("metis_like", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| MetisLike::default().partition(&g, 8, &mut rng).expect("partition"));
-    });
-    group.bench_function("random_tma", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| RandomTma::default().partition(&g, 8, &mut rng).expect("partition"));
-    });
-    group.bench_function("super_tma", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| SuperTma::default().partition(&g, 8, &mut rng).expect("partition"));
-    });
-    group.finish();
-}
-
-fn bench_metis_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition/metis_scaling");
-    group.sample_size(10);
-    for (nodes, edges) in [(1_000, 5_000), (5_000, 30_000), (10_000, 60_000)] {
-        let g = graph(nodes, edges);
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &g, |b, g| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-            b.iter(|| MetisLike::default().partition(g, 4, &mut rng).expect("partition"));
+    {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
+        timing::bench("metis_like", || {
+            MetisLike::default().partition(&g, 8, &mut rng).expect("partition")
         });
     }
-    group.finish();
+    {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
+        timing::bench("random_tma", || {
+            RandomTma.partition(&g, 8, &mut rng).expect("partition")
+        });
+    }
+    {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
+        timing::bench("super_tma", || {
+            SuperTma::default().partition(&g, 8, &mut rng).expect("partition")
+        });
+    }
 }
 
-criterion_group!(benches, bench_partitioners, bench_metis_scaling);
-criterion_main!(benches);
+fn bench_metis_scaling() {
+    timing::section("partition/metis_scaling (4 parts)");
+    for (nodes, edges) in [(1_000, 5_000), (5_000, 30_000), (10_000, 60_000)] {
+        let g = graph(nodes, edges);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(6);
+        timing::bench(&format!("metis_like_{nodes}n"), || {
+            MetisLike::default().partition(&g, 4, &mut rng).expect("partition")
+        });
+    }
+}
+
+fn main() {
+    bench_partitioners();
+    bench_metis_scaling();
+}

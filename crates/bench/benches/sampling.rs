@@ -1,75 +1,72 @@
 //! Micro-benchmarks of mini-batch machinery: neighbor sampling (block
 //! construction), negative sampling, and the alias table.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
+use splpg_bench::timing;
 use splpg_datasets::{generate_community_graph, CommunityGraphParams};
 use splpg_gnn::{FullGraphAccess, NeighborSampler, PerSourceNegativeSampler};
+use splpg_rng::{Rng, SeedableRng};
 use splpg_sparsify::AliasTable;
 
 fn graph() -> splpg_graph::Graph {
     let params =
         CommunityGraphParams { nodes: 10_000, edges: 60_000, ..Default::default() };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(7);
     generate_community_graph(&params, &mut rng).expect("valid params").0
 }
 
-fn bench_neighbor_sampler(c: &mut Criterion) {
+fn bench_neighbor_sampler() {
+    timing::section("sampling/blocks (512 seeds, 60k edges)");
     let g = graph();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(8);
     let seeds: Vec<u32> = (0..512).map(|_| rng.gen_range(0..10_000)).collect();
-    let mut group = c.benchmark_group("sampling/blocks");
-    group.throughput(Throughput::Elements(seeds.len() as u64));
-    group.bench_function("fanout_25_10_5", |b| {
+    {
         let sampler = NeighborSampler::paper_sage();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        b.iter(|| {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
+        timing::bench("fanout_25_10_5", || {
             let mut access = FullGraphAccess::new(&g);
             sampler.sample(&mut access, &seeds, &mut rng)
         });
-    });
-    group.bench_function("full_3layer", |b| {
+    }
+    {
         let sampler = NeighborSampler::full(3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        b.iter(|| {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
+        timing::bench("full_3layer", || {
             let mut access = FullGraphAccess::new(&g);
             sampler.sample(&mut access, &seeds, &mut rng)
         });
-    });
-    group.finish();
+    }
 }
 
-fn bench_negative_sampling(c: &mut Criterion) {
+fn bench_negative_sampling() {
+    timing::section("sampling/negatives");
     let g = graph();
     let positives = g.edges()[..1024].to_vec();
-    c.bench_function("sampling/per_source_negatives_1024", |b| {
-        let sampler = PerSourceNegativeSampler::global(g.num_nodes());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-        b.iter(|| {
-            let mut access = FullGraphAccess::new(&g);
-            sampler.sample_for_edges(&mut access, &positives, &mut rng).expect("sample")
-        });
+    let sampler = PerSourceNegativeSampler::global(g.num_nodes());
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(10);
+    timing::bench("per_source_negatives_1024", || {
+        let mut access = FullGraphAccess::new(&g);
+        sampler.sample_for_edges(&mut access, &positives, &mut rng).expect("sample")
     });
 }
 
-fn bench_alias_table(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+fn bench_alias_table() {
+    timing::section("sampling/alias table");
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(11);
     let weights: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() + 0.01).collect();
-    c.bench_function("sampling/alias_build_100k", |b| {
-        b.iter(|| AliasTable::new(&weights).expect("valid weights"));
-    });
+    timing::bench("alias_build_100k", || AliasTable::new(&weights).expect("valid weights"));
     let table = AliasTable::new(&weights).expect("valid weights");
-    c.bench_function("sampling/alias_draw_10k", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
-        b.iter(|| {
-            let mut acc = 0usize;
-            for _ in 0..10_000 {
-                acc = acc.wrapping_add(table.sample(&mut rng));
-            }
-            acc
-        });
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(12);
+    timing::bench("alias_draw_10k", || {
+        let mut acc = 0usize;
+        for _ in 0..10_000 {
+            acc = acc.wrapping_add(table.sample(&mut rng));
+        }
+        acc
     });
 }
 
-criterion_group!(benches, bench_neighbor_sampler, bench_negative_sampling, bench_alias_table);
-criterion_main!(benches);
+fn main() {
+    bench_neighbor_sampler();
+    bench_negative_sampling();
+    bench_alias_table();
+}

@@ -3,56 +3,55 @@
 //! end-to-end sparsification across graph sizes, plus the exact-vs-approx
 //! ablation on a small graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::SeedableRng;
-use splpg_datasets::{CommunityGraphParams, generate_community_graph};
+use splpg_bench::timing;
+use splpg_datasets::{generate_community_graph, CommunityGraphParams};
+use splpg_rng::SeedableRng;
 use splpg_sparsify::{DegreeSparsifier, ExactSparsifier, SparsifyConfig, Sparsifier};
 
 fn graph(nodes: usize, edges: usize) -> splpg_graph::Graph {
     let params = CommunityGraphParams { nodes, edges, ..Default::default() };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
     generate_community_graph(&params, &mut rng).expect("valid params").0
 }
 
-fn bench_sparsify_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparsify/degree");
+fn bench_sparsify_scaling() {
+    timing::section("sparsify/degree scaling");
     for (nodes, edges) in [(1_000, 5_000), (5_000, 30_000), (10_000, 60_000)] {
         let g = graph(nodes, edges);
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(edges), &g, |b, g| {
-            let sparsifier = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15));
-            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-            b.iter(|| sparsifier.sparsify(g, &mut rng).expect("sparsify"));
+        let sparsifier = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15));
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
+        timing::bench(&format!("degree_sparsify_{edges}e"), || {
+            sparsifier.sparsify(&g, &mut rng).expect("sparsify")
         });
     }
-    group.finish();
 }
 
-fn bench_scores(c: &mut Criterion) {
+fn bench_scores() {
+    timing::section("sparsify/degree_scores");
     let g = graph(10_000, 60_000);
-    c.bench_function("sparsify/degree_scores", |b| {
-        b.iter(|| DegreeSparsifier::scores(&g));
-    });
+    timing::bench("degree_scores_60k", || DegreeSparsifier::scores(&g));
 }
 
-fn bench_exact_vs_approx(c: &mut Criterion) {
+fn bench_exact_vs_approx() {
     // The ablation DESIGN.md calls out: the degree approximation (Theorem
     // 2) must be orders of magnitude faster than exact CG resistances.
-    let g = graph(200, 800);
-    let mut group = c.benchmark_group("sparsify/exact_vs_approx");
-    group.sample_size(10);
-    group.bench_function("approx", |b| {
+    timing::section("sparsify/exact_vs_approx (200n, 800e)");
+    {
+        let g = graph(200, 800);
         let s = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        b.iter(|| s.sparsify(&g, &mut rng).expect("sparsify"));
-    });
-    group.bench_function("exact", |b| {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
+        timing::bench("approx", || s.sparsify(&g, &mut rng).expect("sparsify"));
+    }
+    {
+        let g = graph(200, 800);
         let s = ExactSparsifier::new(SparsifyConfig::with_alpha(0.15));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        b.iter(|| s.sparsify(&g, &mut rng).expect("sparsify"));
-    });
-    group.finish();
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
+        timing::bench("exact", || s.sparsify(&g, &mut rng).expect("sparsify"));
+    }
 }
 
-criterion_group!(benches, bench_sparsify_scaling, bench_scores, bench_exact_vs_approx);
-criterion_main!(benches);
+fn main() {
+    bench_sparsify_scaling();
+    bench_scores();
+    bench_exact_vs_approx();
+}

@@ -2,64 +2,67 @@
 //! training time: matmul, segment aggregation, and a full
 //! forward+backward of one GNN layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
+use splpg_bench::timing;
+use splpg_rng::{Rng, SeedableRng};
 use splpg_tensor::{Tape, Tensor};
 
 fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
     Tensor::from_fn(rows, cols, |_, _| rng.gen::<f32>() - 0.5)
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tensor/matmul");
+fn bench_matmul() {
+    timing::section("tensor/matmul [n,128]x[128,64]");
     for n in [64usize, 256, 1024] {
         let a = random_tensor(n, 128, 1);
         let b = random_tensor(128, 64, 2);
-        group.throughput(Throughput::Elements((n * 128 * 64) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| a.matmul(b));
-        });
+        timing::bench(&format!("matmul_{n}"), || a.matmul(&b));
     }
-    group.finish();
 }
 
-fn bench_segment_sum(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let x = random_tensor(20_000, 64, 4);
-    let seg: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..2_000)).collect();
-    c.bench_function("tensor/segment_sum_20k_x64", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let v = tape.leaf(x.clone());
-            tape.segment_sum(v, &seg, 2_000)
-        });
+fn bench_segment_sum() {
+    timing::section("tensor/segment_sum 20k rows -> 2k segments");
+    let rows = 20_000;
+    let segments = 2_000;
+    let data = random_tensor(rows, 64, 3);
+    let seg_ids: Vec<u32> = (0..rows).map(|i| (i % segments) as u32).collect();
+    timing::bench("segment_sum_20k_64", || {
+        let mut tape = Tape::new();
+        let x = tape.leaf(data.clone());
+        let y = tape.segment_sum(x, &seg_ids, segments);
+        tape.value(y).clone()
     });
 }
 
-fn bench_layer_forward_backward(c: &mut Criterion) {
-    // One GCN-like layer on a 5k-edge block, forward + backward.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let h = random_tensor(2_000, 64, 6);
-    let w = random_tensor(64, 64, 7);
-    let e_src: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..2_000)).collect();
-    let e_dst: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..500)).collect();
-    let norms: Vec<f32> = (0..5_000).map(|_| rng.gen::<f32>()).collect();
-    c.bench_function("tensor/gcn_layer_fwd_bwd", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let hv = tape.leaf(h.clone());
-            let wv = tape.leaf(w.clone());
-            let msgs = tape.gather_rows(hv, &e_src);
-            let scaled = tape.scale_rows(msgs, &norms);
-            let agg = tape.segment_sum(scaled, &e_dst, 500);
-            let out = tape.matmul(agg, wv);
-            let act = tape.relu(out);
-            let loss = tape.mean_all(act);
-            tape.backward(loss)
-        });
+fn bench_layer_forward_backward() {
+    // A GCN-shaped layer on a 5k-edge block: gather, scale, aggregate,
+    // linear, relu, backward.
+    timing::section("tensor/layer fwd+bwd (5k edges, 64->32)");
+    let num_src = 2_000;
+    let num_dst = 500;
+    let num_edges = 5_000;
+    let feats = random_tensor(num_src, 64, 4);
+    let weight = random_tensor(64, 32, 5);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(6);
+    let e_src: Vec<u32> = (0..num_edges).map(|_| rng.gen_range(0..num_src as u32)).collect();
+    let e_dst: Vec<u32> = (0..num_edges).map(|_| rng.gen_range(0..num_dst as u32)).collect();
+    let norm: Vec<f32> = (0..num_edges).map(|_| rng.gen_range(0.1f32..1.0)).collect();
+    timing::bench("gcn_layer_fwd_bwd", || {
+        let mut tape = Tape::new();
+        let h = tape.leaf(feats.clone());
+        let w = tape.leaf(weight.clone());
+        let msgs = tape.gather_rows(h, &e_src);
+        let scaled = tape.scale_rows(msgs, &norm);
+        let agg = tape.segment_sum(scaled, &e_dst, num_dst);
+        let z = tape.matmul(agg, w);
+        let y = tape.relu(z);
+        let loss = tape.mean_all(y);
+        tape.backward(loss)
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_segment_sum, bench_layer_forward_backward);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_segment_sum();
+    bench_layer_forward_backward();
+}

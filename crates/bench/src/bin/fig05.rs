@@ -5,7 +5,7 @@
 //! sample space (all non-adjacent node pairs) reachable by a worker that
 //! can only draw *local* negatives from its own partition.
 
-use rand::SeedableRng;
+use splpg_rng::SeedableRng;
 use splpg::prelude::*;
 use splpg_bench::{print_header, print_row, ExpOptions};
 use splpg_partition::{RandomTma, SuperTma};
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Figure 5 — fraction of the negative sample space reachable with local-only sampling",
         &["dataset", "partitioner", "p", "edge cut %", "local pair space %"],
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(opts.seed);
     for spec in opts.comm_specs() {
         let data = opts.generate(&spec)?;
         let g = data.train_graph();

@@ -6,7 +6,7 @@
 //! paper), because sparsification removes most positive samples — the
 //! reason SpLPG only uses sparsified graphs for *negative* sampling.
 
-use rand::SeedableRng;
+use splpg_rng::SeedableRng;
 use splpg::prelude::*;
 use splpg::sparsify::DegreeSparsifier;
 use splpg_bench::{print_header, print_row, ExpOptions};
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &format!("Figure 6 — centralized accuracy w/ and w/o sparsification (alpha = 0.15, {})", opts.hits_label()),
         &["dataset", "model", "w/o sparsify", "w/ sparsify", "drop %"],
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(opts.seed);
     for spec in opts.accuracy_specs() {
         let data = opts.generate(&spec)?;
         // Sparsify the whole graph, then rebuild a split-compatible

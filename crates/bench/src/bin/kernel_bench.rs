@@ -1,0 +1,149 @@
+//! Thread-scaling bench for the parallel compute layer.
+//!
+//! Times the three kernels the pool accelerates — dense matmul, fan-out
+//! neighbor sampling, and exact effective-resistance sparsification —
+//! at 1/2/4/8 threads (via [`splpg_par::set_num_threads`]) plus the
+//! scalar matmul reference, prints a table, and writes
+//! `BENCH_kernels.json` (op, shape, threads, ns/iter) to the repo root.
+//!
+//! `SPLPG_BENCH_MS` shrinks the per-measurement budget for smoke runs.
+
+use std::fmt::Write as _;
+
+use splpg_bench::timing;
+use splpg_rng::{Rng, SeedableRng};
+use splpg_datasets::{generate_community_graph, CommunityGraphParams};
+use splpg_gnn::{FullGraphAccess, NeighborSampler};
+use splpg_sparsify::ExactSparsifier;
+use splpg_tensor::Tensor;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    threads: usize,
+    ns_per_iter: f64,
+}
+
+fn rand_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+fn community(nodes: usize, edges: usize, seed: u64) -> splpg_graph::Graph {
+    let params = CommunityGraphParams { nodes, edges, ..Default::default() };
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
+    generate_community_graph(&params, &mut rng).expect("valid params").0
+}
+
+fn bench_matmul(records: &mut Vec<Record>) {
+    // The acceptance shape: [4096,256] x [256,256].
+    let (n, k, m) = (4096usize, 256usize, 256usize);
+    let shape = format!("[{n},{k}]x[{k},{m}]");
+    let a = rand_tensor(n, k, 1);
+    let b = rand_tensor(k, m, 2);
+    timing::section(&format!("matmul {shape}"));
+    let scalar = timing::bench("matmul_scalar", || a.matmul_scalar(&b));
+    records.push(Record {
+        op: "matmul_scalar",
+        shape: shape.clone(),
+        threads: 1,
+        ns_per_iter: scalar.ns_per_iter,
+    });
+    let mut best = f64::INFINITY;
+    for threads in THREAD_SWEEP {
+        splpg_par::set_num_threads(threads);
+        let r = timing::bench(&format!("matmul_par_t{threads}"), || a.matmul(&b));
+        best = best.min(r.ns_per_iter);
+        records.push(Record {
+            op: "matmul",
+            shape: shape.clone(),
+            threads,
+            ns_per_iter: r.ns_per_iter,
+        });
+    }
+    splpg_par::set_num_threads(0);
+    println!(
+        "matmul best parallel speedup vs scalar: {:.2}x",
+        scalar.ns_per_iter / best
+    );
+}
+
+fn bench_fanout_sampling(records: &mut Vec<Record>) {
+    let (nodes, edges) = (20_000usize, 120_000usize);
+    let shape = format!("{nodes}n/{edges}e, 2048 seeds, fanout 25/10/5");
+    let g = community(nodes, edges, 3);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(4);
+    let seeds: Vec<u32> = (0..2048).map(|_| rng.gen_range(0..nodes as u32)).collect();
+    let sampler = NeighborSampler::paper_sage();
+    timing::section(&format!("fanout sampling {shape}"));
+    for threads in THREAD_SWEEP {
+        splpg_par::set_num_threads(threads);
+        let mut r = splpg_rng::rngs::StdRng::seed_from_u64(5);
+        let rec = timing::bench(&format!("sample_t{threads}"), || {
+            let mut access = FullGraphAccess::new(&g);
+            sampler.sample(&mut access, &seeds, &mut r)
+        });
+        records.push(Record {
+            op: "fanout_sampling",
+            shape: shape.clone(),
+            threads,
+            ns_per_iter: rec.ns_per_iter,
+        });
+    }
+    splpg_par::set_num_threads(0);
+}
+
+fn bench_er_sparsify(records: &mut Vec<Record>) {
+    let (nodes, edges) = (200usize, 800usize);
+    let shape = format!("{nodes}n/{edges}e exact resistances");
+    let g = community(nodes, edges, 6);
+    timing::section(&format!("ER sparsification {shape}"));
+    for threads in THREAD_SWEEP {
+        splpg_par::set_num_threads(threads);
+        let rec = timing::bench(&format!("resistances_t{threads}"), || {
+            ExactSparsifier::resistances(&g).expect("connected community graph")
+        });
+        records.push(Record {
+            op: "er_resistances",
+            shape: shape.clone(),
+            threads,
+            ns_per_iter: rec.ns_per_iter,
+        });
+    }
+    splpg_par::set_num_threads(0);
+}
+
+/// Repo root: two levels above the bench crate when run via cargo,
+/// else the current directory.
+fn repo_root() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../.."),
+        Err(_) => std::path::PathBuf::from("."),
+    }
+}
+
+fn write_json(records: &[Record]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.1}}}{comma}",
+            r.op, r.shape, r.threads, r.ns_per_iter
+        );
+    }
+    out.push_str("]\n");
+    let path = repo_root().join("BENCH_kernels.json");
+    std::fs::write(&path, out).expect("write BENCH_kernels.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    let mut records = Vec::new();
+    bench_matmul(&mut records);
+    bench_fanout_sampling(&mut records);
+    bench_er_sparsify(&mut records);
+    write_json(&records);
+}

@@ -265,6 +265,8 @@ impl ExpOptions {
     }
 }
 
+pub mod timing;
+
 /// Prints a markdown-style table header.
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n## {title}\n");

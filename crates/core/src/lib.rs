@@ -58,7 +58,9 @@ pub use splpg_gnn as gnn;
 pub use splpg_graph as graph;
 pub use splpg_linalg as linalg;
 pub use splpg_nn as nn;
+pub use splpg_par as par;
 pub use splpg_partition as partition;
+pub use splpg_rng as rng;
 pub use splpg_sparsify as sparsify;
 pub use splpg_tensor as tensor;
 

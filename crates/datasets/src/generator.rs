@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::Rng;
+use splpg_rng::rngs::StdRng;
+use splpg_rng::Rng;
 use splpg_graph::{FeatureMatrix, Graph, GraphBuilder, NodeId};
 
 use crate::DatasetError;
@@ -176,7 +176,7 @@ impl WeightedPicker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use splpg_rng::rngs::StdRng;
+use splpg_rng::SeedableRng;
 use splpg_graph::{EdgeSplit, FeatureMatrix, Graph, SplitFractions};
 
 use crate::generator::{generate_community_graph, CommunityGraphParams};

@@ -1,8 +1,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use splpg_rng::rngs::StdRng;
+use splpg_rng::{Rng, SeedableRng};
 use splpg_graph::{Edge, FeatureMatrix, Graph, NodeId};
 use splpg_partition::{MetisLike, Partition, Partitioner, RandomTma, SuperTma};
 use splpg_sparsify::{
@@ -131,28 +131,42 @@ impl ClusterSetup {
         }
 
         let tracker = CommTracker::new();
-        let mut locals: Vec<Arc<Graph>> = Vec::with_capacity(num_workers);
-        for edges in &local_edges {
-            let g = Graph::from_edges(n, edges).map_err(|e| DistError::Partition(e.to_string()))?;
-            locals.push(Arc::new(g));
-        }
+        // Per-partition CSR builds are independent: fan out one per pool
+        // slot (partitions are few but heavy, so min 1 item per thread).
+        let pool = splpg_par::global();
+        let locals: Vec<Arc<Graph>> = pool
+            .parallel_map_chunks(&local_edges, 1, |_, edges| {
+                Graph::from_edges(n, edges).map(Arc::new)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| DistError::Partition(e.to_string()))?;
 
-        // Sparsified copies (SpLPG): one per partition, timed for Table II.
+        // Sparsified copies (SpLPG): one per partition, timed for Table
+        // II. Each partition sparsifies with its own RNG stream derived
+        // from a single draw on the setup RNG, so the result depends only
+        // on the seed, never on the thread count.
         let mut sparsify_time = Duration::ZERO;
         let sparsified: Option<Arc<Vec<Graph>>> = if spec.remote == RemoteKind::Sparsified {
             let config = SparsifyConfig::with_alpha(alpha);
+            let sparsify_seed: u64 = rng.gen();
             let t1 = Instant::now();
-            let parts = locals
-                .iter()
-                .map(|g| match sparsifier_kind {
-                    SparsifierKind::Degree => DegreeSparsifier::new(config).sparsify(g, &mut rng),
-                    SparsifierKind::Uniform => {
-                        UniformSparsifier::new(config).sparsify(g, &mut rng)
-                    }
-                    SparsifierKind::SpanningForest => {
-                        SpanningForestSparsifier::new(config).sparsify(g, &mut rng)
+            let parts = pool
+                .parallel_map_chunks(&locals, 1, |i, g| {
+                    let mut part_rng = splpg_rng::derive_stream(sparsify_seed, i as u64);
+                    match sparsifier_kind {
+                        SparsifierKind::Degree => {
+                            DegreeSparsifier::new(config).sparsify(g, &mut part_rng)
+                        }
+                        SparsifierKind::Uniform => {
+                            UniformSparsifier::new(config).sparsify(g, &mut part_rng)
+                        }
+                        SparsifierKind::SpanningForest => {
+                            SpanningForestSparsifier::new(config).sparsify(g, &mut part_rng)
+                        }
                     }
                 })
+                .into_iter()
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| DistError::Sparsify(e.to_string()))?;
             sparsify_time = t1.elapsed();
@@ -162,9 +176,13 @@ impl ClusterSetup {
         };
         let owner: Arc<Vec<u32>> = Arc::new(partition.assignments().to_vec());
 
-        let mut workers = Vec::with_capacity(num_workers);
-        for w in 0..num_workers {
-            let core: Vec<NodeId> = partition.part_nodes(w as u32);
+        // Per-worker view assembly (halo bitmaps, positive-edge copies)
+        // reads only shared state: one worker per pool slot.
+        let worker_ids: Vec<usize> = (0..num_workers).collect();
+        let partition_ref = &partition;
+        let sparsified_ref = &sparsified;
+        let workers: Vec<WorkerData> = pool.parallel_map_chunks(&worker_ids, 1, |_, &w| {
+            let core: Vec<NodeId> = partition_ref.part_nodes(w as u32);
             let mut structure_local = vec![false; n];
             let mut feature_local = vec![false; n];
             for &v in &core {
@@ -184,7 +202,7 @@ impl ClusterSetup {
                 RemoteKind::None => RemoteMode::None,
                 RemoteKind::Full => RemoteMode::Full { graph: Arc::clone(graph) },
                 RemoteKind::Sparsified => RemoteMode::Sparsified {
-                    parts: Arc::clone(sparsified.as_ref().expect("built above")),
+                    parts: Arc::clone(sparsified_ref.as_ref().expect("built above")),
                     owner: Arc::clone(&owner),
                 },
             };
@@ -201,8 +219,8 @@ impl ClusterSetup {
                 NegativeSpace::Local => core.clone(),
                 NegativeSpace::Global => (0..n as NodeId).collect(),
             };
-            workers.push(WorkerData { worker_id: w, view, positives, negative_space });
-        }
+            WorkerData { worker_id: w, view, positives, negative_space }
+        });
         Ok(ClusterSetup { workers, tracker, partition, partition_time, sparsify_time })
     }
 }
@@ -300,6 +318,31 @@ mod tests {
             "sparsified degree {sparse_deg} not below {}",
             g.degree(remote_node)
         );
+    }
+
+    #[test]
+    fn setup_identical_across_thread_counts() {
+        let (g, f) = fixture();
+        let run = |threads: usize| {
+            splpg_par::set_num_threads(threads);
+            let s = ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 4, 0.15, 7).unwrap();
+            splpg_par::set_num_threads(0);
+            s
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.partition.assignments(), eight.partition.assignments());
+        for (wa, wb) in one.workers.iter().zip(&eight.workers) {
+            assert_eq!(wa.positives, wb.positives, "worker {}", wa.worker_id);
+            assert_eq!(wa.negative_space, wb.negative_space, "worker {}", wa.worker_id);
+            // Sparsified remote copies must match too: fetch a node owned
+            // by another worker through both views.
+            let other = (wa.worker_id + 1) % one.workers.len();
+            let remote = one.partition.part_nodes(other as u32)[0];
+            let mut va = wa.view.clone();
+            let mut vb = wb.view.clone();
+            assert_eq!(va.neighbors(remote), vb.neighbors(remote), "worker {}", wa.worker_id);
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 use std::sync::{Barrier, Mutex};
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use splpg_rng::rngs::StdRng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::SeedableRng;
 use splpg_datasets::Dataset;
 use splpg_gnn::trainer::{
     batch_grads, evaluate_hits, train_centralized, ModelKind, TrainConfig,
@@ -344,16 +344,19 @@ impl DistTrainer {
         global_flat: &mut Vec<f32>,
         down: &[bool],
     ) -> Result<f32, DistError> {
+        // (flat params, summed loss, batch count) for a live worker; None
+        // for a crashed one.
+        type WorkerEpoch = Result<Option<(Vec<f32>, f64, usize)>, String>;
         let batch_size = self.train.batch_size;
         let flat: &Vec<f32> = global_flat;
-        let results: Vec<Result<Option<(Vec<f32>, f64, usize)>, String>> =
+        let results: Vec<WorkerEpoch> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = states
                     .iter_mut()
                     .enumerate()
                     .map(|(i, state)| {
                         let crashed = down.get(i).copied().unwrap_or(false);
-                        scope.spawn(move || -> Result<Option<(Vec<f32>, f64, usize)>, String> {
+                        scope.spawn(move || -> WorkerEpoch {
                             if crashed {
                                 // A crashed worker does no work and is
                                 // excluded from the average; it reloads

@@ -1,23 +1,33 @@
-//! Property-based tests on the distributed data plane: metering
-//! invariants must hold for arbitrary community graphs, strategies and
-//! partition counts.
+//! Property-style tests on the distributed data plane, run as seeded
+//! loops: metering invariants must hold for arbitrary community graphs,
+//! strategies and partition counts.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use splpg_dist::{ClusterSetup, CommTracker, Strategy as TrainingStrategy};
 use splpg_gnn::{GraphAccess, NeighborSampler};
 use splpg_graph::{FeatureMatrix, Graph, NodeId};
+use splpg_rng::{Rng, SeedableRng};
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
-    (16usize..60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
-            2 * n..6 * n,
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 24;
+
+fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A random simple graph with 16..60 nodes and 2n..6n edges.
+fn rand_graph(r: &mut splpg_rng::rngs::StdRng) -> (usize, Vec<(NodeId, NodeId)>) {
+    let n = r.gen_range(16usize..60);
+    let m = r.gen_range(2 * n..6 * n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = r.gen_range(0..n as NodeId);
+        let v = r.gen_range(0..n as NodeId);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    (n, edges)
 }
 
 fn setup(
@@ -32,102 +42,121 @@ fn setup(
     ClusterSetup::build(&g, &f, strategy.spec(), workers, 0.15, seed).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn local_only_strategies_never_transfer((n, edges) in arb_graph(), seed in 0u64..200) {
-        let s = setup(n, &edges, TrainingStrategy::PsgdPa, 4, seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn local_only_strategies_never_transfer() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let (n, edges) = rand_graph(&mut r);
+        let s = setup(n, &edges, TrainingStrategy::PsgdPa, 4, case);
         let sampler = NeighborSampler::full(2);
         // Sample from every worker's core nodes: no byte may be metered.
         for w in &s.workers {
             let core = s.partition.part_nodes(w.worker_id as u32);
             let mut view = w.view.clone();
-            let _ = sampler.sample(&mut view, &core[..core.len().min(4)], &mut rng);
+            let _ = sampler.sample(&mut view, &core[..core.len().min(4)], &mut r);
         }
-        prop_assert_eq!(s.tracker.total_bytes(), 0);
+        assert_eq!(s.tracker.total_bytes(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn halo_makes_core_one_hop_free((n, edges) in arb_graph(), seed in 0u64..200) {
-        // Under SpLPG, expanding one hop from core nodes touches only
-        // locally-stored structure.
-        let s = setup(n, &edges, TrainingStrategy::SpLpg, 2, seed);
+#[test]
+fn halo_makes_core_one_hop_free() {
+    // Under SpLPG, expanding one hop from core nodes touches only
+    // locally-stored structure.
+    for case in 0..CASES {
+        let mut r = rng(1000 + case);
+        let (n, edges) = rand_graph(&mut r);
+        let s = setup(n, &edges, TrainingStrategy::SpLpg, 2, case);
         for w in &s.workers {
             let mut view = w.view.clone();
             for &v in s.partition.part_nodes(w.worker_id as u32).iter().take(6) {
                 let before = s.tracker.total_bytes();
                 let _ = view.neighbors(v);
-                prop_assert_eq!(s.tracker.total_bytes(), before,
-                    "core neighbor fetch was metered");
+                assert_eq!(
+                    s.tracker.total_bytes(),
+                    before,
+                    "case {case}: core neighbor fetch was metered"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn positives_cover_every_edge_at_least_once((n, edges) in arb_graph(), seed in 0u64..200) {
-        // Under halo retention the union of worker positives covers every
-        // edge (cross edges twice); without halo, exactly the intra edges.
+#[test]
+fn positives_cover_every_edge_at_least_once() {
+    // Under halo retention the union of worker positives covers every
+    // edge (cross edges twice); without halo, exactly the intra edges.
+    for case in 0..CASES {
+        let mut r = rng(2000 + case);
+        let (n, edges) = rand_graph(&mut r);
         let g = Graph::from_edges(n, &edges).unwrap();
-        let s = setup(n, &edges, TrainingStrategy::SpLpg, 3, seed);
+        let s = setup(n, &edges, TrainingStrategy::SpLpg, 3, case);
         let mut covered = std::collections::HashSet::new();
         for w in &s.workers {
             for e in &w.positives {
                 covered.insert((e.src, e.dst));
             }
         }
-        prop_assert_eq!(covered.len(), g.num_edges());
+        assert_eq!(covered.len(), g.num_edges(), "case {case}");
     }
+}
 
-    #[test]
-    fn negative_spaces_match_strategy((n, edges) in arb_graph(), seed in 0u64..200) {
-        let local = setup(n, &edges, TrainingStrategy::PsgdPa, 2, seed);
-        let global = setup(n, &edges, TrainingStrategy::SpLpg, 2, seed);
+#[test]
+fn negative_spaces_match_strategy() {
+    for case in 0..CASES {
+        let mut r = rng(3000 + case);
+        let (n, edges) = rand_graph(&mut r);
+        let local = setup(n, &edges, TrainingStrategy::PsgdPa, 2, case);
+        let global = setup(n, &edges, TrainingStrategy::SpLpg, 2, case);
         for w in &local.workers {
-            prop_assert!(w.negative_space.len() < n);
+            assert!(w.negative_space.len() < n, "case {case}");
         }
         for w in &global.workers {
-            prop_assert_eq!(w.negative_space.len(), n);
+            assert_eq!(w.negative_space.len(), n, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn remote_fetch_prices_match_payload((n, edges) in arb_graph(), seed in 0u64..200) {
-        let s = setup(n, &edges, TrainingStrategy::SpLpgPlus, 2, seed);
+#[test]
+fn remote_fetch_prices_match_payload() {
+    for case in 0..CASES {
+        let mut r = rng(4000 + case);
+        let (n, edges) = rand_graph(&mut r);
+        let s = setup(n, &edges, TrainingStrategy::SpLpgPlus, 2, case);
         let g = Graph::from_edges(n, &edges).unwrap();
         // Fetch a node owned by worker 1 from worker 0's view.
         let remote = s.partition.part_nodes(1)[0];
         let mut view = s.workers[0].view.clone();
         if view.is_structure_local(remote) {
             // Halo node: free by design.
-            return Ok(());
+            continue;
         }
         let before = s.tracker.structure_bytes();
         let nbrs = view.neighbors(remote);
         let cost = s.tracker.structure_bytes() - before;
-        prop_assert_eq!(
+        assert_eq!(
             cost,
-            nbrs.len() as u64 * splpg_dist::BYTES_PER_EDGE + splpg_dist::BYTES_PER_NODE_ID
+            nbrs.len() as u64 * splpg_dist::BYTES_PER_EDGE + splpg_dist::BYTES_PER_NODE_ID,
+            "case {case}"
         );
-        prop_assert_eq!(nbrs.len(), g.degree(remote));
+        assert_eq!(nbrs.len(), g.degree(remote), "case {case}");
     }
+}
 
-    #[test]
-    fn tracker_counts_are_monotone((n, edges) in arb_graph(), seed in 0u64..200) {
+#[test]
+fn tracker_counts_are_monotone() {
+    for case in 0..CASES {
+        let mut r = rng(5000 + case);
         let tracker = CommTracker::new();
         let mut last = 0;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        use rand::Rng;
         for _ in 0..20 {
-            if rng.gen::<bool>() {
-                tracker.add_structure(rng.gen_range(0..10), rng.gen_range(0..4));
+            if r.gen::<bool>() {
+                tracker.add_structure(r.gen_range(0..10), r.gen_range(0..4));
             } else {
-                tracker.add_features(rng.gen_range(0..10), 8);
+                tracker.add_features(r.gen_range(0..10), 8);
             }
-            prop_assert!(tracker.total_bytes() >= last);
+            assert!(tracker.total_bytes() >= last, "case {case}");
             last = tracker.total_bytes();
         }
-        let _ = (n, edges);
     }
 }

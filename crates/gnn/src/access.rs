@@ -1,5 +1,5 @@
-use rand::seq::SliceRandom;
-use rand::Rng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::Rng;
 use splpg_graph::{FeatureMatrix, Graph, NodeId};
 use splpg_tensor::Tensor;
 
@@ -128,7 +128,7 @@ impl FeatureAccess for FullFeatureAccess<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
     fn graph() -> Graph {
         Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap()
@@ -149,7 +149,7 @@ mod tests {
     fn sample_neighbors_respects_fanout() {
         let g = graph();
         let mut a = FullGraphAccess::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let s = a.sample_neighbors(0, Some(2), &mut rng);
         assert_eq!(s.len(), 2);
         let full = a.sample_neighbors(0, None, &mut rng);
@@ -162,7 +162,7 @@ mod tests {
     fn sampled_neighbors_distinct() {
         let g = graph();
         let mut a = FullGraphAccess::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let s = a.sample_neighbors(0, Some(3), &mut rng);
             let mut ids: Vec<NodeId> = s.iter().map(|&(u, _)| u).collect();

@@ -104,7 +104,7 @@ mod tests {
     use super::*;
     use crate::trainer::{ModelKind, TrainConfig};
     use crate::{FullFeatureAccess, FullGraphAccess, NeighborSampler};
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::FeatureMatrix;
 
     fn fixture() -> (Graph, FeatureMatrix) {
@@ -138,7 +138,7 @@ mod tests {
         // The layered full-graph pass must agree with the per-seed
         // full-neighbor sampler exactly (both see complete neighborhoods).
         let (g, f) = fixture();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let config = TrainConfig { layers: 2, hidden: 8, ..TrainConfig::default() };
         let mut params = ParamSet::new();
         let model = config.build_model(ModelKind::Gcn, f.dim(), &mut params, &mut rng);
@@ -148,7 +148,7 @@ mod tests {
 
         let mut ga = FullGraphAccess::new(&g);
         let mut fa = FullFeatureAccess::new(&f);
-        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r = splpg_rng::rngs::StdRng::seed_from_u64(1);
         let slow = crate::trainer::score_edges(
             &model,
             &params,
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn embeddings_shape() {
         let (g, f) = fixture();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
         let config = TrainConfig { layers: 2, hidden: 6, ..TrainConfig::default() };
         let mut params = ParamSet::new();
         let model = config.build_model(ModelKind::GraphSage, f.dim(), &mut params, &mut rng);
@@ -178,7 +178,7 @@ mod tests {
     fn works_for_every_architecture() {
         let (g, f) = fixture();
         for kind in ModelKind::ALL {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
             let config = TrainConfig { layers: 2, hidden: 4, ..TrainConfig::default() };
             let mut params = ParamSet::new();
             let model = config.build_model(kind, f.dim(), &mut params, &mut rng);

@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn random_scores_auc_half() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use splpg_rng::{Rng, SeedableRng};
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let pos: Vec<f32> = (0..2000).map(|_| rng.gen()).collect();
         let neg: Vec<f32> = (0..2000).map(|_| rng.gen()).collect();
         let a = auc(&pos, &neg).unwrap();

@@ -1,4 +1,4 @@
-use rand::{Rng, RngCore};
+use splpg_rng::{Rng, RngCore};
 use splpg_nn::{glorot_uniform, Binding, ParamSet};
 use splpg_tensor::{Tape, Var};
 
@@ -310,11 +310,11 @@ impl GnnModel for GatV2 {
 mod tests {
     use super::*;
     use crate::models::test_support::path_batch;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_tensor::Tensor;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(2)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(2)
     }
 
     #[test]
@@ -437,11 +437,11 @@ mod multihead_tests {
     use super::*;
     use crate::models::test_support::path_batch;
     use crate::models::GnnModel;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_tensor::{Tape, Tensor};
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(41)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(41)
     }
 
     #[test]

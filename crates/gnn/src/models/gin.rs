@@ -1,4 +1,4 @@
-use rand::{Rng, RngCore};
+use splpg_rng::{Rng, RngCore};
 use splpg_nn::{Binding, Mlp, ParamSet};
 use splpg_tensor::{Tape, Tensor, Var};
 
@@ -105,10 +105,10 @@ impl GnnModel for Gin {
 mod tests {
     use super::*;
     use crate::models::test_support::path_batch;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(31)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(31)
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub use gcn::Gcn;
 pub use gin::Gin;
 pub use sage::GraphSage;
 
-use rand::RngCore;
+use splpg_rng::RngCore;
 use splpg_nn::Binding;
 use splpg_tensor::{Tape, Var};
 

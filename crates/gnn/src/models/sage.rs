@@ -1,4 +1,4 @@
-use rand::{Rng, RngCore};
+use splpg_rng::{Rng, RngCore};
 use splpg_nn::{Binding, Linear, ParamSet};
 use splpg_tensor::{Tape, Var};
 
@@ -102,11 +102,11 @@ impl GnnModel for GraphSage {
 mod tests {
     use super::*;
     use crate::models::test_support::path_batch;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_tensor::Tensor;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(1)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(1)
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Edge, NodeId};
 
 use crate::{GnnError, GraphAccess};
@@ -132,11 +132,11 @@ pub fn global_uniform_negatives<A: GraphAccess, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::FullGraphAccess;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::Graph;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(3)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(3)
     }
 
     fn graph() -> Graph {

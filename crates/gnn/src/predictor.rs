@@ -1,4 +1,4 @@
-use rand::{Rng, RngCore};
+use splpg_rng::{Rng, RngCore};
 use splpg_graph::{Edge, NodeId};
 use splpg_nn::{Binding, Mlp, ParamSet};
 use splpg_tensor::{Tape, Var};
@@ -46,11 +46,11 @@ impl EdgePredictor {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_gnn::{EdgePredictor, GraphSage, LinkPredictor};
 /// use splpg_nn::ParamSet;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
 /// let mut params = ParamSet::new();
 /// let gnn = GraphSage::new(&mut params, &[16, 32, 32], 0.0, &mut rng);
 /// let predictor = EdgePredictor::paper_mlp(&mut params, 32, 32, &mut rng);
@@ -144,11 +144,11 @@ mod tests {
     use super::*;
     use crate::models::test_support::path_batch;
     use crate::Gcn;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_tensor::Tensor;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(4)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(4)
     }
 
     #[test]

@@ -1,9 +1,14 @@
 use std::collections::HashMap;
 
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::NodeId;
 
 use crate::{Block, GraphAccess, MiniBatch};
+
+/// Frontier size below which fan-out subsampling stays inline: a
+/// per-node shuffle costs ~100ns, so smaller frontiers can't amortize a
+/// thread spawn.
+const PAR_FRONTIER_THRESHOLD: usize = 512;
 
 /// Multi-layer neighbor sampler producing message-flow [`Block`]s.
 ///
@@ -16,13 +21,13 @@ use crate::{Block, GraphAccess, MiniBatch};
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_graph::Graph;
 /// use splpg_gnn::{FullGraphAccess, NeighborSampler};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = Graph::from_edges(6, &[(0,1),(1,2),(2,3),(3,4),(4,5)])?;
 /// let mut access = FullGraphAccess::new(&g);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
 /// let sampler = NeighborSampler::full(2);
 /// let batch = sampler.sample(&mut access, &[0], &mut rng);
 /// assert_eq!(batch.blocks.len(), 2);
@@ -71,6 +76,14 @@ impl NeighborSampler {
     /// Duplicate seeds are collapsed. Blocks are returned input-side first,
     /// so `batch.blocks[0].src_ids` lists the nodes whose features must be
     /// materialized.
+    ///
+    /// Each hop fetches neighbor lists sequentially through `access` (so
+    /// remote implementations meter exactly as before) and then fan-out
+    /// subsamples them across the global [`splpg_par`] pool. Every
+    /// destination node shuffles with its own RNG stream derived from one
+    /// per-hop draw on `rng` (see [`splpg_rng::derive_stream`]), so the
+    /// sampled batch depends only on the seed — never on the thread
+    /// count.
     pub fn sample<A: GraphAccess, R: Rng + ?Sized>(
         &self,
         access: &mut A,
@@ -91,14 +104,37 @@ impl NeighborSampler {
         let mut frontier = unique_seeds.clone();
         for &fanout in &self.fanouts {
             let num_dst = frontier.len();
+            // Phase 1 — fetch (sequential): the metered remote operation.
+            let mut lists: Vec<Vec<(NodeId, f32)>> =
+                frontier.iter().map(|&dst| access.neighbors(dst)).collect();
+            // Phase 2 — subsample (parallel, deterministic by stream).
+            if let Some(k) = fanout {
+                let hop_seed: u64 = rng.gen();
+                splpg_par::global().parallel_for_mut(
+                    &mut lists,
+                    1,
+                    PAR_FRONTIER_THRESHOLD,
+                    |start, chunk| {
+                        for (off, nbrs) in chunk.iter_mut().enumerate() {
+                            if nbrs.len() > k {
+                                let mut r =
+                                    splpg_rng::derive_stream(hop_seed, (start + off) as u64);
+                                partial_shuffle(nbrs, k, &mut r);
+                                nbrs.truncate(k);
+                            }
+                        }
+                    },
+                );
+            }
+            // Phase 3 — assemble (sequential): global-to-block indexing.
             let mut src_ids = frontier.clone();
             let mut src_index: HashMap<NodeId, u32> =
                 src_ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
             let mut edge_src = Vec::new();
             let mut edge_dst = Vec::new();
             let mut edge_weight = Vec::new();
-            for (dst_idx, &dst) in frontier.iter().enumerate() {
-                for (nbr, w) in access.sample_neighbors(dst, fanout, rng) {
+            for (dst_idx, sampled) in lists.into_iter().enumerate() {
+                for (nbr, w) in sampled {
                     let src_idx = *src_index.entry(nbr).or_insert_with(|| {
                         src_ids.push(nbr);
                         (src_ids.len() - 1) as u32
@@ -124,15 +160,26 @@ impl NeighborSampler {
     }
 }
 
+/// Fisher–Yates over the first `k` positions only: they end up holding a
+/// uniform `k`-subset in uniform order, exactly as a full shuffle
+/// followed by `truncate(k)` would, at `O(k)` draws instead of `O(n)`.
+fn partial_shuffle<T, R: Rng + ?Sized>(items: &mut [T], k: usize, rng: &mut R) {
+    let n = items.len();
+    for i in 0..k.min(n.saturating_sub(1)) {
+        let j = rng.gen_range(i..n);
+        items.swap(i, j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::FullGraphAccess;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::Graph;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(0)
     }
 
     fn star_plus_path() -> Graph {
@@ -215,5 +262,59 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_fanouts_panic() {
         let _ = NeighborSampler::new(vec![]);
+    }
+
+    #[test]
+    fn batches_identical_across_thread_counts() {
+        // 600 hub nodes each with 8 spokes: frontier crosses the
+        // parallel threshold at hop 1.
+        let hubs = 600u32;
+        let spokes = 8u32;
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for h in 0..hubs {
+            for s in 0..spokes {
+                edges.push((h, hubs + h * spokes + s));
+            }
+        }
+        let g = Graph::from_edges((hubs + hubs * spokes) as usize, &edges).unwrap();
+        let seeds: Vec<NodeId> = (0..hubs).collect();
+        let sampler = NeighborSampler::new(vec![Some(3)]);
+        let run = |threads: usize| {
+            splpg_par::set_num_threads(threads);
+            let mut a = FullGraphAccess::new(&g);
+            let mut r = splpg_rng::rngs::StdRng::seed_from_u64(42);
+            let batch = sampler.sample(&mut a, &seeds, &mut r);
+            splpg_par::set_num_threads(0);
+            batch
+        };
+        let single = run(1);
+        let eight = run(8);
+        assert_eq!(single.seeds, eight.seeds);
+        for (b1, b8) in single.blocks.iter().zip(&eight.blocks) {
+            assert_eq!(b1.src_ids, b8.src_ids);
+            assert_eq!(b1.edge_src, b8.edge_src);
+            assert_eq!(b1.edge_dst, b8.edge_dst);
+            assert_eq!(b1.edge_weight, b8.edge_weight);
+        }
+    }
+
+    #[test]
+    fn partial_shuffle_matches_prefix_distribution() {
+        // Every element must be reachable into the prefix.
+        let mut seen = [false; 10];
+        for trial in 0..200 {
+            let mut v: Vec<usize> = (0..10).collect();
+            let mut r = splpg_rng::rngs::StdRng::seed_from_u64(trial);
+            partial_shuffle(&mut v, 3, &mut r);
+            for &x in &v[..3] {
+                seen[x] = true;
+            }
+            // Prefix stays duplicate-free.
+            let mut p = v[..3].to_vec();
+            p.sort_unstable();
+            p.dedup();
+            assert_eq!(p.len(), 3);
+        }
+        assert!(seen.iter().all(|&b| b), "all elements reachable in prefix");
     }
 }

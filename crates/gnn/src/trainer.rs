@@ -5,9 +5,9 @@
 //! (one worker's forward/backward on its own data view) and
 //! [`evaluate_hits`].
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use splpg_rng::rngs::StdRng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::{Rng, SeedableRng};
 use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph};
 use splpg_nn::{Adam, Optimizer, ParamSet};
 use splpg_tensor::{Tape, Tensor};

@@ -1,135 +1,159 @@
-//! Property-based tests on samplers, negative sampling and metrics.
+//! Property-style tests on samplers, negative sampling and metrics, run as
+//! seeded loops.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use splpg_gnn::{
-    metrics, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler,
-};
+use splpg_gnn::{metrics, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler};
 use splpg_graph::{Graph, NodeId};
+use splpg_rng::{Rng, SeedableRng};
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
-    (4usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
-            1..4 * n,
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 32;
+
+fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random simple graph with 4..40 nodes and 1..4n edges.
+fn rand_graph(r: &mut splpg_rng::rngs::StdRng) -> Graph {
+    let n = r.gen_range(4usize..40);
+    let m = r.gen_range(1..4 * n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = r.gen_range(0..n as NodeId);
+        let v = r.gen_range(0..n as NodeId);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
 
-    #[test]
-    fn sampled_batches_always_validate(
-        (n, edges) in arb_graph(),
-        seed in 0u64..500,
-        layers in 1usize..4,
-        fanout in proptest::option::of(1usize..6),
-    ) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+fn rand_scores(r: &mut splpg_rng::rngs::StdRng, lo: usize, hi: usize, bound: f32) -> Vec<f32> {
+    let len = r.gen_range(lo..hi);
+    (0..len).map(|_| r.gen_range(-bound..bound)).collect()
+}
+
+#[test]
+fn sampled_batches_always_validate() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        let layers = r.gen_range(1usize..4);
+        let fanout = if r.gen_bool(0.5) { Some(r.gen_range(1usize..6)) } else { None };
         let seeds: Vec<NodeId> = (0..4).map(|i| (i * 7 % n) as NodeId).collect();
         let sampler = NeighborSampler::new(vec![fanout; layers]);
         let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        let batch = sampler.sample(&mut access, &seeds, &mut r);
         batch.validate().unwrap();
-        prop_assert_eq!(batch.blocks.len(), layers);
+        assert_eq!(batch.blocks.len(), layers, "case {case}");
     }
+}
 
-    #[test]
-    fn fanout_limits_per_destination_edges(
-        (n, edges) in arb_graph(),
-        seed in 0u64..500,
-        fanout in 1usize..5,
-    ) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn fanout_limits_per_destination_edges() {
+    for case in 0..CASES {
+        let mut r = rng(1000 + case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        let fanout = r.gen_range(1usize..5);
         let seeds: Vec<NodeId> = (0..n.min(6)).map(|i| i as NodeId).collect();
         let sampler = NeighborSampler::new(vec![Some(fanout)]);
         let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        let batch = sampler.sample(&mut access, &seeds, &mut r);
         let block = &batch.blocks[0];
         let mut per_dst = vec![0usize; block.num_dst];
         for &d in &block.edge_dst {
             per_dst[d as usize] += 1;
         }
-        prop_assert!(per_dst.iter().all(|&c| c <= fanout));
+        assert!(per_dst.iter().all(|&c| c <= fanout), "case {case}");
     }
+}
 
-    #[test]
-    fn block_edges_exist_in_graph((n, edges) in arb_graph(), seed in 0u64..500) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn block_edges_exist_in_graph() {
+    for case in 0..CASES {
+        let mut r = rng(2000 + case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
         let seeds: Vec<NodeId> = vec![0, (n / 2) as NodeId];
         let sampler = NeighborSampler::full(2);
         let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut rng);
+        let batch = sampler.sample(&mut access, &seeds, &mut r);
         for block in &batch.blocks {
             for (&s, &d) in block.edge_src.iter().zip(&block.edge_dst) {
                 let gs = block.src_ids[s as usize];
                 let gd = block.src_ids[d as usize];
-                prop_assert!(g.has_edge(gs, gd), "block edge {gs}-{gd} not in graph");
+                assert!(g.has_edge(gs, gd), "case {case}: block edge {gs}-{gd} not in graph");
             }
         }
     }
+}
 
-    #[test]
-    fn negatives_never_collide_with_edges((n, edges) in arb_graph(), seed in 0u64..500) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        prop_assume!(g.num_edges() > 0);
-        // Skip sources connected to everything.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn negatives_never_collide_with_edges() {
+    for case in 0..CASES {
+        let mut r = rng(3000 + case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        if g.num_edges() == 0 {
+            continue;
+        }
         let sampler = PerSourceNegativeSampler::global(n);
         let mut access = FullGraphAccess::new(&g);
         for v in 0..(n as NodeId).min(8) {
+            // Skip sources connected to everything.
             if g.degree(v) + 1 >= n {
                 continue;
             }
-            if let Ok(d) = sampler.sample_destination(&mut access, v, &mut rng) {
-                prop_assert!(!g.has_edge(v, d));
-                prop_assert_ne!(d, v);
+            if let Ok(d) = sampler.sample_destination(&mut access, v, &mut r) {
+                assert!(!g.has_edge(v, d), "case {case}");
+                assert_ne!(d, v, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn hits_is_monotone_in_k(
-        pos in proptest::collection::vec(-5.0f32..5.0, 1..40),
-        neg in proptest::collection::vec(-5.0f32..5.0, 2..60),
-    ) {
+#[test]
+fn hits_is_monotone_in_k() {
+    for case in 0..CASES {
+        let mut r = rng(4000 + case);
+        let pos = rand_scores(&mut r, 1, 40, 5.0);
+        let neg = rand_scores(&mut r, 2, 60, 5.0);
         let h1 = metrics::hits_at_k(&pos, &neg, 1).unwrap();
         let h_mid = metrics::hits_at_k(&pos, &neg, neg.len() / 2 + 1).unwrap();
         let h_all = metrics::hits_at_k(&pos, &neg, neg.len()).unwrap();
-        prop_assert!(h1 <= h_mid + 1e-12);
-        prop_assert!(h_mid <= h_all + 1e-12);
+        assert!(h1 <= h_mid + 1e-12, "case {case}");
+        assert!(h_mid <= h_all + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn auc_and_mrr_bounded(
-        pos in proptest::collection::vec(-5.0f32..5.0, 1..30),
-        neg in proptest::collection::vec(-5.0f32..5.0, 1..30),
-    ) {
+#[test]
+fn auc_and_mrr_bounded() {
+    for case in 0..CASES {
+        let mut r = rng(5000 + case);
+        let pos = rand_scores(&mut r, 1, 30, 5.0);
+        let neg = rand_scores(&mut r, 1, 30, 5.0);
         let a = metrics::auc(&pos, &neg).unwrap();
-        prop_assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&a), "case {case}");
         let m = metrics::mrr(&pos, &neg).unwrap();
-        prop_assert!(m > 0.0 && m <= 1.0);
+        assert!(m > 0.0 && m <= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn shifting_all_scores_preserves_metrics(
-        pos in proptest::collection::vec(-2.0f32..2.0, 1..20),
-        neg in proptest::collection::vec(-2.0f32..2.0, 2..30),
-        shift in -3.0f32..3.0,
-    ) {
+#[test]
+fn shifting_all_scores_preserves_metrics() {
+    for case in 0..CASES {
+        let mut r = rng(6000 + case);
+        let pos = rand_scores(&mut r, 1, 20, 2.0);
+        let neg = rand_scores(&mut r, 2, 30, 2.0);
+        let shift = r.gen_range(-3.0f32..3.0);
         // Rank metrics are invariant to monotone transforms.
         let pos2: Vec<f32> = pos.iter().map(|&x| x + shift).collect();
         let neg2: Vec<f32> = neg.iter().map(|&x| x + shift).collect();
         let a1 = metrics::auc(&pos, &neg).unwrap();
         let a2 = metrics::auc(&pos2, &neg2).unwrap();
-        prop_assert!((a1 - a2).abs() < 1e-9);
+        assert!((a1 - a2).abs() < 1e-9, "case {case}");
         let h1 = metrics::hits_at_k(&pos, &neg, 2).unwrap();
         let h2 = metrics::hits_at_k(&pos2, &neg2, 2).unwrap();
-        prop_assert!((h1 - h2).abs() < 1e-9);
+        assert!((h1 - h2).abs() < 1e-9, "case {case}");
     }
 }

@@ -151,7 +151,7 @@ impl Graph {
 
     /// Iterator over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Sum of all edge weights (edge count for unweighted graphs).

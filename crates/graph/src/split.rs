@@ -1,5 +1,5 @@
-use rand::seq::SliceRandom;
-use rand::Rng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::Rng;
 
 use crate::{Edge, Graph, GraphError, NodeId};
 
@@ -49,10 +49,10 @@ impl Default for SplitFractions {
 ///
 /// ```
 /// use splpg_graph::{EdgeSplit, Graph, SplitFractions};
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// # fn main() -> Result<(), splpg_graph::GraphError> {
 /// let g = Graph::from_edges(6, &[(0,1),(1,2),(2,3),(3,4),(4,5),(0,2),(1,3),(2,4),(3,5),(0,5)])?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(7);
 /// let split = EdgeSplit::random(&g, SplitFractions::paper_default(), 3, &mut rng)?;
 /// assert_eq!(split.train.len() + split.valid.len() + split.test.len(), 10);
 /// assert_eq!(split.valid_neg.len(), 3 * split.valid.len());
@@ -167,7 +167,7 @@ pub fn sample_global_negatives<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
     fn ring(n: usize) -> Graph {
         let edges: Vec<(NodeId, NodeId)> =
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn split_partitions_all_edges() {
         let g = ring(50);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
         let s = EdgeSplit::random(&g, SplitFractions::paper_default(), 3, &mut rng).unwrap();
         assert_eq!(s.num_edges(), 50);
         assert_eq!(s.train.len(), 40);
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn splits_are_disjoint() {
         let g = ring(30);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
         let s = EdgeSplit::random(&g, SplitFractions::paper_default(), 1, &mut rng).unwrap();
         let train: std::collections::HashSet<_> = s.train.iter().collect();
         assert!(s.valid.iter().all(|e| !train.contains(e)));
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn negatives_are_non_edges() {
         let g = ring(40);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
         let s = EdgeSplit::random(&g, SplitFractions::paper_default(), 3, &mut rng).unwrap();
         for e in s.test_neg.iter().chain(s.valid_neg.iter()) {
             assert!(!g.has_edge(e.src, e.dst));
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn train_graph_has_only_train_edges() {
         let g = ring(20);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(4);
         let s = EdgeSplit::random(&g, SplitFractions::paper_default(), 1, &mut rng).unwrap();
         let tg = s.train_graph(20).unwrap();
         assert_eq!(tg.num_edges(), s.train.len());
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn invalid_fractions_rejected() {
         let g = ring(10);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
         let bad = SplitFractions { train: 0.5, valid: 0.1, test: 0.1 };
         assert!(EdgeSplit::random(&g, bad, 1, &mut rng).is_err());
     }
@@ -232,14 +232,14 @@ mod tests {
     fn too_many_negatives_rejected() {
         // K4: complete graph, zero non-edges.
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(6);
         assert!(sample_global_negatives(&g, 1, &mut rng).is_err());
     }
 
     #[test]
     fn negatives_distinct() {
         let g = ring(15);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(7);
         let neg = sample_global_negatives(&g, 20, &mut rng).unwrap();
         let set: std::collections::HashSet<_> = neg.iter().collect();
         assert_eq!(set.len(), 20);

@@ -12,7 +12,7 @@
 //! instant but loose) and exact per-pair CG solves (tight but `O(m)`
 //! solves): `k` solves give *every* pair's resistance at once.
 
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, NodeId};
 
 use crate::solver::{solve_laplacian, CgOptions};
@@ -23,12 +23,12 @@ use crate::LinalgError;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_graph::Graph;
 /// use splpg_linalg::{effective_resistance, CgOptions, ResistanceEstimator};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
 /// let est = ResistanceEstimator::build(&g, 400, CgOptions::default(), &mut rng)?;
 /// let approx = est.estimate(0, 2);
 /// let exact = effective_resistance(&g, 0, 2, CgOptions::default())?;
@@ -107,10 +107,10 @@ impl ResistanceEstimator {
 mod tests {
     use super::*;
     use crate::effective_resistance;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(23)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(23)
     }
 
     fn wheel(n: usize) -> Graph {
@@ -161,7 +161,7 @@ mod tests {
             let trials = 8;
             let mut total = 0.0;
             for seed in 0..trials {
-                let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut r = splpg_rng::rngs::StdRng::seed_from_u64(seed);
                 let est = ResistanceEstimator::build(&g, k, CgOptions::default(), &mut r).unwrap();
                 total += (est.estimate(1, 5) - exact).abs() / exact;
             }

@@ -27,7 +27,7 @@ mod spectral;
 
 pub use jl::ResistanceEstimator;
 pub use laplacian::{quadratic_form, LaplacianOperator};
-pub use solver::{effective_resistance, solve_laplacian, CgOptions, CgOutcome};
+pub use solver::{effective_resistance, effective_resistances, solve_laplacian, CgOptions, CgOutcome};
 pub use spectral::{lambda2_normalized, PowerIterOptions};
 
 /// Errors from linear-algebra routines.

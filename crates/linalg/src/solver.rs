@@ -132,6 +132,32 @@ pub fn effective_resistance(
     Ok(out.solution[u as usize] - out.solution[v as usize])
 }
 
+/// Exact effective resistances for a batch of node pairs.
+///
+/// Each pair is an independent CG solve against the same read-only
+/// graph, so the batch fans out across the global [`splpg_par`] pool;
+/// results are returned in input order and are bit-identical to calling
+/// [`effective_resistance`] pair by pair (per-solve arithmetic is
+/// untouched by the parallelism).
+///
+/// This is the per-edge-batch hot path of the exact sparsifier: O(|E|)
+/// solves per sparsification.
+///
+/// # Errors
+///
+/// The first error in pair order, under the same conditions as
+/// [`effective_resistance`].
+pub fn effective_resistances(
+    graph: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    options: CgOptions,
+) -> Result<Vec<f64>, LinalgError> {
+    splpg_par::global()
+        .parallel_map_chunks(pairs, 1, |_, &(u, v)| effective_resistance(graph, u, v, options))
+        .into_iter()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +237,34 @@ mod tests {
     fn out_of_range_endpoint_rejected() {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         assert!(effective_resistance(&g, 0, 7, CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn batch_resistances_match_sequential_bitwise() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)],
+        )
+        .unwrap();
+        let pairs: Vec<(NodeId, NodeId)> =
+            g.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let sequential: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| effective_resistance(&g, u, v, CgOptions::default()).unwrap())
+            .collect();
+        for threads in [1usize, 3, 8] {
+            splpg_par::set_num_threads(threads);
+            let batch = effective_resistances(&g, &pairs, CgOptions::default()).unwrap();
+            assert_eq!(batch, sequential, "{threads} threads");
+        }
+        splpg_par::set_num_threads(0);
+    }
+
+    #[test]
+    fn batch_resistances_propagate_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let err = effective_resistances(&g, &[(0, 2)], CgOptions::default()).unwrap_err();
+        assert_eq!(err, LinalgError::Disconnected);
     }
 
     #[test]

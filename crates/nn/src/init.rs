@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_tensor::Tensor;
 
 /// Glorot (Xavier) uniform initialization: entries drawn from
@@ -10,9 +10,9 @@ use splpg_tensor::Tensor;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_nn::glorot_uniform;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
 /// let w = glorot_uniform(64, 32, &mut rng);
 /// let bound = (6.0f32 / 96.0).sqrt();
 /// assert!(w.data().iter().all(|&v| v.abs() <= bound));
@@ -25,11 +25,11 @@ pub fn glorot_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
     #[test]
     fn bounds_respected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
         let w = glorot_uniform(10, 20, &mut rng);
         let a = (6.0f32 / 30.0).sqrt();
         assert!(w.data().iter().all(|&v| v >= -a && v <= a));
@@ -38,15 +38,15 @@ mod tests {
 
     #[test]
     fn roughly_zero_mean() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
         let w = glorot_uniform(100, 100, &mut rng);
         assert!(w.mean().abs() < 0.01, "mean {}", w.mean());
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let w1 = glorot_uniform(4, 4, &mut rand::rngs::StdRng::seed_from_u64(4));
-        let w2 = glorot_uniform(4, 4, &mut rand::rngs::StdRng::seed_from_u64(4));
+        let w1 = glorot_uniform(4, 4, &mut splpg_rng::rngs::StdRng::seed_from_u64(4));
+        let w2 = glorot_uniform(4, 4, &mut splpg_rng::rngs::StdRng::seed_from_u64(4));
         assert_eq!(w1, w2);
     }
 }

@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_tensor::{Tape, Tensor, Var};
 
 use crate::{glorot_uniform, Binding, ParamSet};
@@ -111,11 +111,11 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_tensor::grad_check;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(0)
     }
 
     #[test]
@@ -157,7 +157,7 @@ mod tests {
                 &mut params,
                 "m",
                 &[3, 4, 1],
-                &mut rand::rngs::StdRng::seed_from_u64(seed),
+                &mut splpg_rng::rngs::StdRng::seed_from_u64(seed),
             );
             let mut tape = Tape::new();
             let b = params.bind(&mut tape);

@@ -16,11 +16,11 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use splpg_rng::SeedableRng;
 //! use splpg_nn::{Adam, Linear, Optimizer, ParamSet};
 //! use splpg_tensor::{Tape, Tensor};
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
 //! let mut params = ParamSet::new();
 //! let layer = Linear::new(&mut params, "fc", 4, 2, &mut rng);
 //! let mut opt = Adam::new(1e-2);

@@ -25,14 +25,14 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use splpg_rng::SeedableRng;
 //! use splpg_graph::Graph;
 //! use splpg_partition::{MetisLike, Partitioner};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
 //! let g = Graph::from_edges(100, &edges)?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(42);
 //! let partition = MetisLike::default().partition(&g, 4, &mut rng)?;
 //! assert_eq!(partition.num_parts(), 4);
 //! // A path graph partitions with a tiny cut.
@@ -54,7 +54,7 @@ pub use partitioned::PartitionedGraph;
 pub use random_tma::RandomTma;
 pub use super_tma::SuperTma;
 
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, NodeId};
 
 /// Errors from partitioning.

@@ -15,8 +15,8 @@
 
 use std::collections::HashMap;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, NodeId};
 
 use crate::{check_part_count, Partition, PartitionError, Partitioner};
@@ -428,11 +428,11 @@ fn boundary_size(graph: &WorkGraph, side: &[u8]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::GraphBuilder;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(7)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(7)
     }
 
     /// Two dense clusters joined by a single bridge edge.
@@ -515,7 +515,7 @@ mod tests {
         // keep most edges local, random ones do not.
         let g = two_cliques(30);
         let metis = MetisLike::default().partition(&g, 2, &mut rng()).unwrap();
-        let random = crate::RandomTma::default().partition(&g, 2, &mut rng()).unwrap();
+        let random = crate::RandomTma.partition(&g, 2, &mut rng()).unwrap();
         assert!(metis.local_edge_fraction(&g) > random.local_edge_fraction(&g));
     }
 }

@@ -18,12 +18,12 @@ use crate::Partition;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_graph::Graph;
 /// use splpg_partition::{MetisLike, PartitionedGraph, Partitioner};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = Graph::from_edges(60, &(0..59).map(|i| (i, i + 1)).collect::<Vec<_>>())?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
 /// let p = MetisLike::default().partition(&g, 4, &mut rng)?;
 /// let halo = PartitionedGraph::build(&g, &p, true);
 /// let cut = PartitionedGraph::build(&g, &p, false);
@@ -103,7 +103,7 @@ impl PartitionedGraph {
 mod tests {
     use super::*;
     use crate::{MetisLike, Partitioner};
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::GraphBuilder;
 
     fn grid(w: usize, h: usize) -> Graph {
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn halo_parts_preserve_core_degrees() {
         let g = grid(8, 8);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(11);
         let p = MetisLike::default().partition(&g, 4, &mut rng).unwrap();
         let pg = PartitionedGraph::build(&g, &p, true);
         for part in pg.parts() {
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn cut_parts_lose_cross_edges() {
         let g = grid(6, 6);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(12);
         let p = MetisLike::default().partition(&g, 4, &mut rng).unwrap();
         let pg = PartitionedGraph::build(&g, &p, false);
         assert_eq!(pg.total_edges() + p.edge_cut(&g), g.num_edges());
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn halo_double_counts_cut_edges() {
         let g = grid(6, 6);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(13);
         let p = MetisLike::default().partition(&g, 2, &mut rng).unwrap();
         let pg = PartitionedGraph::build(&g, &p, true);
         // Each cut edge appears in both incident parts.
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn owner_lookup_matches_partition() {
         let g = grid(4, 4);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(14);
         let p = MetisLike::default().partition(&g, 2, &mut rng).unwrap();
         let pg = PartitionedGraph::build(&g, &p, true);
         for v in 0..16 as NodeId {

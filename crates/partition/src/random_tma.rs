@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::Graph;
 
 use crate::{check_part_count, Partition, PartitionError, Partitioner};
@@ -16,12 +16,12 @@ use crate::{check_part_count, Partition, PartitionError, Partitioner};
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_graph::Graph;
 /// use splpg_partition::{Partitioner, RandomTma};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = Graph::from_edges(100, &(0..99).map(|i| (i, i + 1)).collect::<Vec<_>>())?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
 /// let p = RandomTma::default().partition(&g, 4, &mut rng)?;
 /// assert_eq!(p.num_parts(), 4);
 /// # Ok(())
@@ -55,13 +55,13 @@ impl Partitioner for RandomTma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::NodeId;
 
     #[test]
     fn covers_all_nodes() {
         let g = Graph::empty(1000);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
         let p = RandomTma::new().partition(&g, 4, &mut rng).unwrap();
         assert_eq!(p.assignments().len(), 1000);
         assert_eq!(p.part_sizes().iter().sum::<usize>(), 1000);
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn roughly_balanced() {
         let g = Graph::empty(4000);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
         let p = RandomTma::new().partition(&g, 4, &mut rng).unwrap();
         for &s in &p.part_sizes() {
             assert!((800..1200).contains(&s), "size {s} far from 1000");
@@ -84,7 +84,7 @@ mod tests {
         let edges: Vec<(NodeId, NodeId)> =
             (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
         let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
         let p = RandomTma::new().partition(&g, 4, &mut rng).unwrap();
         let local = p.local_edge_fraction(&g);
         assert!((local - 0.25).abs() < 0.08, "local fraction {local} not ~0.25");
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn rejects_zero_parts() {
         let g = Graph::empty(10);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(4);
         assert!(RandomTma::new().partition(&g, 0, &mut rng).is_err());
     }
 }

@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::Graph;
 
 use crate::{check_part_count, MetisLike, Partition, PartitionError, Partitioner};
@@ -79,7 +79,7 @@ impl Partitioner for SuperTma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::{GraphBuilder, NodeId};
 
     fn community_graph(communities: usize, size: usize) -> Graph {
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn all_parts_nonempty() {
         let g = community_graph(16, 8);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
         let p = SuperTma::default().partition(&g, 4, &mut rng).unwrap();
         assert!(p.part_sizes().iter().all(|&s| s > 0));
     }
@@ -110,9 +110,9 @@ mod tests {
     #[test]
     fn keeps_more_locality_than_random_tma() {
         let g = community_graph(32, 8);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(6);
         let sup = SuperTma::default().partition(&g, 4, &mut rng).unwrap();
-        let rand_p = crate::RandomTma::default().partition(&g, 4, &mut rng).unwrap();
+        let rand_p = crate::RandomTma.partition(&g, 4, &mut rng).unwrap();
         assert!(
             sup.local_edge_fraction(&g) > rand_p.local_edge_fraction(&g),
             "super {} <= random {}",
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn tiny_graph_still_partitions() {
         let g = community_graph(2, 3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(7);
         let p = SuperTma::default().partition(&g, 2, &mut rng).unwrap();
         assert_eq!(p.num_parts(), 2);
         assert_eq!(p.part_sizes().iter().sum::<usize>(), 6);

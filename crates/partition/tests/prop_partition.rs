@@ -1,73 +1,93 @@
-//! Property-based tests on partitioner invariants.
+//! Property-style tests on partitioner invariants, run as seeded loops.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use splpg_graph::{Graph, NodeId};
 use splpg_partition::{MetisLike, PartitionedGraph, Partitioner, RandomTma, SuperTma};
+use splpg_rng::{Rng, SeedableRng};
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
-    (8usize..60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
-            n..4 * n,
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 32;
+
+fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn metis_covers_every_node((n, edges) in arb_graph(), parts in 2usize..6, seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = MetisLike::default().partition(&g, parts, &mut rng).unwrap();
-        prop_assert_eq!(p.assignments().len(), n);
-        prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), n);
-        prop_assert!(p.assignments().iter().all(|&a| (a as usize) < parts));
-    }
-
-    #[test]
-    fn metis_reasonably_balanced((n, edges) in arb_graph(), seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = MetisLike::default().partition(&g, 2, &mut rng).unwrap();
-        // Recursive bisection with 5% slack; allow generous bound for tiny n.
-        prop_assert!(p.balance() <= 1.6, "balance {}", p.balance());
-    }
-
-    #[test]
-    fn all_partitioners_produce_valid_assignments((n, edges) in arb_graph(), seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        for p in [
-            MetisLike::default().partition(&g, 4, &mut rng).unwrap(),
-            RandomTma::default().partition(&g, 4, &mut rng).unwrap(),
-            SuperTma::default().partition(&g, 4, &mut rng).unwrap(),
-        ] {
-            prop_assert_eq!(p.num_parts(), 4);
-            prop_assert_eq!(p.assignments().len(), n);
+/// A random simple graph with 8..60 nodes and n..4n edges.
+fn rand_graph(r: &mut splpg_rng::rngs::StdRng) -> Graph {
+    let n = r.gen_range(8usize..60);
+    let m = r.gen_range(n..4 * n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = r.gen_range(0..n as NodeId);
+        let v = r.gen_range(0..n as NodeId);
+        if u != v {
+            edges.push((u, v));
         }
     }
+    Graph::from_edges(n, &edges).unwrap()
+}
 
-    #[test]
-    fn halo_subgraph_edge_identity((n, edges) in arb_graph(), seed in 0u64..1000) {
-        // Sum of part edges == |E| + cut under halo, == |E| - cut without.
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = MetisLike::default().partition(&g, 3, &mut rng).unwrap();
+#[test]
+fn metis_covers_every_node() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        let parts = r.gen_range(2usize..6);
+        let p = MetisLike::default().partition(&g, parts, &mut r).unwrap();
+        assert_eq!(p.assignments().len(), n, "case {case}");
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), n, "case {case}");
+        assert!(p.assignments().iter().all(|&a| (a as usize) < parts), "case {case}");
+    }
+}
+
+#[test]
+fn metis_reasonably_balanced() {
+    for case in 0..CASES {
+        let mut r = rng(1000 + case);
+        let g = rand_graph(&mut r);
+        let p = MetisLike::default().partition(&g, 2, &mut r).unwrap();
+        // Recursive bisection with 5% slack; allow generous bound for tiny n.
+        assert!(p.balance() <= 1.6, "case {case}: balance {}", p.balance());
+    }
+}
+
+#[test]
+fn all_partitioners_produce_valid_assignments() {
+    for case in 0..CASES {
+        let mut r = rng(2000 + case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        for p in [
+            MetisLike::default().partition(&g, 4, &mut r).unwrap(),
+            RandomTma.partition(&g, 4, &mut r).unwrap(),
+            SuperTma::default().partition(&g, 4, &mut r).unwrap(),
+        ] {
+            assert_eq!(p.num_parts(), 4, "case {case}");
+            assert_eq!(p.assignments().len(), n, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn halo_subgraph_edge_identity() {
+    // Sum of part edges == |E| + cut under halo, == |E| - cut without.
+    for case in 0..CASES {
+        let mut r = rng(3000 + case);
+        let g = rand_graph(&mut r);
+        let p = MetisLike::default().partition(&g, 3, &mut r).unwrap();
         let halo = PartitionedGraph::build(&g, &p, true);
         let cut = PartitionedGraph::build(&g, &p, false);
-        prop_assert_eq!(halo.total_edges(), g.num_edges() + p.edge_cut(&g));
-        prop_assert_eq!(cut.total_edges(), g.num_edges() - p.edge_cut(&g));
+        assert_eq!(halo.total_edges(), g.num_edges() + p.edge_cut(&g), "case {case}");
+        assert_eq!(cut.total_edges(), g.num_edges() - p.edge_cut(&g), "case {case}");
     }
+}
 
-    #[test]
-    fn halo_core_nodes_partition_the_graph((n, edges) in arb_graph(), seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = SuperTma::default().partition(&g, 3, &mut rng).unwrap();
+#[test]
+fn halo_core_nodes_partition_the_graph() {
+    for case in 0..CASES {
+        let mut r = rng(4000 + case);
+        let g = rand_graph(&mut r);
+        let n = g.num_nodes();
+        let p = SuperTma::default().partition(&g, 3, &mut r).unwrap();
         let pg = PartitionedGraph::build(&g, &p, true);
         let mut owned = vec![0usize; n];
         for part in pg.parts() {
@@ -75,6 +95,6 @@ proptest! {
                 owned[part.mapping.to_global(c) as usize] += 1;
             }
         }
-        prop_assert!(owned.iter().all(|&c| c == 1), "core sets must partition nodes");
+        assert!(owned.iter().all(|&c| c == 1), "case {case}: core sets must partition nodes");
     }
 }

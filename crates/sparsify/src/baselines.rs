@@ -13,8 +13,8 @@
 //! The `ablation_sparsifiers` bench and `splpg-dist` experiments can swap
 //! these into SpLPG's pipeline through the common [`Sparsifier`] trait.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use splpg_rng::seq::SliceRandom;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, GraphBuilder, NodeId};
 
 use crate::{SparsifyConfig, SparsifyError, Sparsifier};
@@ -138,11 +138,11 @@ impl Sparsifier for SpanningForestSparsifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::connected_components;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(17)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(17)
     }
 
     fn dense_ring(n: usize) -> Graph {
@@ -172,7 +172,7 @@ mod tests {
         let g = dense_ring(40);
         let mut total = 0.0;
         for seed in 0..30 {
-            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r = splpg_rng::rngs::StdRng::seed_from_u64(seed);
             let s = UniformSparsifier::new(SparsifyConfig::with_alpha(0.25))
                 .sparsify(&g, &mut r)
                 .unwrap();

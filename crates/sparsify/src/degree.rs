@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, GraphBuilder};
 
 use crate::sampling::AliasTable;
@@ -16,12 +16,12 @@ use crate::{SparsifyConfig, SparsifyError, Sparsifier};
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_graph::Graph;
 /// use splpg_sparsify::{DegreeSparsifier, SparsifyConfig, Sparsifier};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(3);
 /// let s = DegreeSparsifier::new(SparsifyConfig::with_samples(2)).sparsify(&g, &mut rng)?;
 /// assert_eq!(s.num_nodes(), 4);
 /// assert!(s.num_edges() <= 2);
@@ -93,11 +93,11 @@ impl Sparsifier for DegreeSparsifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::NodeId;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(seed)
     }
 
     fn ring_with_chords(n: usize) -> Graph {

@@ -1,6 +1,6 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, GraphBuilder};
-use splpg_linalg::{effective_resistance, CgOptions};
+use splpg_linalg::{effective_resistances, CgOptions};
 
 use crate::sampling::AliasTable;
 use crate::{SparsifyConfig, SparsifyError, Sparsifier};
@@ -28,19 +28,19 @@ impl ExactSparsifier {
     /// Exact effective resistances for every canonical edge, in edge-list
     /// order.
     ///
+    /// The per-edge CG solves are independent, so they run batched
+    /// across the global [`splpg_par`] pool (see
+    /// [`effective_resistances`]); results are identical to solving
+    /// edge by edge.
+    ///
     /// # Errors
     ///
     /// [`SparsifyError::Resistance`] if the graph is disconnected or CG
     /// fails to converge.
     pub fn resistances(graph: &Graph) -> Result<Vec<f64>, SparsifyError> {
-        graph
-            .edges()
-            .iter()
-            .map(|e| {
-                effective_resistance(graph, e.src, e.dst, CgOptions::default())
-                    .map_err(|err| SparsifyError::Resistance(err.to_string()))
-            })
-            .collect()
+        let pairs: Vec<_> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
+        effective_resistances(graph, &pairs, CgOptions::default())
+            .map_err(|err| SparsifyError::Resistance(err.to_string()))
     }
 }
 
@@ -76,12 +76,12 @@ impl Sparsifier for ExactSparsifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::NodeId;
     use splpg_linalg::quadratic_form;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(seed)
     }
 
     fn dense_ring(n: usize) -> Graph {

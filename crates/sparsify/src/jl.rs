@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::{Graph, GraphBuilder};
 use splpg_linalg::{CgOptions, ResistanceEstimator};
 
@@ -70,11 +70,11 @@ impl Sparsifier for JlSparsifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
     use splpg_graph::NodeId;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(29)
+    fn rng() -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(29)
     }
 
     fn dense_ring(n: usize) -> Graph {
@@ -107,7 +107,7 @@ mod tests {
         let mut total = 0.0;
         let runs = 20;
         for seed in 0..runs {
-            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r = splpg_rng::rngs::StdRng::seed_from_u64(seed);
             let s = JlSparsifier::new(SparsifyConfig::with_alpha(0.4), 128)
                 .sparsify(&g, &mut r)
                 .unwrap();

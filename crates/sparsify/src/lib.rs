@@ -21,7 +21,7 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use splpg_rng::SeedableRng;
 //! use splpg_graph::Graph;
 //! use splpg_sparsify::{DegreeSparsifier, SparsifyConfig, Sparsifier};
 //!
@@ -30,7 +30,7 @@
 //!     [(i, (i + 1) % 200), (i, (i + 7) % 200)]
 //! }).collect();
 //! let g = Graph::from_edges(200, &edges)?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
 //! // alpha = 0.15: the paper's default, removing ~85% of edges.
 //! let sparse = DegreeSparsifier::new(SparsifyConfig::with_alpha(0.15))
 //!     .sparsify(&g, &mut rng)?;
@@ -55,7 +55,7 @@ pub use exact::ExactSparsifier;
 pub use jl::JlSparsifier;
 pub use sampling::{sample_weighted_with_replacement, AliasTable};
 
-use rand::Rng;
+use splpg_rng::Rng;
 use splpg_graph::Graph;
 
 /// Errors from sparsification.

@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 
 /// Walker alias table for O(1) sampling from a discrete distribution.
 ///
@@ -10,10 +10,10 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use splpg_rng::SeedableRng;
 /// use splpg_sparsify::AliasTable;
 /// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
 /// let draws: Vec<usize> = (0..1000).map(|_| table.sample(&mut rng)).collect();
 /// let ones = draws.iter().filter(|&&d| d == 1).count();
 /// assert!(ones > 600 && ones < 900); // ~750 expected
@@ -125,7 +125,7 @@ pub fn sample_weighted_with_replacement<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use splpg_rng::SeedableRng;
 
     #[test]
     fn rejects_degenerate_weights() {
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn uniform_weights_sample_uniformly() {
         let table = AliasTable::new(&[2.0, 2.0, 2.0, 2.0]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(5);
         let mut counts = [0usize; 4];
         for _ in 0..40_000 {
             counts[table.sample(&mut rng)] += 1;
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn skewed_weights_respected() {
         let table = AliasTable::new(&[1.0, 9.0]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(6);
         let hits1 = (0..50_000).filter(|_| table.sample(&mut rng) == 1).count();
         let frac = hits1 as f64 / 50_000.0;
         assert!((frac - 0.9).abs() < 0.02, "frac {frac}");
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn with_replacement_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(7);
         let draws = sample_weighted_with_replacement(&[1.0, 1.0], 17, &mut rng);
         assert_eq!(draws.len(), 17);
         assert!(draws.iter().all(|&d| d < 2));
@@ -176,14 +176,14 @@ mod tests {
 
     #[test]
     fn degenerate_with_replacement_empty() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(8);
         assert!(sample_weighted_with_replacement(&[], 5, &mut rng).is_empty());
     }
 
     #[test]
     fn single_outcome_always_sampled() {
         let table = AliasTable::new(&[0.5]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
         for _ in 0..100 {
             assert_eq!(table.sample(&mut rng), 0);
         }

@@ -1,83 +1,113 @@
-//! Property-based tests on sparsifier invariants.
+//! Property-style tests on sparsifier invariants, run as seeded loops.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use splpg_graph::{Graph, NodeId};
+use splpg_rng::{Rng, SeedableRng};
 use splpg_sparsify::{AliasTable, DegreeSparsifier, SparsifyConfig, Sparsifier};
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
-    (4usize..50).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId).prop_filter("no loops", |(u, v)| u != v),
-            1..5 * n,
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 48;
+
+fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random simple graph with 4..50 nodes and 1..5n edges.
+fn rand_graph(r: &mut splpg_rng::rngs::StdRng) -> Graph {
+    let n = r.gen_range(4usize..50);
+    let m = r.gen_range(1..5 * n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = r.gen_range(0..n as NodeId);
+        let v = r.gen_range(0..n as NodeId);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
 
-    #[test]
-    fn sparsified_nodes_preserved((n, edges) in arb_graph(), seed in 0u64..1000, alpha in 0.05f64..0.9) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn sparsified_nodes_preserved() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let g = rand_graph(&mut r);
+        let alpha = r.gen_range(0.05f64..0.9);
         let s = DegreeSparsifier::new(SparsifyConfig::with_alpha(alpha))
-            .sparsify(&g, &mut rng)
+            .sparsify(&g, &mut r)
             .unwrap();
-        prop_assert_eq!(s.num_nodes(), g.num_nodes());
+        assert_eq!(s.num_nodes(), g.num_nodes(), "case {case}");
         s.validate().unwrap();
     }
+}
 
-    #[test]
-    fn sparsified_edges_are_subset((n, edges) in arb_graph(), seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let s = DegreeSparsifier::default().sparsify(&g, &mut rng).unwrap();
+#[test]
+fn sparsified_edges_are_subset() {
+    for case in 0..CASES {
+        let mut r = rng(1000 + case);
+        let g = rand_graph(&mut r);
+        let s = DegreeSparsifier::default().sparsify(&g, &mut r).unwrap();
         for e in s.edges() {
-            prop_assert!(g.has_edge(e.src, e.dst));
+            assert!(g.has_edge(e.src, e.dst), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn edge_budget_respected((n, edges) in arb_graph(), seed in 0u64..1000, l in 1usize..40) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn edge_budget_respected() {
+    for case in 0..CASES {
+        let mut r = rng(2000 + case);
+        let g = rand_graph(&mut r);
+        let l = r.gen_range(1usize..40);
         let s = DegreeSparsifier::new(SparsifyConfig::with_samples(l))
-            .sparsify(&g, &mut rng)
+            .sparsify(&g, &mut r)
             .unwrap();
         // At most L distinct edges can be drawn in L with-replacement draws.
-        prop_assert!(s.num_edges() <= l);
+        assert!(s.num_edges() <= l, "case {case}");
     }
+}
 
-    #[test]
-    fn all_weights_positive((n, edges) in arb_graph(), seed in 0u64..1000) {
-        let g = Graph::from_edges(n, &edges).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let s = DegreeSparsifier::default().sparsify(&g, &mut rng).unwrap();
+#[test]
+fn all_weights_positive() {
+    for case in 0..CASES {
+        let mut r = rng(3000 + case);
+        let g = rand_graph(&mut r);
+        let s = DegreeSparsifier::default().sparsify(&g, &mut r).unwrap();
         for e in s.edges() {
             let w = s.edge_weight(e.src, e.dst).unwrap();
-            prop_assert!(w > 0.0 && w.is_finite());
+            assert!(w > 0.0 && w.is_finite(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn alias_table_probabilities_sum_to_one(ws in proptest::collection::vec(0.01f64..100.0, 1..64)) {
+#[test]
+fn alias_table_probabilities_sum_to_one() {
+    for case in 0..CASES {
+        let mut r = rng(4000 + case);
+        let len = r.gen_range(1usize..64);
+        let ws: Vec<f64> = (0..len).map(|_| r.gen_range(0.01f64..100.0)).collect();
         let t = AliasTable::new(&ws).unwrap();
         let sum: f64 = (0..t.len()).map(|i| t.probability(i)).sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9, "case {case}: sum {sum}");
     }
+}
 
-    #[test]
-    fn alias_table_samples_in_range(ws in proptest::collection::vec(0.0f64..10.0, 2..32), seed in 0u64..1000) {
-        prop_assume!(ws.iter().sum::<f64>() > 0.0);
+#[test]
+fn alias_table_samples_in_range() {
+    for case in 0..CASES {
+        let mut r = rng(5000 + case);
+        let len = r.gen_range(2usize..32);
+        // Mix zero and positive weights; keep at least one positive.
+        let mut ws: Vec<f64> = (0..len)
+            .map(|_| if r.gen_bool(0.25) { 0.0 } else { r.gen_range(0.01f64..10.0) })
+            .collect();
+        if ws.iter().sum::<f64>() == 0.0 {
+            ws[0] = 1.0;
+        }
         let t = AliasTable::new(&ws).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..200 {
-            let i = t.sample(&mut rng);
-            prop_assert!(i < ws.len());
+            let i = t.sample(&mut r);
+            assert!(i < ws.len(), "case {case}");
             // Zero-weight outcomes must never be drawn.
-            prop_assert!(ws[i] > 0.0, "sampled zero-weight outcome {}", i);
+            assert!(ws[i] > 0.0, "case {case}: sampled zero-weight outcome {i}");
         }
     }
 }

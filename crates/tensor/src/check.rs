@@ -85,11 +85,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use splpg_rng::Rng;
+    use splpg_rng::SeedableRng;
 
     fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
         Tensor::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
     }
 

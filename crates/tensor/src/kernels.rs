@@ -1,0 +1,134 @@
+//! Cache-blocked, row-partitioned matmul kernels.
+//!
+//! Each kernel partitions its *output rows* across a [`Pool`] — every
+//! output row is owned by exactly one thread — and tiles the inner loops
+//! for cache reuse. Both transformations preserve the per-element
+//! accumulation order of the scalar reference kernels in
+//! [`Tensor`](crate::Tensor) (`k` ascending, with the same
+//! skip-on-zero), so the results are **bit-identical** to the scalar
+//! kernels at every thread count. The equality tests in
+//! `tests/parallel_kernels.rs` pin this down shape by shape.
+
+use splpg_par::Pool;
+
+/// Flop count (`2·n·k·m`) below which [`Tensor`](crate::Tensor) stays on
+/// the scalar kernels: under ~100us of work, thread spawn dominates.
+pub const PAR_FLOP_THRESHOLD: usize = 2_000_000;
+
+/// Minimum flops per chunk handed to a worker thread.
+const MIN_CHUNK_FLOPS: usize = 500_000;
+
+/// Columns per j-tile: one tile of `b` and `out` rows stays in L1.
+const TILE_J: usize = 128;
+
+/// Depth per k-tile: bounds the working set of `b` rows per j-sweep.
+const TILE_K: usize = 64;
+
+/// Output rows per i-tile in the `tn` kernel: keeps the re-swept output
+/// block resident while `k` streams past.
+const TILE_I: usize = 32;
+
+/// Minimum output rows per chunk so each spawn amortizes.
+fn min_rows_per_chunk(k: usize, m: usize) -> usize {
+    (MIN_CHUNK_FLOPS / (2 * k * m).max(1)).max(1)
+}
+
+/// `a[n,k] @ b[k,m]`, row-major, into a fresh `[n,m]` buffer.
+///
+/// Row-partitioned over `pool`; j/k-tiled. Accumulation per output
+/// element runs over `k` ascending with the scalar kernel's
+/// skip-on-zero, so the result is bit-identical to
+/// [`Tensor::matmul_scalar`](crate::Tensor::matmul_scalar).
+pub fn matmul_nn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    if n == 0 || m == 0 || k == 0 {
+        return out;
+    }
+    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+        for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            for kb in (0..k).step_by(TILE_K) {
+                let ke = (kb + TILE_K).min(k);
+                for jb in (0..m).step_by(TILE_J) {
+                    let je = (jb + TILE_J).min(m);
+                    for (kk, &av) in a_row[kb..ke].iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_seg = &b[(kb + kk) * m + jb..(kb + kk) * m + je];
+                        for (o, &bv) in o_row[jb..je].iter_mut().zip(b_seg) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `a[k,n]^T @ b[k,m]` into a fresh `[n,m]` buffer, without
+/// materializing the transpose.
+///
+/// Output rows (columns of `a`) are partitioned over `pool`; the shared
+/// `k` dimension streams in ascending order for every element, matching
+/// [`Tensor::matmul_tn_scalar`](crate::Tensor::matmul_tn_scalar)
+/// bit for bit.
+pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, pool: &Pool) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    if n == 0 || m == 0 || k == 0 {
+        return out;
+    }
+    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+        let rows = chunk.len() / m;
+        for rb in (0..rows).step_by(TILE_I) {
+            let re = (rb + TILE_I).min(rows);
+            for kk in 0..k {
+                let a_row = &a[kk * n..(kk + 1) * n];
+                let b_row = &b[kk * m..(kk + 1) * m];
+                for r in rb..re {
+                    let av = a_row[row0 + r];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in chunk[r * m..(r + 1) * m].iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `a[n,k] @ b[m,k]^T` into a fresh `[n,m]` buffer, without
+/// materializing the transpose.
+///
+/// Row-partitioned over `pool`; j-tiled so a tile of `b` rows is reused
+/// across the chunk's output rows. Each output element is a single
+/// left-to-right dot product, identical to
+/// [`Tensor::matmul_nt_scalar`](crate::Tensor::matmul_nt_scalar).
+pub fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    if n == 0 || m == 0 {
+        return out;
+    }
+    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+        let rows = chunk.len() / m;
+        for jb in (0..m).step_by(TILE_J) {
+            let je = (jb + TILE_J).min(m);
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                for j in jb..je {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    chunk[r * m + j] = acc;
+                }
+            }
+        }
+    });
+    out
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod check;
+pub mod kernels;
 mod tape;
 mod tensor;
 

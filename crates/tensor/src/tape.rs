@@ -1,4 +1,4 @@
-use rand::Rng;
+use splpg_rng::Rng;
 
 use crate::Tensor;
 
@@ -670,7 +670,8 @@ mod tests {
         let z = tape.leaf(t(2, 1, vec![0.0, 2.0]));
         let loss = tape.bce_with_logits(z, &[1.0, 0.0]);
         // loss = mean( ln 2 , 2 + ln(1 + e^-2) )
-        let expect = (0.6931472 + (2.0 + (1.0f32 + (-2.0f32).exp()).ln())) / 2.0;
+        let expect =
+            (std::f32::consts::LN_2 + (2.0 + (1.0f32 + (-2.0f32).exp()).ln())) / 2.0;
         assert!((tape.value(loss).get(0, 0) - expect).abs() < 1e-5);
         let g = tape.backward(loss);
         let gd = g.get(z).unwrap().data().to_vec();
@@ -681,8 +682,8 @@ mod tests {
 
     #[test]
     fn dropout_scales_by_keep_probability() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use splpg_rng::SeedableRng;
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let mut tape = Tape::new();
         let a = tape.leaf(Tensor::ones(100, 10));
         let y = tape.dropout(a, 0.5, &mut rng);
@@ -695,8 +696,8 @@ mod tests {
 
     #[test]
     fn dropout_zero_probability_is_identity() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use splpg_rng::SeedableRng;
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let mut tape = Tape::new();
         let a = tape.leaf(Tensor::ones(2, 2));
         let y = tape.dropout(a, 0.0, &mut rng);

@@ -137,13 +137,38 @@ impl Tensor {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self @ other` (`[n,k] x [k,m] -> [n,m]`), ikj loop
-    /// order for cache-friendly row-major access.
+    /// Matrix product `self @ other` (`[n,k] x [k,m] -> [n,m]`).
+    ///
+    /// Large products (above [`crate::kernels::PAR_FLOP_THRESHOLD`]
+    /// flops) run on the cache-blocked kernel row-partitioned across the
+    /// global [`splpg_par`] pool; the result is bit-identical to
+    /// [`Tensor::matmul_scalar`] at every thread count.
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims: [{},{}] x [{},{}]",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
+            return self.matmul_scalar(other);
+        }
+        let data = crate::kernels::matmul_nn(&self.data, &other.data, n, k, m, &splpg_par::global());
+        Tensor { rows: n, cols: m, data }
+    }
+
+    /// Scalar reference for [`Tensor::matmul`]: ikj loop order for
+    /// cache-friendly row-major access. The parallel kernel is tested
+    /// bit-for-bit against this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_scalar(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dims: [{},{}] x [{},{}]",
@@ -170,10 +195,28 @@ impl Tensor {
     /// `self^T @ other` (`[k,n]^T x [k,m] -> [n,m]`) without materializing
     /// the transpose; used by matmul backward.
     ///
+    /// Large products run on the blocked parallel kernel, bit-identical
+    /// to [`Tensor::matmul_tn_scalar`].
+    ///
     /// # Panics
     ///
     /// Panics if row counts disagree.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn row dims");
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
+            return self.matmul_tn_scalar(other);
+        }
+        let data = crate::kernels::matmul_tn(&self.data, &other.data, k, n, m, &splpg_par::global());
+        Tensor { rows: n, cols: m, data }
+    }
+
+    /// Scalar reference for [`Tensor::matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn matmul_tn_scalar(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "matmul_tn row dims");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
@@ -196,10 +239,28 @@ impl Tensor {
     /// `self @ other^T` (`[n,k] x [m,k]^T -> [n,m]`) without materializing
     /// the transpose; used by matmul backward.
     ///
+    /// Large products run on the blocked parallel kernel, bit-identical
+    /// to [`Tensor::matmul_nt_scalar`].
+    ///
     /// # Panics
     ///
     /// Panics if column counts disagree.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt col dims");
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
+            return self.matmul_nt_scalar(other);
+        }
+        let data = crate::kernels::matmul_nt(&self.data, &other.data, n, k, m, &splpg_par::global());
+        Tensor { rows: n, cols: m, data }
+    }
+
+    /// Scalar reference for [`Tensor::matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts disagree.
+    pub fn matmul_nt_scalar(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_nt col dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; n * m];

@@ -1,0 +1,136 @@
+//! Bit-for-bit equality of the cache-blocked parallel matmul kernels
+//! against the scalar references, across odd shapes and thread counts.
+//!
+//! Exact `==` on the raw f32 buffers — not approximate comparison — is
+//! the contract: blocking and row partitioning must not change the
+//! per-element accumulation order.
+
+use splpg_par::Pool;
+use splpg_rng::{Rng, SeedableRng};
+use splpg_tensor::{kernels, Tensor};
+
+const THREAD_COUNTS: [usize; 3] = [1, 3, 8];
+
+/// Odd shapes: degenerate, single-row, prime dims, rows < threads, and
+/// sizes straddling the tile boundaries (64/128).
+const SHAPES: [(usize, usize, usize); 10] = [
+    (1, 1, 1),
+    (1, 17, 1),
+    (1, 64, 9),
+    (7, 13, 17),
+    (2, 128, 130),
+    (3, 1, 3),
+    (5, 5, 5),
+    (31, 67, 129),
+    (64, 64, 64),
+    (97, 128, 65),
+];
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
+    // Sprinkle exact zeros so the skip-on-zero path is exercised.
+    Tensor::from_fn(rows, cols, |_, _| {
+        if rng.gen_bool(0.15) {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+#[test]
+fn matmul_nn_bit_identical_across_threads() {
+    for (case, &(n, k, m)) in SHAPES.iter().enumerate() {
+        let a = rand_matrix(n, k, case as u64);
+        let b = rand_matrix(k, m, 100 + case as u64);
+        let reference = a.matmul_scalar(&b);
+        for threads in THREAD_COUNTS {
+            let out = kernels::matmul_nn(a.data(), b.data(), n, k, m, &Pool::new(threads));
+            assert_eq!(
+                out,
+                reference.data(),
+                "nn [{n},{k}]x[{k},{m}] differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_tn_bit_identical_across_threads() {
+    for (case, &(n, k, m)) in SHAPES.iter().enumerate() {
+        // tn computes a[k,n]^T @ b[k,m].
+        let a = rand_matrix(k, n, 200 + case as u64);
+        let b = rand_matrix(k, m, 300 + case as u64);
+        let reference = a.matmul_tn_scalar(&b);
+        for threads in THREAD_COUNTS {
+            let out = kernels::matmul_tn(a.data(), b.data(), k, n, m, &Pool::new(threads));
+            assert_eq!(
+                out,
+                reference.data(),
+                "tn [{k},{n}]^T x [{k},{m}] differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_nt_bit_identical_across_threads() {
+    for (case, &(n, k, m)) in SHAPES.iter().enumerate() {
+        // nt computes a[n,k] @ b[m,k]^T.
+        let a = rand_matrix(n, k, 400 + case as u64);
+        let b = rand_matrix(m, k, 500 + case as u64);
+        let reference = a.matmul_nt_scalar(&b);
+        for threads in THREAD_COUNTS {
+            let out = kernels::matmul_nt(a.data(), b.data(), n, k, m, &Pool::new(threads));
+            assert_eq!(
+                out,
+                reference.data(),
+                "nt [{n},{k}] x [{m},{k}]^T differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn dispatching_entry_points_match_scalar_above_threshold() {
+    // [160, 80] x [80, 90] = 2.3M flops: above PAR_FLOP_THRESHOLD, so
+    // the public methods take the parallel path.
+    let (n, k, m) = (160, 80, 90);
+    assert!(2 * n * k * m >= kernels::PAR_FLOP_THRESHOLD);
+    let a = rand_matrix(n, k, 600);
+    let b = rand_matrix(k, m, 601);
+    let bt = b.transpose();
+    let at = a.transpose();
+    for threads in THREAD_COUNTS {
+        splpg_par::set_num_threads(threads);
+        assert_eq!(a.matmul(&b), a.matmul_scalar(&b), "matmul at {threads} threads");
+        assert_eq!(
+            at.matmul_tn(&b),
+            at.matmul_tn_scalar(&b),
+            "matmul_tn at {threads} threads"
+        );
+        assert_eq!(
+            a.matmul_nt(&bt),
+            a.matmul_nt_scalar(&bt),
+            "matmul_nt at {threads} threads"
+        );
+    }
+    splpg_par::set_num_threads(0);
+}
+
+#[test]
+fn transposed_kernels_agree_with_explicit_transpose() {
+    let (n, k, m) = (23, 31, 29);
+    let a = rand_matrix(n, k, 700);
+    let b = rand_matrix(k, m, 701);
+    let pool = Pool::new(3);
+    let nn = kernels::matmul_nn(a.data(), b.data(), n, k, m, &pool);
+    let tn = kernels::matmul_tn(a.transpose().data(), b.data(), k, n, m, &pool);
+    let nt = kernels::matmul_nt(a.data(), b.transpose().data(), n, k, m, &pool);
+    // Same math through three loop orders: approximate agreement (the
+    // accumulation orders legitimately differ between variants).
+    for ((&x, &y), &z) in nn.iter().zip(&tn).zip(&nt) {
+        assert!((x - y).abs() < 1e-3, "nn vs tn: {x} vs {y}");
+        assert!((x - z).abs() < 1e-3, "nn vs nt: {x} vs {z}");
+    }
+}

@@ -1,87 +1,109 @@
-//! Property-based gradient checks: random shapes, random data, random op
-//! chains must all match central finite differences.
+//! Property-style gradient checks, run as seeded loops: random shapes,
+//! random data, random op chains must all match central finite differences.
+//!
+//! Each case draws its inputs from a `splpg_rng` generator seeded by the
+//! loop index, so failures reproduce exactly from the printed case number.
 
-use proptest::prelude::*;
+use splpg_rng::{Rng, SeedableRng};
 use splpg_tensor::{grad_check, Tensor};
 
-fn arb_tensor(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-2.0f32..2.0, r * c)
-            .prop_map(move |data| Tensor::from_vec(r, c, data).unwrap())
-    })
+const CASES: u64 = 24;
+
+fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random tensor with 1..=max_rows rows, 1..=max_cols cols, data in [-2, 2).
+fn rand_tensor(r: &mut splpg_rng::rngs::StdRng, max_rows: usize, max_cols: usize) -> Tensor {
+    let rows = r.gen_range(1..=max_rows);
+    let cols = r.gen_range(1..=max_cols);
+    Tensor::from_fn(rows, cols, |_, _| r.gen_range(-2.0f32..2.0))
+}
 
-    #[test]
-    fn linear_sigmoid_mean_grad(x in arb_tensor(5, 4), seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let w = Tensor::from_fn(x.cols(), 3, |_, _| rng.gen::<f32>() - 0.5);
+#[test]
+fn linear_sigmoid_mean_grad() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let x = rand_tensor(&mut r, 5, 4);
+        let w = Tensor::from_fn(x.cols(), 3, |_, _| r.gen::<f32>() - 0.5);
         let report = grad_check(&x, 1e-3, |tape, v| {
             let wv = tape.leaf(w.clone());
             let y = tape.matmul(v, wv);
             let s = tape.sigmoid(y);
             tape.mean_all(s)
         });
-        prop_assert!(report.passes(8e-2), "{:?}", report);
+        assert!(report.passes(8e-2), "case {case}: {report:?}");
     }
+}
 
-    #[test]
-    fn add_sub_mul_scale_grad(x in arb_tensor(4, 4), c in -3.0f32..3.0) {
+#[test]
+fn add_sub_mul_scale_grad() {
+    for case in 0..CASES {
+        let mut r = rng(1000 + case);
+        let x = rand_tensor(&mut r, 4, 4);
+        let c = r.gen_range(-3.0f32..3.0);
         let report = grad_check(&x, 1e-3, |tape, v| {
             let a = tape.scale(v, c);
-            let b = tape.mul(v, a);      // c * x^2
-            let d = tape.sub(b, v);      // c x^2 - x
-            let e = tape.add(d, v);      // c x^2
+            let b = tape.mul(v, a); // c * x^2
+            let d = tape.sub(b, v); // c x^2 - x
+            let e = tape.add(d, v); // c x^2
             tape.sum_all(e)
         });
-        prop_assert!(report.passes(8e-2), "{:?}", report);
+        assert!(report.passes(8e-2), "case {case}: {report:?}");
     }
+}
 
-    #[test]
-    fn segment_pipeline_grad(x in arb_tensor(6, 3), seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn segment_pipeline_grad() {
+    for case in 0..CASES {
+        let mut r = rng(2000 + case);
+        let x = rand_tensor(&mut r, 6, 3);
         let n = x.rows();
-        let idx: Vec<u32> = (0..8).map(|_| rng.gen_range(0..n) as u32).collect();
-        let seg: Vec<u32> = (0..8).map(|_| rng.gen_range(0..3u32)).collect();
+        let idx: Vec<u32> = (0..8).map(|_| r.gen_range(0..n) as u32).collect();
+        let seg: Vec<u32> = (0..8).map(|_| r.gen_range(0..3u32)).collect();
         let report = grad_check(&x, 1e-3, |tape, v| {
             let g = tape.gather_rows(v, &idx);
             let s = tape.segment_sum(g, &seg, 3);
             let t = tape.tanh(s);
             tape.mean_all(t)
         });
-        prop_assert!(report.passes(8e-2), "{:?}", report);
+        assert!(report.passes(8e-2), "case {case}: {report:?}");
     }
+}
 
-    #[test]
-    fn bce_grad(x in arb_tensor(8, 1), seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let targets: Vec<f32> = (0..x.rows()).map(|_| f32::from(rng.gen::<bool>())).collect();
+#[test]
+fn bce_grad() {
+    for case in 0..CASES {
+        let mut r = rng(3000 + case);
+        let x = rand_tensor(&mut r, 8, 1);
+        let targets: Vec<f32> = (0..x.rows()).map(|_| f32::from(r.gen::<bool>())).collect();
         let report = grad_check(&x, 1e-3, |tape, v| tape.bce_with_logits(v, &targets));
-        prop_assert!(report.passes(8e-2), "{:?}", report);
+        assert!(report.passes(8e-2), "case {case}: {report:?}");
     }
+}
 
-    #[test]
-    fn matmul_shapes_compose(a in arb_tensor(4, 3), seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let b = Tensor::from_fn(a.cols(), 5, |_, _| rng.gen::<f32>() - 0.5);
+#[test]
+fn matmul_shapes_compose() {
+    for case in 0..CASES {
+        let mut r = rng(4000 + case);
+        let a = rand_tensor(&mut r, 4, 3);
+        let b = Tensor::from_fn(a.cols(), 5, |_, _| r.gen::<f32>() - 0.5);
         // Forward identity: (A B)^T == B^T A^T
         let ab_t = a.matmul(&b).transpose();
         let bt_at = b.transpose().matmul(&a.transpose());
         for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn col_row_sums_agree_with_manual(x in arb_tensor(5, 5)) {
+#[test]
+fn col_row_sums_agree_with_manual() {
+    for case in 0..CASES {
+        let mut r = rng(5000 + case);
+        let x = rand_tensor(&mut r, 5, 5);
         let total: f32 = x.data().iter().sum();
-        prop_assert!((x.col_sums().sum() - total).abs() < 1e-3);
-        prop_assert!((x.row_sums().sum() - total).abs() < 1e-3);
+        assert!((x.col_sums().sum() - total).abs() < 1e-3, "case {case}");
+        assert!((x.row_sums().sum() - total).abs() < 1e-3, "case {case}");
     }
 }

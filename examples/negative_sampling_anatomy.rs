@@ -10,7 +10,7 @@
 //! cargo run -p splpg-examples --bin negative_sampling_anatomy --release
 //! ```
 
-use rand::SeedableRng;
+use splpg_rng::SeedableRng;
 use splpg::partition::{PartitionedGraph, RandomTma, SuperTma};
 use splpg::prelude::*;
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = DatasetSpec::pubmed().generate(Scale::tiny(), 5)?;
     let g = data.train_graph();
     let n = g.num_nodes() as u64;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(2);
 
     println!("dataset: {} ({} nodes, {} train edges)\n", data.name, n, g.num_edges());
     println!(

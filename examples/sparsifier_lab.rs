@@ -9,7 +9,7 @@
 //! cargo run -p splpg-examples --bin sparsifier_lab --release
 //! ```
 
-use rand::{Rng, SeedableRng};
+use splpg_rng::{Rng, SeedableRng};
 use splpg::linalg::{
     effective_resistance, lambda2_normalized, quadratic_form, CgOptions, PowerIterOptions,
 };
@@ -17,7 +17,7 @@ use splpg::prelude::*;
 use splpg::sparsify::DegreeSparsifier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
 
     // A small community graph where exact resistances are computable.
     let data = DatasetSpec::cora().generate(Scale::new(0.03, 8), 3)?;

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline verification gate: build, test, lint. No network access needed.
+set -eu
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

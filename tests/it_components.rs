@@ -1,13 +1,13 @@
 //! Cross-crate component integration: partition + sparsify + linalg
 //! interact correctly on generated datasets.
 
-use rand::SeedableRng;
+use splpg_rng::SeedableRng;
 use splpg::linalg::{quadratic_form, CgOptions};
 use splpg::prelude::*;
 use splpg::sparsify::DegreeSparsifier;
 
-fn rng() -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(13)
+fn rng() -> splpg_rng::rngs::StdRng {
+    splpg_rng::rngs::StdRng::seed_from_u64(13)
 }
 
 #[test]
@@ -46,7 +46,7 @@ fn sparsified_partition_preserves_quadratic_form_roughly() {
     let sparsifier = DegreeSparsifier::new(SparsifyConfig::with_samples(6 * g.num_edges()));
     let sparse = sparsifier.sparsify(&g, &mut rng()).expect("sparsify");
     let mut r = rng();
-    use rand::Rng;
+    use splpg_rng::Rng;
     let mut total_ratio = 0.0;
     let trials = 10;
     for _ in 0..trials {

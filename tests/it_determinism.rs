@@ -42,6 +42,39 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn splpg_run_invariant_to_thread_count() {
+    // The parallel compute layer must not change results: a fixed-seed
+    // SpLPG run on a 1-thread pool and an 8-thread pool must produce
+    // bit-identical loss curves, accuracy, and comm bytes. Parallel work
+    // is partitioned by item index (never by thread id), so the epoch
+    // stats compare exactly — including `mean_loss` as f32.
+    let data = DatasetSpec::citeseer().generate(Scale::new(0.05, 16), 11).expect("generate");
+    let run_with = |threads: usize| {
+        splpg_par::set_num_threads(threads);
+        let out = SpLpg::builder()
+            .workers(2)
+            .strategy(Strategy::SpLpg)
+            .sync(SyncMethod::ModelAveraging)
+            .epochs(2)
+            .hidden(8)
+            .layers(2)
+            .fanouts(vec![Some(5), Some(5)])
+            .hits_k(10)
+            .seed(23)
+            .build()
+            .run(ModelKind::GraphSage, &data)
+            .expect("run");
+        splpg_par::set_num_threads(0);
+        out
+    };
+    let single = run_with(1);
+    let pooled = run_with(8);
+    assert_eq!(single.epochs, pooled.epochs, "loss curves diverged across thread counts");
+    assert_eq!(single.test_hits, pooled.test_hits);
+    assert_eq!(single.comm.total_bytes(), pooled.comm.total_bytes());
+}
+
+#[test]
 fn dataset_generation_is_deterministic() {
     let a = DatasetSpec::pubmed().generate(Scale::tiny(), 9).expect("generate");
     let b = DatasetSpec::pubmed().generate(Scale::tiny(), 9).expect("generate");
