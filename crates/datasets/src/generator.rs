@@ -166,7 +166,10 @@ impl WeightedPicker {
     }
 
     fn pick(&self, rng: &mut StdRng) -> NodeId {
-        let total = *self.cumulative.last().expect("non-empty picker");
+        let total = *self
+            .cumulative
+            .last()
+            .expect("invariant: picker is constructed with at least one weight");
         let x = rng.gen::<f64>() * total;
         let idx = self.cumulative.partition_point(|&cw| cw < x);
         self.nodes[idx.min(self.nodes.len() - 1)]

@@ -203,7 +203,9 @@ impl Dataset {
     ///
     /// Never panics for datasets produced by [`DatasetSpec::generate`].
     pub fn train_graph(&self) -> Graph {
-        self.split.train_graph(self.graph.num_nodes()).expect("edges come from this graph")
+        self.split
+            .train_graph(self.graph.num_nodes())
+            .expect("invariant: split edges were drawn from this graph's node range")
     }
 }
 

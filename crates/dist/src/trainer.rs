@@ -350,6 +350,7 @@ impl DistTrainer {
         let batch_size = self.train.batch_size;
         let flat: &Vec<f32> = global_flat;
         let results: Vec<WorkerEpoch> =
+            // splpg-lint: allow(thread-spawn) — worker replicas are long-lived actors, one OS thread each; splpg-par's fork-join pool cannot host them
             std::thread::scope(|scope| {
                 let handles: Vec<_> = states
                     .iter_mut()
@@ -442,6 +443,7 @@ impl DistTrainer {
         let shared_global = Mutex::new((std::mem::take(global_flat), master_params, master_opt));
         let loss_acc = Mutex::new((0.0f64, 0usize));
 
+        // splpg-lint: allow(thread-spawn) — barrier-synchronised worker replicas (DDP emulation) need dedicated threads, not pool tasks
         let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = states
                 .iter_mut()

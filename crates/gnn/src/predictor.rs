@@ -115,7 +115,7 @@ pub fn edges_to_pairs(
     negatives: &[Edge],
 ) -> (Vec<NodeId>, Vec<(u32, u32)>, Vec<f32>) {
     let mut seeds: Vec<NodeId> = Vec::new();
-    let mut index: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+    let mut index: std::collections::BTreeMap<NodeId, u32> = std::collections::BTreeMap::new();
     let mut intern = |v: NodeId, seeds: &mut Vec<NodeId>| -> u32 {
         *index.entry(v).or_insert_with(|| {
             seeds.push(v);

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use splpg_rng::Rng;
 use splpg_graph::NodeId;
@@ -91,9 +91,9 @@ impl NeighborSampler {
         rng: &mut R,
     ) -> MiniBatch {
         let mut unique_seeds: Vec<NodeId> = Vec::new();
-        let mut seen: HashMap<NodeId, u32> = HashMap::new();
+        let mut seen: BTreeMap<NodeId, u32> = BTreeMap::new();
         for &s in seeds {
-            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(s) {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(s) {
                 e.insert(unique_seeds.len() as u32);
                 unique_seeds.push(s);
             }
@@ -128,7 +128,7 @@ impl NeighborSampler {
             }
             // Phase 3 — assemble (sequential): global-to-block indexing.
             let mut src_ids = frontier.clone();
-            let mut src_index: HashMap<NodeId, u32> =
+            let mut src_index: BTreeMap<NodeId, u32> =
                 src_ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
             let mut edge_src = Vec::new();
             let mut edge_dst = Vec::new();

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{Edge, Graph, GraphError, NodeId};
 
@@ -26,20 +26,26 @@ use crate::{Edge, Graph, GraphError, NodeId};
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     num_nodes: usize,
-    /// Canonical edge -> accumulated weight (`None` weight = unweighted).
-    edges: HashMap<Edge, f64>,
+    /// Canonical edge -> accumulated weight, ordered so that [`build`]
+    /// emits edges in canonical order without a separate sort (and so the
+    /// builder never depends on per-process hash order).
+    ///
+    /// [`build`]: GraphBuilder::build
+    edges: BTreeMap<Edge, f64>,
     weighted: bool,
 }
 
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, edges: HashMap::new(), weighted: false }
+        GraphBuilder { num_nodes, edges: BTreeMap::new(), weighted: false }
     }
 
-    /// Creates a builder with capacity for `edges` undirected edges.
-    pub fn with_capacity(num_nodes: usize, edges: usize) -> Self {
-        GraphBuilder { num_nodes, edges: HashMap::with_capacity(edges), weighted: false }
+    /// Creates a builder sized for `edges` undirected edges. (The ordered
+    /// edge map needs no pre-allocation; the hint is accepted for API
+    /// stability.)
+    pub fn with_capacity(num_nodes: usize, _edges: usize) -> Self {
+        GraphBuilder { num_nodes, edges: BTreeMap::new(), weighted: false }
     }
 
     /// Number of nodes the built graph will have.
@@ -103,9 +109,9 @@ impl GraphBuilder {
     /// Finalizes the builder into a CSR [`Graph`].
     pub fn build(&self) -> Graph {
         let n = self.num_nodes;
-        let mut edge_list: Vec<(Edge, f64)> =
+        // BTreeMap iterates in canonical (src, dst) order already.
+        let edge_list: Vec<(Edge, f64)> =
             self.edges.iter().map(|(&e, &w)| (e, w)).collect();
-        edge_list.sort_unstable_by_key(|(e, _)| *e);
 
         let mut degree = vec![0usize; n];
         for (e, _) in &edge_list {

@@ -62,7 +62,9 @@ pub fn write_graph<W: Write>(mut writer: W, graph: &Graph) -> Result<(), GraphEr
         write_u32(&mut writer, e.src)?;
         write_u32(&mut writer, e.dst)?;
         if graph.is_weighted() {
-            let w = graph.edge_weight(e.src, e.dst).expect("edge listed");
+            let w = graph
+                .edge_weight(e.src, e.dst)
+                .expect("invariant: every edge in graph.edges() has a stored weight");
             writer.write_all(&w.to_le_bytes())?;
         }
     }

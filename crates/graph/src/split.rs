@@ -144,7 +144,10 @@ pub fn sample_global_negatives<R: Rng + ?Sized>(
             "requested {count} negatives but only {possible} non-edges exist"
         )));
     }
-    let mut out = std::collections::HashSet::with_capacity(count);
+    // BTreeSet, not HashSet: the collected Vec below inherits the set's
+    // iteration order, and hash order varies per *process* — negatives
+    // must come out identical across fresh runs with the same seed.
+    let mut out = std::collections::BTreeSet::new();
     let mut attempts = 0u64;
     let max_attempts = 100 * (count as u64 + 10);
     while out.len() < count {

@@ -7,7 +7,7 @@
 //! decides how much of the graph survives sparsification. These helpers
 //! quantify all three for the synthetic stand-in datasets.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{Graph, NodeId};
 
@@ -59,12 +59,12 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
     let variance =
         degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-    let mut hist: HashMap<usize, usize> = HashMap::new();
+    let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
     for &d in &degrees {
         *hist.entry(d).or_insert(0) += 1;
     }
-    let mut histogram: Vec<(usize, usize)> = hist.into_iter().collect();
-    histogram.sort_unstable();
+    // BTreeMap iterates in key order: the histogram comes out sorted.
+    let histogram: Vec<(usize, usize)> = hist.into_iter().collect();
     DegreeStats {
         min: degrees[0],
         max: degrees[n - 1],

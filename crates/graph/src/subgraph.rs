@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{Graph, GraphBuilder, NodeId};
 
@@ -17,7 +17,7 @@ use crate::{Graph, GraphBuilder, NodeId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeMapping {
     globals: Vec<NodeId>,
-    locals: HashMap<NodeId, NodeId>,
+    locals: BTreeMap<NodeId, NodeId>,
 }
 
 impl NodeMapping {
@@ -116,11 +116,13 @@ impl InducedSubgraph {
         let mut core_sorted: Vec<NodeId> = core_nodes.to_vec();
         core_sorted.sort_unstable();
         core_sorted.dedup();
-        let in_core: std::collections::HashSet<NodeId> = core_sorted.iter().copied().collect();
+        // `core_sorted` is sorted and deduplicated: membership via binary
+        // search, no hash container needed.
+        let in_core = |n: NodeId| core_sorted.binary_search(&n).is_ok();
         let mut globals = core_sorted.clone();
         for &c in &core_sorted {
             for &nb in parent.neighbors(c) {
-                if !in_core.contains(&nb) {
+                if !in_core(nb) {
                     globals.push(nb);
                 }
             }
@@ -136,7 +138,7 @@ impl InducedSubgraph {
             for &nb in parent.neighbors(g) {
                 let local_nb = mapping.to_local(nb).expect("halo includes all neighbors");
                 // Add each core-core edge once; core-halo edges keyed by core side.
-                if in_core.contains(&nb) && local > local_nb {
+                if in_core(nb) && local > local_nb {
                     continue;
                 }
                 let w = parent.edge_weight(g, nb).unwrap_or(1.0);

@@ -67,7 +67,7 @@ pub fn solve_laplacian(
         if res <= options.tolerance {
             return Ok(CgOutcome { solution: x, iterations: iter, residual: res });
         }
-        let ap = op.apply(&p).expect("dimension verified");
+        let ap = op.apply(&p).expect("invariant: p.len() == n, checked at entry");
         let alpha = rs_old / dot(&p, &ap).max(f64::MIN_POSITIVE);
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);

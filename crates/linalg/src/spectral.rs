@@ -87,7 +87,9 @@ pub fn lambda2_normalized(
     let mut prev_eig = f64::NAN;
     for iter in 0..options.max_iterations {
         // y = (2I - L_sym) x
-        let lx = op.apply_normalized(&x).expect("dimension verified");
+        let lx = op
+            .apply_normalized(&x)
+            .expect("invariant: x has n entries by construction above");
         let mut y: Vec<f64> = x.iter().zip(&lx).map(|(xi, li)| 2.0 * xi - li).collect();
         deflate(&mut y, &null_vec);
         let eig = dot(&x, &y); // Rayleigh quotient of M at unit x

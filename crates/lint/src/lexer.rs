@@ -1,0 +1,460 @@
+//! Comment- and string-aware scanning of Rust source.
+//!
+//! The rule engine must not fire on tokens that appear inside comments,
+//! doc examples, or string literals (a diagnostic message that *mentions*
+//! `HashMap` is not a `HashMap` use). This module performs one pass over
+//! the source and produces, per line:
+//!
+//! * `code` — the line with every comment character and every string
+//!   *content* character replaced by a space (string delimiters are kept,
+//!   so `.expect("` remains recognizable). `code` has exactly one
+//!   character per source character, so char columns line up with `raw`.
+//! * `comment` — the concatenated comment text of the line, used to find
+//!   `// splpg-lint: allow(<rule>)` pragmas.
+//! * `strings` — the string literals opening on the line, with their
+//!   contents, so rules can inspect e.g. `.expect(...)` messages.
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item
+//!   (detected by brace matching on the masked code).
+//!
+//! The lexer understands line comments, nested block comments, plain and
+//! raw (hash-delimited) string literals, byte strings, character literals
+//! and lifetimes. It is intentionally not a full Rust lexer: anything it
+//! cannot classify stays visible to the rules, which errs on the side of
+//! flagging (the allow pragma is the escape hatch).
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line as written (without the trailing newline).
+    pub raw: String,
+    /// Comment/string-masked code, aligned with `raw` char-for-char.
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// String literals opening on this line: (char column of the opening
+    /// quote, literal contents without delimiters).
+    pub strings: Vec<(usize, String)>,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A fully analyzed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Lines in order; line numbers are `index + 1`.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    /// Inside `"…"`; tracks a pending escape.
+    Str { escaped: bool },
+    /// Inside `r"…"` / `r#"…"#`; the number of `#`s.
+    RawStr { hashes: usize },
+}
+
+impl SourceFile {
+    /// Analyzes `source` into masked lines.
+    pub fn analyze(source: &str) -> SourceFile {
+        let chars: Vec<char> = source.chars().collect();
+        let mut lines: Vec<Line> = Vec::new();
+        let mut raw = String::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut strings: Vec<(usize, String)> = Vec::new();
+        let mut cur_string = String::new();
+        let mut col = 0usize;
+        let mut state = State::Code;
+
+        let flush =
+            |raw: &mut String, code: &mut String, comment: &mut String, strings: &mut Vec<(usize, String)>, lines: &mut Vec<Line>| {
+                lines.push(Line {
+                    raw: std::mem::take(raw),
+                    code: std::mem::take(code),
+                    comment: std::mem::take(comment),
+                    strings: std::mem::take(strings),
+                    in_test: false,
+                });
+            };
+
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                // A string may legally span lines; its remaining content
+                // lands on the following lines' buffers.
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                if !cur_string.is_empty() || matches!(state, State::Str { .. } | State::RawStr { .. }) {
+                    if let Some(last) = strings.last_mut() {
+                        last.1.push_str(&cur_string);
+                    }
+                    cur_string.clear();
+                }
+                flush(&mut raw, &mut code, &mut comment, &mut strings, &mut lines);
+                col = 0;
+                i += 1;
+                continue;
+            }
+            raw.push(c);
+            match state {
+                State::Code => {
+                    let next = chars.get(i + 1).copied();
+                    let prev_ident = col > 0
+                        && code
+                            .chars()
+                            .last()
+                            .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        code.push(' ');
+                        comment.push(c);
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        comment.push(c);
+                    } else if c == '"' && !prev_ident {
+                        state = State::Str { escaped: false };
+                        code.push('"');
+                        strings.push((col, String::new()));
+                    } else if c == '"' && code.ends_with('b') {
+                        // b"…" byte string: the `b` was already emitted.
+                        state = State::Str { escaped: false };
+                        code.push('"');
+                        strings.push((col, String::new()));
+                    } else if (c == 'r' || c == 'b') && !prev_ident && is_raw_string_start(&chars, i) {
+                        // r"…", r#"…"#, br"…": consume the prefix up to and
+                        // including the opening quote.
+                        let mut j = i;
+                        let mut hashes = 0usize;
+                        while chars.get(j).copied() == Some('r') || chars.get(j).copied() == Some('b')
+                        {
+                            j += 1;
+                        }
+                        while chars.get(j).copied() == Some('#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // chars[j] is the opening quote.
+                        for &p in &chars[i + 1..=j] {
+                            raw.push(p);
+                        }
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        strings.push((col + (j - i), String::new()));
+                        col += j - i;
+                        i = j;
+                        state = State::RawStr { hashes };
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if next == Some('\\') {
+                            // '\n', '\u{..}', … — scan to the closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                                j += 1;
+                            }
+                            for &p in &chars[i + 1..=j.min(chars.len() - 1)] {
+                                if p != '\n' {
+                                    raw.push(p);
+                                }
+                            }
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            col += j - i;
+                            i = j;
+                        } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                            // 'x'
+                            raw.push(next.unwrap_or(' '));
+                            raw.push('\'');
+                            code.push_str("   ");
+                            col += 2;
+                            i += 2;
+                        } else {
+                            // Lifetime: keep visible.
+                            code.push(c);
+                        }
+                    } else {
+                        code.push(c);
+                    }
+                }
+                State::LineComment => {
+                    code.push(' ');
+                    comment.push(c);
+                }
+                State::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    code.push(' ');
+                    comment.push(c);
+                    if c == '*' && next == Some('/') {
+                        raw.push('/');
+                        code.push(' ');
+                        comment.push('/');
+                        col += 1;
+                        i += 1;
+                        state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    } else if c == '/' && next == Some('*') {
+                        raw.push('*');
+                        code.push(' ');
+                        comment.push('*');
+                        col += 1;
+                        i += 1;
+                        state = State::BlockComment(depth + 1);
+                    }
+                }
+                State::Str { escaped } => {
+                    if escaped {
+                        code.push(' ');
+                        cur_string.push(c);
+                        state = State::Str { escaped: false };
+                    } else if c == '\\' {
+                        code.push(' ');
+                        cur_string.push(c);
+                        state = State::Str { escaped: true };
+                    } else if c == '"' {
+                        code.push('"');
+                        if let Some(last) = strings.last_mut() {
+                            last.1.push_str(&cur_string);
+                        }
+                        cur_string.clear();
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        cur_string.push(c);
+                    }
+                }
+                State::RawStr { hashes } => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        for k in 0..hashes {
+                            raw.push(chars[i + 1 + k]);
+                        }
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        if let Some(last) = strings.last_mut() {
+                            last.1.push_str(&cur_string);
+                        }
+                        cur_string.clear();
+                        col += hashes;
+                        i += hashes;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        cur_string.push(c);
+                    }
+                }
+            }
+            col += 1;
+            i += 1;
+        }
+        if !raw.is_empty() || lines.is_empty() {
+            if let Some(last) = strings.last_mut() {
+                last.1.push_str(&cur_string);
+            }
+            flush(&mut raw, &mut code, &mut comment, &mut strings, &mut lines);
+        }
+
+        let mut file = SourceFile { lines };
+        file.mark_test_regions();
+        file
+    }
+
+    /// Marks lines inside `#[cfg(test)]` items by brace matching on the
+    /// masked code. An attribute that reaches a `;` before any `{` (e.g.
+    /// `#[cfg(test)] mod tests;`) marks only its own line.
+    fn mark_test_regions(&mut self) {
+        const NEEDLE: &str = "#[cfg(test)]";
+        let starts: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.code.contains(NEEDLE))
+            .map(|(i, _)| i)
+            .collect();
+        for start in starts {
+            let from_col = self.lines[start].code.find(NEEDLE).map(|b| b + NEEDLE.len());
+            let mut depth = 0i64;
+            let mut entered = false;
+            let mut end = start;
+            'outer: for li in start..self.lines.len() {
+                let code = &self.lines[li].code;
+                let skip = if li == start { from_col.unwrap_or(0) } else { 0 };
+                for ch in code.chars().skip(skip) {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if entered && depth == 0 {
+                                end = li;
+                                break 'outer;
+                            }
+                        }
+                        ';' if !entered => {
+                            end = li;
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                end = li;
+            }
+            for line in &mut self.lines[start..=end] {
+                line.in_test = true;
+            }
+        }
+    }
+}
+
+/// Whether `chars[i]` begins a raw (or raw-byte) string literal prefix.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+        saw_r |= chars[j] == 'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+/// Whether the quote at `chars[i]` is followed by `hashes` `#`s, closing a
+/// raw string.
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Finds whole-word occurrences of `needle` in `haystack` (neighbors must
+/// not be identifier characters). Returns byte offsets.
+pub fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || {
+            let b = bytes[after];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_masked() {
+        let f = SourceFile::analyze("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = SourceFile::analyze("a /* one /* two */ still */ b\n/* open\nHashMap\n*/ c\n");
+        assert!(f.lines[0].code.contains('a'));
+        assert!(f.lines[0].code.contains('b'));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(!f.lines[2].code.contains("HashMap"));
+        assert!(f.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn string_contents_masked_but_quotes_kept() {
+        let f = SourceFile::analyze("let s = \"HashMap::new()\";\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("HashMap"));
+        assert!(code.contains('"'));
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert_eq!(f.lines[0].strings[0].1, "HashMap::new()");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_close() {
+        let f = SourceFile::analyze(r#"let s = "a\"b"; let t = 1;"#);
+        assert!(f.lines[0].code.contains("let t = 1;"));
+        assert_eq!(f.lines[0].strings[0].1, r#"a\"b"#);
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let f = SourceFile::analyze("let s = r#\"thread::spawn\"#; let u = 2;\n");
+        assert!(!f.lines[0].code.contains("thread::spawn"));
+        assert!(f.lines[0].code.contains("let u = 2;"));
+        assert_eq!(f.lines[0].strings[0].1, "thread::spawn");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = SourceFile::analyze("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("fn f<'a>"), "lifetime survives: {code}");
+        // Char-literal quote must not open a string that swallows the rest.
+        assert!(code.contains("let d ="));
+    }
+
+    #[test]
+    fn code_aligns_with_raw() {
+        let src = "let m = \"abc\"; // tail\n";
+        let f = SourceFile::analyze(src);
+        assert_eq!(f.lines[0].raw.chars().count(), f.lines[0].code.chars().count());
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn after() {}\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_declaration_only() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert_eq!(find_word("HashMap<..>", "HashMap").len(), 1);
+        assert_eq!(find_word("MyHashMap", "HashMap").len(), 0);
+        assert_eq!(find_word("HashMaps", "HashMap").len(), 0);
+        assert_eq!(find_word("a HashMap b HashMap", "HashMap").len(), 2);
+    }
+}

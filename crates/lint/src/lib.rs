@@ -1,0 +1,133 @@
+#![forbid(unsafe_code)]
+//! `splpg-lint` — in-tree determinism & safety analyzer.
+//!
+//! SpLPG's headline claim — sparsified data sharing preserves
+//! link-prediction quality — is only checkable in this repo because
+//! training is bit-deterministic across thread counts and across
+//! processes. That property is easy to break silently: one stray
+//! `HashMap` iteration, one thread-id-seeded RNG, one wall-clock read in
+//! a library crate. This crate machine-checks those conventions as named
+//! rules over every `crates/*/src` file and is wired into
+//! `scripts/verify.sh` as a standing gate.
+//!
+//! The scanner is dependency-free: a comment/string-aware lexer
+//! ([`lexer::SourceFile`]) masks out comments and string-literal contents
+//! so rules only ever fire on code, and a small rule engine
+//! ([`rules::check`]) applies path-scoped rules line by line. A line can
+//! opt out with a reasoned pragma:
+//!
+//! ```text
+//! // splpg-lint: allow(hash-iter) — lookup table, never iterated
+//! ```
+//!
+//! on the offending line or alone on the line above it. Run with:
+//!
+//! ```text
+//! cargo run -p splpg-lint -- check
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lexer::SourceFile;
+pub use rules::{describe, Diagnostic, RULE_NAMES};
+
+/// Checks one source string under a workspace-relative virtual path.
+///
+/// The path drives rule scoping (crate name, binary target, crate root),
+/// so fixtures can exercise any scope without touching the filesystem.
+pub fn check_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    rules::check(path, &SourceFile::analyze(source))
+}
+
+/// Outcome of a workspace scan.
+#[derive(Debug)]
+pub struct Report {
+    /// All diagnostics, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scans every `crates/*/src/**/*.rs` file under `root`.
+///
+/// Directory entries are sorted so diagnostics come out in a stable
+/// order regardless of filesystem enumeration order — the analyzer holds
+/// itself to the determinism bar it enforces.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] if `root/crates` cannot be read.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for dir in &crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let rel = relative_path(root, file);
+        diagnostics.extend(check_source(&rel, &source));
+    }
+    diagnostics.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(Report { diagnostics, files_scanned })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated form of `file`.
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_are_slash_separated() {
+        let root = Path::new("/w");
+        let file = Path::new("/w/crates/graph/src/io.rs");
+        assert_eq!(relative_path(root, file), "crates/graph/src/io.rs");
+    }
+
+    #[test]
+    fn check_source_runs_all_rules() {
+        let d = check_source("crates/graph/src/lib.rs", "fn f() {}\n");
+        assert_eq!(d.len(), 1, "missing forbid(unsafe_code) must fire: {d:?}");
+        assert_eq!(d[0].rule, rules::RULE_FORBID_UNSAFE);
+    }
+}

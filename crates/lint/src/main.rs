@@ -1,0 +1,81 @@
+//! CLI for the in-tree analyzer.
+//!
+//! ```text
+//! cargo run -p splpg-lint -- check [--root <dir>]   # scan crates/*/src
+//! cargo run -p splpg-lint -- rules                  # list rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in splpg_lint::RULE_NAMES {
+                println!("{rule}\n    {}\n", splpg_lint::describe(rule));
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: splpg-lint <check [--root <dir>] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("splpg-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("splpg-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "splpg-lint: no `crates/` directory under {} (run from the workspace root or pass --root)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match splpg_lint::check_workspace(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.diagnostics.is_empty() {
+                println!(
+                    "splpg-lint: OK ({} files, {} rules)",
+                    report.files_scanned,
+                    splpg_lint::RULE_NAMES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "splpg-lint: {} violation(s) across {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("splpg-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

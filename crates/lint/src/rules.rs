@@ -1,0 +1,359 @@
+//! The rule set.
+//!
+//! Every rule has a stable kebab-case name (used in diagnostics and in
+//! `// splpg-lint: allow(<rule>) — <reason>` pragmas), a scope over the
+//! workspace, and a line matcher that runs on comment/string-masked code.
+//! See DESIGN.md § "Correctness tooling" for the rationale behind each.
+
+use crate::lexer::{find_word, Line, SourceFile};
+
+/// A single violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Crates whose library code must be bit-reproducible run to run: hash
+/// containers (randomized iteration order *per process*) are banned there.
+pub const DETERMINISTIC_CRATES: &[&str] = &["graph", "gnn", "dist", "partition", "sparsify"];
+
+/// Stable names of every rule, in reporting order.
+pub const RULE_NAMES: &[&str] = &[
+    RULE_HASH_ITER,
+    RULE_THREAD_SPAWN,
+    RULE_WALLCLOCK,
+    RULE_UNWRAP,
+    RULE_FORBID_UNSAFE,
+    RULE_PRINT_MACRO,
+];
+
+pub const RULE_HASH_ITER: &str = "hash-iter";
+pub const RULE_THREAD_SPAWN: &str = "thread-spawn";
+pub const RULE_WALLCLOCK: &str = "wallclock";
+pub const RULE_UNWRAP: &str = "unwrap-expect";
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+pub const RULE_PRINT_MACRO: &str = "print-macro";
+
+/// One-line description per rule (for `splpg-lint rules`).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        RULE_HASH_ITER => {
+            "no std HashMap/HashSet in library code of deterministic crates \
+             (graph, gnn, dist, partition, sparsify): hash iteration order is \
+             randomized per process and silently breaks run-to-run \
+             reproducibility — use BTreeMap/BTreeSet or index vectors"
+        }
+        RULE_THREAD_SPAWN => {
+            "no std::thread::spawn/scope outside splpg-par: ad-hoc threads \
+             bypass the deterministic fork-join pool and its thread-count \
+             invariance guarantees"
+        }
+        RULE_WALLCLOCK => {
+            "no std::time::Instant/SystemTime outside crates/bench: wall-clock \
+             reads in library code make outputs timing-dependent; measure in \
+             the bench harness instead"
+        }
+        RULE_UNWRAP => {
+            "no .unwrap() and no bare .expect(…) in non-test library code of \
+             I/O- and solver-facing crates (graph::io, linalg, datasets): \
+             return Result, or document the invariant with \
+             .expect(\"invariant: …\")"
+        }
+        RULE_FORBID_UNSAFE => "every crate root must carry #![forbid(unsafe_code)]",
+        RULE_PRINT_MACRO => {
+            "no println!/eprintln!/print!/eprint! in library code outside \
+             crates/bench: libraries return data, binaries print it"
+        }
+        _ => "unknown rule",
+    }
+}
+
+/// Scope facts about the file being checked, derived from its path.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// Directory name under `crates/` (e.g. `graph`), if any.
+    pub crate_name: Option<String>,
+    /// Whether the file is a binary target (`src/bin/**` or `src/main.rs`).
+    pub is_binary: bool,
+    /// Whether the file is the crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+impl FileScope {
+    /// Derives the scope from a `/`-separated workspace-relative path.
+    pub fn of(path: &str) -> FileScope {
+        let crate_name = path
+            .split('/')
+            .skip_while(|s| *s != "crates")
+            .nth(1)
+            .map(str::to_string);
+        let is_binary = path.contains("/src/bin/") || path.ends_with("/src/main.rs");
+        let is_crate_root = path.ends_with("/src/lib.rs");
+        FileScope { crate_name, is_binary, is_crate_root }
+    }
+
+    fn in_crate(&self, name: &str) -> bool {
+        self.crate_name.as_deref() == Some(name)
+    }
+}
+
+/// Runs every rule over an analyzed file. `path` must be the
+/// workspace-relative `/`-separated path (it drives rule scoping).
+pub fn check(path: &str, file: &SourceFile) -> Vec<Diagnostic> {
+    let scope = FileScope::of(path);
+    let allows = collect_allows(file);
+    let mut out = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str, message: String| {
+            if !allowed(&allows, file, idx, rule) {
+                out.push(Diagnostic { path: path.to_string(), line: lineno, rule, message });
+            }
+        };
+
+        if !line.in_test {
+            hash_iter(&scope, line, &mut push);
+            thread_spawn(&scope, line, &mut push);
+            wallclock(&scope, line, &mut push);
+            unwrap_expect(path, &scope, line, &mut push);
+            print_macro(&scope, line, &mut push);
+        }
+    }
+
+    forbid_unsafe(path, &scope, file, &allows, &mut out);
+    out
+}
+
+fn hash_iter(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
+    let applies = scope
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    if !applies {
+        return;
+    }
+    for token in ["HashMap", "HashSet"] {
+        if !find_word(&line.code, token).is_empty() {
+            push(
+                RULE_HASH_ITER,
+                format!(
+                    "{token} in a deterministic crate: hash iteration order is \
+                     randomized per process; use BTreeMap/BTreeSet or an index \
+                     vector (or allow with a determinism argument)"
+                ),
+            );
+        }
+    }
+}
+
+fn thread_spawn(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
+    if scope.in_crate("par") {
+        return;
+    }
+    for token in ["thread::spawn", "thread::scope"] {
+        if line.code.contains(token) {
+            push(
+                RULE_THREAD_SPAWN,
+                format!(
+                    "{token} outside splpg-par: route parallel work through the \
+                     global pool so thread-count invariance holds"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+fn wallclock(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
+    if scope.in_crate("bench") {
+        return;
+    }
+    for token in ["Instant", "SystemTime"] {
+        if !find_word(&line.code, token).is_empty() {
+            push(
+                RULE_WALLCLOCK,
+                format!(
+                    "std::time::{token} outside crates/bench: wall-clock reads \
+                     make library output timing-dependent"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+fn unwrap_expect(
+    path: &str,
+    scope: &FileScope,
+    line: &Line,
+    push: &mut impl FnMut(&'static str, String),
+) {
+    let applies = path.ends_with("crates/graph/src/io.rs")
+        || scope.in_crate("linalg")
+        || scope.in_crate("datasets");
+    if !applies {
+        return;
+    }
+    if line.code.contains(".unwrap()") {
+        push(
+            RULE_UNWRAP,
+            ".unwrap() in I/O/solver-facing library code: propagate a Result \
+             or document the invariant with .expect(\"invariant: …\")"
+                .to_string(),
+        );
+    }
+    // .expect(…) must carry a message starting with "invariant:". The
+    // literal contents live in `line.strings`; find the string opening
+    // right after the call's parenthesis.
+    let mut from = 0usize;
+    while let Some(pos) = line.code[from..].find(".expect(") {
+        let open = from + pos + ".expect(".len();
+        // Char column of the first non-space character after the paren.
+        let col = line.code[..open].chars().count()
+            + line.code[open..].chars().take_while(|c| *c == ' ').count();
+        let msg = line
+            .strings
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, s)| s.trim_start());
+        let ok = msg.is_some_and(|m| m.starts_with("invariant:"));
+        if !ok {
+            push(
+                RULE_UNWRAP,
+                ".expect(…) without an \"invariant: …\" message in I/O/solver-\
+                 facing library code: state the invariant or propagate a Result"
+                    .to_string(),
+            );
+        }
+        from = open;
+    }
+}
+
+fn print_macro(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
+    if scope.in_crate("bench") || scope.is_binary {
+        return;
+    }
+    for token in ["println!", "eprintln!", "print!", "eprint!"] {
+        let bare = &token[..token.len() - 1];
+        if find_word(&line.code, bare)
+            .into_iter()
+            .any(|at| line.code[at + bare.len()..].starts_with('!'))
+        {
+            push(
+                RULE_PRINT_MACRO,
+                format!("{token} in library code: return data to the caller; only bench and bin targets print"),
+            );
+            return;
+        }
+    }
+}
+
+fn forbid_unsafe(
+    path: &str,
+    scope: &FileScope,
+    file: &SourceFile,
+    allows: &[Vec<String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !scope.is_crate_root {
+        return;
+    }
+    let has = file.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !has && !allowed(allows, file, 0, RULE_FORBID_UNSAFE) {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: RULE_FORBID_UNSAFE,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+}
+
+/// Parses `splpg-lint: allow(rule-a, rule-b)` pragmas out of each line's
+/// comment text. Returns one allow-list per line.
+fn collect_allows(file: &SourceFile) -> Vec<Vec<String>> {
+    file.lines
+        .iter()
+        .map(|line| {
+            let mut allows = Vec::new();
+            let mut rest = line.comment.as_str();
+            while let Some(at) = rest.find("splpg-lint:") {
+                rest = &rest[at + "splpg-lint:".len()..];
+                let trimmed = rest.trim_start();
+                if let Some(args) = trimmed.strip_prefix("allow(") {
+                    if let Some(close) = args.find(')') {
+                        for name in args[..close].split(',') {
+                            allows.push(name.trim().to_string());
+                        }
+                        rest = &args[close..];
+                    }
+                }
+            }
+            allows
+        })
+        .collect()
+}
+
+/// A diagnostic on line `idx` is suppressed by a pragma on the same line,
+/// or by a pragma on the immediately preceding line when that line holds
+/// no code of its own (a standalone `// splpg-lint: allow(...) — reason`).
+fn allowed(allows: &[Vec<String>], file: &SourceFile, idx: usize, rule: &str) -> bool {
+    let hit = |i: usize| allows[i].iter().any(|a| a == rule);
+    if hit(idx) {
+        return true;
+    }
+    idx > 0 && hit(idx - 1) && file.lines[idx - 1].code.trim().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        check(path, &SourceFile::analyze(src))
+    }
+
+    #[test]
+    fn scope_extracts_crate_name() {
+        let s = FileScope::of("crates/graph/src/io.rs");
+        assert_eq!(s.crate_name.as_deref(), Some("graph"));
+        assert!(!s.is_binary);
+        let b = FileScope::of("crates/bench/src/bin/fig03.rs");
+        assert!(b.is_binary);
+        assert!(FileScope::of("crates/gnn/src/lib.rs").is_crate_root);
+    }
+
+    #[test]
+    fn same_line_pragma_suppresses() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap; // splpg-lint: allow(hash-iter) — lookup only, never iterated\n";
+        assert!(diags("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn preceding_line_pragma_suppresses() {
+        let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow(hash-iter) — lookup only\nuse std::collections::HashMap;\n";
+        assert!(diags("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_for_other_rule_does_not_suppress() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap; // splpg-lint: allow(wallclock) — wrong rule\n";
+        let d = diags("crates/graph/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_HASH_ITER);
+    }
+}

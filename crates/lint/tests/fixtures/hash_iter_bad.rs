@@ -1,0 +1,17 @@
+// Fixture: hash containers in a deterministic crate's library code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn histogram(values: &[usize]) -> Vec<(usize, usize)> {
+    let mut hist: HashMap<usize, usize> = HashMap::new();
+    for &v in values {
+        *hist.entry(v).or_insert(0) += 1;
+    }
+    // Iteration order here is randomized per process.
+    hist.into_iter().collect()
+}
+
+pub fn dedup(values: &[u32]) -> Vec<u32> {
+    let set: HashSet<u32> = values.iter().copied().collect();
+    set.into_iter().collect()
+}

@@ -1,0 +1,41 @@
+// Fixture: the deterministic equivalents pass, and a reasoned pragma can
+// keep a genuine lookup-only hash table.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn histogram(values: &[usize]) -> Vec<(usize, usize)> {
+    let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+    for &v in values {
+        *hist.entry(v).or_insert(0) += 1;
+    }
+    hist.into_iter().collect()
+}
+
+pub fn dedup(values: &[u32]) -> Vec<u32> {
+    let set: BTreeSet<u32> = values.iter().copied().collect();
+    set.into_iter().collect()
+}
+
+// splpg-lint: allow(hash-iter) — O(1) membership probe, never iterated
+pub fn probe(seen: &std::collections::HashSet<u32>, v: u32) -> bool {
+    seen.contains(&v)
+}
+
+/// Mentions of HashMap in doc comments or strings must not fire:
+/// a `HashMap` iterates in random order, says this sentence.
+pub fn describe() -> &'static str {
+    "do not use HashMap here"
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope for hash-iter.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: printing from library code.
+pub fn report(total: usize) {
+    println!("total = {total}");
+}
+
+pub fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}

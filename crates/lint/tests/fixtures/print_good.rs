@@ -1,0 +1,9 @@
+// Fixture: libraries format and return; mentions in docs/strings are fine.
+/// Produces the line a caller may println! if it wants to.
+pub fn report(total: usize) -> String {
+    format!("total = {total}")
+}
+
+pub fn macro_name() -> &'static str {
+    "println!"
+}

@@ -1,0 +1,11 @@
+// Fixture: ad-hoc threading outside splpg-par.
+pub fn fan_out(xs: &[u64]) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs.iter().map(|&x| scope.spawn(move || x * 2)).collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    })
+}
+
+pub fn detach() {
+    std::thread::spawn(|| {});
+}

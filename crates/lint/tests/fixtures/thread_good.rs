@@ -1,0 +1,10 @@
+// Fixture: work routed through the pool passes; a reasoned pragma keeps
+// a legitimate long-lived-thread site.
+pub fn fan_out(xs: &[u64]) -> u64 {
+    splpg_par::global().parallel_map_chunks(xs, 1, |_, &x| x * 2).into_iter().sum()
+}
+
+pub fn workers() {
+    // splpg-lint: allow(thread-spawn) — long-lived worker replicas with barrier sync
+    std::thread::scope(|_scope| {});
+}

@@ -1,0 +1,9 @@
+// Fixture: panicking extraction in I/O/solver-facing library code.
+pub fn parse(bytes: &[u8]) -> u32 {
+    let arr: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(arr)
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty input")
+}

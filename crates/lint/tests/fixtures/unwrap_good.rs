@@ -1,0 +1,19 @@
+// Fixture: Result propagation and invariant-bearing expects pass; test
+// code may unwrap freely.
+pub fn parse(bytes: &[u8]) -> Result<u32, std::array::TryFromSliceError> {
+    let arr: [u8; 4] = bytes[..4].try_into()?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("invariant: caller guarantees a non-empty batch")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

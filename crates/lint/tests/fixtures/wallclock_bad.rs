@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads in library code.
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos())
+}
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,13 @@
+// Fixture: Duration values are fine — only clock *reads* are banned —
+// and a reasoned pragma can keep a reported preprocessing timing.
+use std::time::Duration;
+
+pub fn budget() -> Duration {
+    Duration::from_millis(250)
+}
+
+pub fn timed_section() -> Duration {
+    // splpg-lint: allow(wallclock) — preprocessing timing is part of the reported result
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,184 @@
+//! Fixture-based rule tests: every rule must both fire on its bad
+//! fixture and stay silent on its good fixture (which also exercises the
+//! allow-pragma escape hatch).
+
+use splpg_lint::check_source;
+
+/// Rule names firing in `src` when checked under `path`, deduplicated.
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_source(path, src).into_iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+/// Diagnostics other than the (expected) missing `forbid(unsafe_code)`
+/// header, which non-`lib.rs` fixtures never carry.
+fn fired_content(path: &str, src: &str) -> Vec<&'static str> {
+    fired(path, src).into_iter().filter(|r| *r != "forbid-unsafe").collect()
+}
+
+#[test]
+fn hash_iter_fires_on_bad_fixture() {
+    let d = check_source(
+        "crates/graph/src/fixture.rs",
+        include_str!("fixtures/hash_iter_bad.rs"),
+    );
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "hash-iter").collect();
+    assert!(hits.len() >= 4, "HashMap/HashSet uses + iterations: {hits:?}");
+    // Diagnostics carry file:line coordinates.
+    assert!(hits.iter().all(|d| d.line > 0 && d.path.ends_with("fixture.rs")));
+}
+
+#[test]
+fn hash_iter_passes_good_fixture() {
+    let rules = fired_content(
+        "crates/graph/src/fixture.rs",
+        include_str!("fixtures/hash_iter_good.rs"),
+    );
+    assert!(rules.is_empty(), "good fixture must be clean: {rules:?}");
+}
+
+#[test]
+fn hash_iter_ignores_non_deterministic_crates() {
+    let rules = fired_content(
+        "crates/tensor/src/fixture.rs",
+        include_str!("fixtures/hash_iter_bad.rs"),
+    );
+    assert!(rules.is_empty(), "tensor is not a deterministic-scoped crate: {rules:?}");
+}
+
+#[test]
+fn thread_spawn_fires_on_bad_fixture() {
+    let rules = fired_content(
+        "crates/gnn/src/fixture.rs",
+        include_str!("fixtures/thread_bad.rs"),
+    );
+    assert_eq!(rules, vec!["thread-spawn"]);
+}
+
+#[test]
+fn thread_spawn_passes_good_fixture_and_par() {
+    let good = fired_content(
+        "crates/gnn/src/fixture.rs",
+        include_str!("fixtures/thread_good.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+    // splpg-par itself is the one place threads may be spawned.
+    let par = fired_content("crates/par/src/fixture.rs", include_str!("fixtures/thread_bad.rs"));
+    assert!(par.is_empty(), "{par:?}");
+}
+
+#[test]
+fn wallclock_fires_on_bad_fixture() {
+    let rules = fired_content(
+        "crates/dist/src/fixture.rs",
+        include_str!("fixtures/wallclock_bad.rs"),
+    );
+    assert_eq!(rules, vec!["wallclock"]);
+}
+
+#[test]
+fn wallclock_passes_good_fixture_and_bench() {
+    let good = fired_content(
+        "crates/dist/src/fixture.rs",
+        include_str!("fixtures/wallclock_good.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+    let bench =
+        fired_content("crates/bench/src/fixture.rs", include_str!("fixtures/wallclock_bad.rs"));
+    assert!(bench.is_empty(), "bench may read clocks: {bench:?}");
+}
+
+#[test]
+fn unwrap_fires_on_bad_fixture_in_all_scoped_crates() {
+    for path in [
+        "crates/graph/src/io.rs",
+        "crates/linalg/src/fixture.rs",
+        "crates/datasets/src/fixture.rs",
+    ] {
+        let rules = fired_content(path, include_str!("fixtures/unwrap_bad.rs"));
+        assert_eq!(rules, vec!["unwrap-expect"], "scope {path}");
+    }
+}
+
+#[test]
+fn unwrap_passes_good_fixture_and_unscoped_files() {
+    let good = fired_content("crates/linalg/src/fixture.rs", include_str!("fixtures/unwrap_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // graph is only scoped at io.rs; the rest of the crate may panic on
+    // internal invariants.
+    let other = fired_content("crates/graph/src/csr.rs", include_str!("fixtures/unwrap_bad.rs"));
+    assert!(other.is_empty(), "{other:?}");
+}
+
+#[test]
+fn forbid_unsafe_fires_on_bare_crate_root() {
+    let d = check_source("crates/graph/src/lib.rs", include_str!("fixtures/forbid_bad.rs"));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "forbid-unsafe");
+    assert_eq!(d[0].line, 1);
+}
+
+#[test]
+fn forbid_unsafe_passes_compliant_root_and_non_roots() {
+    let good = fired("crates/graph/src/lib.rs", include_str!("fixtures/forbid_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // Non-root files don't need the attribute.
+    let non_root = fired("crates/graph/src/csr.rs", include_str!("fixtures/forbid_bad.rs"));
+    assert!(non_root.is_empty(), "{non_root:?}");
+}
+
+#[test]
+fn print_macro_fires_on_bad_fixture() {
+    let rules = fired_content("crates/nn/src/fixture.rs", include_str!("fixtures/print_bad.rs"));
+    assert_eq!(rules, vec!["print-macro"]);
+}
+
+#[test]
+fn print_macro_passes_good_fixture_bench_and_binaries() {
+    let good = fired_content("crates/nn/src/fixture.rs", include_str!("fixtures/print_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    let bench = fired_content("crates/bench/src/fixture.rs", include_str!("fixtures/print_bad.rs"));
+    assert!(bench.is_empty(), "{bench:?}");
+    let binary =
+        fired_content("crates/lint/src/bin/tool.rs", include_str!("fixtures/print_bad.rs"));
+    assert!(binary.is_empty(), "bin targets may print: {binary:?}");
+    let main = fired_content("crates/lint/src/main.rs", include_str!("fixtures/print_bad.rs"));
+    assert!(main.is_empty(), "main.rs may print: {main:?}");
+}
+
+#[test]
+fn pragma_reasons_survive_extra_rules_listed() {
+    // One pragma can name several rules.
+    let src = "#![forbid(unsafe_code)]\n\
+               // splpg-lint: allow(hash-iter, wallclock) — fixture\n\
+               use std::collections::HashMap; use std::time::Instant;\n";
+    let d = check_source("crates/graph/src/lib.rs", src);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn workspace_scan_reports_zero_violations() {
+    // The repo itself must stay clean — this is the same check
+    // scripts/verify.sh runs, kept here so `cargo test` alone catches
+    // regressions. CARGO_MANIFEST_DIR = crates/lint; the workspace root
+    // is two levels up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("invariant: crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let report = splpg_lint::check_workspace(&root).expect("scan");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "expected to scan the whole workspace");
+}

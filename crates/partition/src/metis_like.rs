@@ -13,7 +13,7 @@
 //!    by level, running boundary Fiduccia–Mattheyses passes (gain-ordered
 //!    single-node moves with hill-climbing and a balance constraint).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use splpg_rng::seq::SliceRandom;
 use splpg_rng::Rng;
@@ -142,7 +142,7 @@ impl WorkGraph {
 
     /// Induced subgraph on `nodes` (global ids), relabelled 0..len.
     fn induced(&self, nodes: &[u32]) -> WorkGraph {
-        let mut local_of: HashMap<u32, u32> = HashMap::with_capacity(nodes.len());
+        let mut local_of: BTreeMap<u32, u32> = BTreeMap::new();
         for (i, &g) in nodes.iter().enumerate() {
             local_of.insert(g, i as u32);
         }
@@ -201,7 +201,7 @@ impl WorkGraph {
         }
         // Accumulate coarse adjacency: bucket fine edges by coarse source.
         let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); cn];
-        let mut buckets: Vec<HashMap<u32, f64>> = vec![HashMap::new(); cn];
+        let mut buckets: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); cn];
         for v in 0..n {
             let cv = coarse_id[v];
             for &(u, w) in &self.adj[v] {
@@ -212,11 +212,9 @@ impl WorkGraph {
             }
         }
         for (cv, bucket) in buckets.into_iter().enumerate() {
-            let mut row: Vec<(u32, f64)> = bucket.into_iter().collect();
-            // HashMap iteration order is randomized per instance; sorting
-            // keeps coarsening (and thus partitions) deterministic per seed.
-            row.sort_unstable_by_key(|&(u, _)| u);
-            adj[cv] = row;
+            // BTreeMap iterates in key order, so coarse rows come out
+            // sorted (and partitions deterministic per seed) by construction.
+            adj[cv] = bucket.into_iter().collect();
         }
         (WorkGraph { adj, node_weight }, coarse_id)
     }

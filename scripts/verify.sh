@@ -11,6 +11,9 @@ cargo build --workspace --release
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== splpg-lint (determinism & safety analyzer) =="
+cargo run -p splpg-lint --release -- check
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

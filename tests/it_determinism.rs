@@ -74,6 +74,106 @@ fn splpg_run_invariant_to_thread_count() {
     assert_eq!(single.comm.total_bytes(), pooled.comm.total_bytes());
 }
 
+/// FNV-1a over a stream of u64 words — cheap, dependency-free, and stable
+/// across platforms for the value ranges hashed here.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Builds the structures whose determinism the lint rules protect —
+/// partition assignments, sampled mini-batch blocks, and split negatives —
+/// and folds them into one order-sensitive fingerprint.
+fn det_fingerprint() -> u64 {
+    use splpg::gnn::{FullGraphAccess, NeighborSampler};
+    use splpg_rng::rngs::StdRng;
+    use splpg_rng::SeedableRng;
+
+    let data = DatasetSpec::cora().generate(Scale::new(0.05, 16), 41).expect("generate");
+    let mut fp = Fnv::new();
+
+    // Partition assignments (MetisLike iterates adjacency maps internally).
+    let mut rng = StdRng::seed_from_u64(17);
+    let part = MetisLike::default().partition(&data.graph, 4, &mut rng).expect("partition");
+    for &p in part.assignments() {
+        fp.write(p as u64);
+    }
+
+    // Sampled blocks: node order within blocks must match across processes.
+    let sampler = NeighborSampler::new(vec![Some(5), Some(5)]);
+    let mut access = FullGraphAccess::new(&data.graph);
+    let seeds: Vec<NodeId> = (0..32).map(|i| (i * 3) % data.graph.num_nodes() as NodeId).collect();
+    let batch = sampler.sample(&mut access, &seeds, &mut rng);
+    for block in &batch.blocks {
+        fp.write(block.num_dst as u64);
+        for &s in &block.src_ids {
+            fp.write(s as u64);
+        }
+        for (&es, &ed) in block.edge_src.iter().zip(&block.edge_dst) {
+            fp.write(((es as u64) << 32) | ed as u64);
+        }
+    }
+
+    // Split negatives in their emitted order (sample_global_negatives used
+    // to inherit HashSet iteration order, which varies per process).
+    for e in data.split.test_neg.iter().chain(&data.split.valid_neg) {
+        fp.write(((e.src as u64) << 32) | e.dst as u64);
+    }
+    fp.0
+}
+
+#[test]
+fn fingerprint_is_stable_across_fresh_processes() {
+    // In-process repetition cannot catch per-process randomness (std's
+    // HashMap RandomState draws a new key per process), so this test
+    // re-executes itself twice as child processes and compares the
+    // fingerprints they print.
+    if std::env::var_os("SPLPG_DET_CHILD").is_some() {
+        println!("SPLPG_FP={:016x}", det_fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let run_child = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "fingerprint_is_stable_across_fresh_processes",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env("SPLPG_DET_CHILD", "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness writes `test <name> ... ` with no newline
+        // before the test body's own output, so the marker is mid-line.
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find_map(|l| l.split("SPLPG_FP=").nth(1).map(str::to_string))
+            .expect("child did not print a fingerprint")
+    };
+    let first = run_child();
+    let second = run_child();
+    assert_eq!(
+        first, second,
+        "partition/sampling/negative fingerprints diverged across fresh processes"
+    );
+}
+
 #[test]
 fn dataset_generation_is_deterministic() {
     let a = DatasetSpec::pubmed().generate(Scale::tiny(), 9).expect("generate");
