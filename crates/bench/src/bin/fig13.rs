@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             setup_seed: opts.seed,
             faults: None,
             sparsifier: SparsifierKind::default(),
+            ..DistConfig::default()
         };
         let mut train = opts.train_config(ModelKind::GraphSage, opts.epochs);
         train.hits_k = opts.hits_for(&data);

@@ -258,6 +258,7 @@ impl ExpOptions {
             setup_seed: self.seed.wrapping_mul(31).wrapping_add(workers as u64),
             faults: None,
             sparsifier: SparsifierKind::default(),
+            ..DistConfig::default()
         };
         let mut train = self.train_config(model, epochs);
         train.hits_k = self.hits_for(data);

@@ -65,7 +65,10 @@ pub use splpg_sparsify as sparsify;
 pub use splpg_tensor as tensor;
 
 use splpg_datasets::Dataset;
-use splpg_dist::{DistConfig, DistError, DistOutcome, DistTrainer, FaultConfig, SparsifierKind, Strategy, SyncMethod};
+use splpg_dist::{
+    DistConfig, DistError, DistOutcome, DistTrainer, FaultConfig, FaultPlan, RetryPolicy,
+    SparsifierKind, Strategy, SyncMethod,
+};
 use splpg_gnn::trainer::{ModelKind, TrainConfig};
 
 /// Commonly-used types in one import.
@@ -73,8 +76,8 @@ pub mod prelude {
     pub use crate::{SpLpg, SpLpgBuilder};
     pub use splpg_datasets::{Dataset, DatasetSpec, Scale};
     pub use splpg_dist::{
-        CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, SparsifierKind, Strategy,
-        SyncMethod,
+        CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, FaultPlan, NetReport,
+        RetryPolicy, SparsifierKind, Strategy, SyncMethod,
     };
     pub use splpg_gnn::trainer::{ModelKind, TrainConfig};
     pub use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph, GraphBuilder, NodeId};
@@ -213,6 +216,27 @@ impl SpLpgBuilder {
         self
     }
 
+    /// Injects deterministic message-level wire faults
+    /// (drop/duplicate/delay probabilities and scheduled worker crashes).
+    pub fn wire_faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.dist.wire_faults = Some(plan);
+        self
+    }
+
+    /// Minimum number of workers that must answer each synchronization
+    /// unit (default: all of them).
+    pub fn quorum(&mut self, q: usize) -> &mut Self {
+        self.dist.quorum = Some(q);
+        self
+    }
+
+    /// Per-message timeout/backoff/retry policy used when silence is
+    /// possible (wire faults or a quorum below the worker count).
+    pub fn retry(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.dist.retry = policy;
+        self
+    }
+
     /// Sparsifier used for the shared remote copies (default: the paper's
     /// degree-based effective-resistance sampler).
     pub fn sparsifier(&mut self, kind: SparsifierKind) -> &mut Self {
@@ -247,12 +271,18 @@ mod tests {
             .hits_k(50)
             .seed(9)
             .eval_every(2)
+            .quorum(6)
+            .retry(RetryPolicy { timeout_ms: 250, max_retries: 2, backoff: 3 })
+            .wire_faults(FaultPlan { drop: 0.1, seed: 4, ..FaultPlan::default() })
             .build();
         assert_eq!(s.dist_config().num_workers, 8);
         assert_eq!(s.dist_config().strategy, Strategy::PsgdPa);
         assert_eq!(s.dist_config().alpha, 0.05);
         assert_eq!(s.dist_config().sync, SyncMethod::GradientAveraging);
         assert_eq!(s.dist_config().eval_every, 2);
+        assert_eq!(s.dist_config().quorum, Some(6));
+        assert_eq!(s.dist_config().retry.timeout_ms, 250);
+        assert_eq!(s.dist_config().wire_faults.as_ref().unwrap().drop, 0.1);
         assert_eq!(s.train_config().epochs, 3);
         assert_eq!(s.train_config().hidden, 32);
         assert_eq!(s.train_config().batch_size, 64);

@@ -36,6 +36,9 @@ struct Counters {
     structure: AtomicU64,
     features: AtomicU64,
     fetches: AtomicU64,
+    structure_edges: AtomicU64,
+    structure_nodes: AtomicU64,
+    feature_elems: AtomicU64,
 }
 
 impl CommTracker {
@@ -49,6 +52,8 @@ impl CommTracker {
         self.inner
             .structure
             .fetch_add(edges * BYTES_PER_EDGE + nodes * BYTES_PER_NODE_ID, Ordering::Relaxed);
+        self.inner.structure_edges.fetch_add(edges, Ordering::Relaxed);
+        self.inner.structure_nodes.fetch_add(nodes, Ordering::Relaxed);
         self.inner.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -57,6 +62,7 @@ impl CommTracker {
         self.inner
             .features
             .fetch_add(rows * dim * BYTES_PER_FEATURE, Ordering::Relaxed);
+        self.inner.feature_elems.fetch_add(rows * dim, Ordering::Relaxed);
         self.inner.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -78,6 +84,71 @@ impl CommTracker {
     /// Number of individual fetch operations.
     pub fn fetch_count(&self) -> u64 {
         self.inner.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Raw count of remotely-fetched edges (the quantity behind
+    /// [`structure_bytes`](CommTracker::structure_bytes)).
+    pub fn structure_edges(&self) -> u64 {
+        self.inner.structure_edges.load(Ordering::Relaxed)
+    }
+
+    /// Raw count of remotely-fetched node identifiers.
+    pub fn structure_nodes(&self) -> u64 {
+        self.inner.structure_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Raw count of remotely-fetched feature elements (`f32` scalars).
+    pub fn feature_elems(&self) -> u64 {
+        self.inner.feature_elems.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker communication meters for a whole cluster.
+///
+/// Each worker's view writes into its own [`CommTracker`], so a worker's
+/// remote traffic can be shipped back over the wire as a
+/// [`FetchLedger`](splpg_net::FetchLedger) delta and reconciled against
+/// what the master actually received. The summing accessors keep the
+/// aggregate-meter interface that predates per-worker metering.
+#[derive(Debug, Clone, Default)]
+pub struct CommMeter {
+    workers: Vec<CommTracker>,
+}
+
+impl CommMeter {
+    /// A meter with one zeroed tracker per worker.
+    pub fn new(num_workers: usize) -> Self {
+        CommMeter { workers: (0..num_workers).map(|_| CommTracker::new()).collect() }
+    }
+
+    /// The tracker of one worker.
+    pub fn worker(&self, w: usize) -> &CommTracker {
+        &self.workers[w]
+    }
+
+    /// Number of workers metered.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Cluster-wide structure bytes.
+    pub fn structure_bytes(&self) -> u64 {
+        self.workers.iter().map(CommTracker::structure_bytes).sum()
+    }
+
+    /// Cluster-wide feature bytes.
+    pub fn feature_bytes(&self) -> u64 {
+        self.workers.iter().map(CommTracker::feature_bytes).sum()
+    }
+
+    /// Cluster-wide total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.structure_bytes() + self.feature_bytes()
+    }
+
+    /// Cluster-wide fetch-operation count.
+    pub fn fetch_count(&self) -> u64 {
+        self.workers.iter().map(CommTracker::fetch_count).sum()
     }
 }
 
@@ -153,5 +224,41 @@ mod tests {
     fn tracker_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CommTracker>();
+    }
+
+    #[test]
+    fn hand_computed_byte_counts() {
+        // 3 edges + 2 node ids: 3*16 + 2*8 = 64 bytes; 7 rows of dim 5:
+        // 7*5*4 = 140 bytes.
+        let t = CommTracker::new();
+        t.add_structure(3, 2);
+        t.add_features(7, 5);
+        assert_eq!(t.structure_bytes(), 64);
+        assert_eq!(t.feature_bytes(), 140);
+        assert_eq!(t.total_bytes(), 204);
+        // Raw counts behind those bytes.
+        assert_eq!(t.structure_edges(), 3);
+        assert_eq!(t.structure_nodes(), 2);
+        assert_eq!(t.feature_elems(), 35);
+        // Bytes are always reconstructible from the raw counts.
+        assert_eq!(
+            t.total_bytes(),
+            t.structure_edges() * BYTES_PER_EDGE
+                + t.structure_nodes() * BYTES_PER_NODE_ID
+                + t.feature_elems() * BYTES_PER_FEATURE
+        );
+    }
+
+    #[test]
+    fn meter_sums_per_worker_trackers() {
+        let m = CommMeter::new(3);
+        m.worker(0).add_structure(1, 1);
+        m.worker(2).add_features(2, 4);
+        assert_eq!(m.num_workers(), 3);
+        assert_eq!(m.structure_bytes(), BYTES_PER_EDGE + BYTES_PER_NODE_ID);
+        assert_eq!(m.feature_bytes(), 32);
+        assert_eq!(m.total_bytes(), m.structure_bytes() + m.feature_bytes());
+        assert_eq!(m.fetch_count(), 2);
+        assert_eq!(m.worker(1).total_bytes(), 0, "trackers are independent");
     }
 }

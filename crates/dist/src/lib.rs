@@ -41,13 +41,18 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod runtime;
 mod setup;
 mod strategy;
 mod trainer;
 mod view;
 
-pub use comm::{CommReport, CommTracker, BYTES_PER_EDGE, BYTES_PER_FEATURE, BYTES_PER_NODE_ID};
+pub use comm::{
+    CommMeter, CommReport, CommTracker, BYTES_PER_EDGE, BYTES_PER_FEATURE, BYTES_PER_NODE_ID,
+};
+pub use runtime::NetReport;
 pub use setup::{ClusterSetup, SparsifierKind, WorkerData};
+pub use splpg_net::{FaultPlan, RetryPolicy};
 pub use strategy::{NegativeSpace, PartitionerKind, RemoteKind, Strategy, StrategySpec};
 pub use trainer::{DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, SyncMethod};
 pub use view::{RemoteMode, WorkerView};
@@ -66,6 +71,11 @@ pub enum DistError {
     Worker(String),
     /// Evaluation failed.
     Eval(String),
+    /// Fault-injection, retry, or quorum parameters are invalid.
+    InvalidFault(String),
+    /// Fewer workers than the configured quorum answered a
+    /// synchronization unit even after every retry.
+    QuorumLost(String),
 }
 
 impl std::fmt::Display for DistError {
@@ -76,6 +86,10 @@ impl std::fmt::Display for DistError {
             DistError::Sparsify(msg) => write!(f, "sparsification failed: {msg}"),
             DistError::Worker(msg) => write!(f, "worker failed: {msg}"),
             DistError::Eval(msg) => write!(f, "evaluation failed: {msg}"),
+            DistError::InvalidFault(msg) => {
+                write!(f, "invalid fault/retry/quorum config: {msg}")
+            }
+            DistError::QuorumLost(msg) => write!(f, "quorum lost: {msg}"),
         }
     }
 }

@@ -11,7 +11,7 @@ use splpg_sparsify::{
 };
 
 use crate::{
-    CommTracker, DistError, NegativeSpace, PartitionerKind, RemoteKind, RemoteMode, StrategySpec,
+    CommMeter, DistError, NegativeSpace, PartitionerKind, RemoteKind, RemoteMode, StrategySpec,
     WorkerView,
 };
 
@@ -52,8 +52,9 @@ pub struct WorkerData {
 pub struct ClusterSetup {
     /// Per-worker inputs.
     pub workers: Vec<WorkerData>,
-    /// Shared communication meter.
-    pub tracker: CommTracker,
+    /// Per-worker communication meters (summing accessors give the
+    /// cluster-wide view).
+    pub tracker: CommMeter,
     /// The node→partition assignment used.
     pub partition: Partition,
     /// Wall-clock time of graph partitioning.
@@ -131,7 +132,7 @@ impl ClusterSetup {
             }
         }
 
-        let tracker = CommTracker::new();
+        let tracker = CommMeter::new(num_workers);
         // Per-partition CSR builds are independent: fan out one per pool
         // slot (partitions are few but heavy, so min 1 item per thread).
         let pool = splpg_par::global();
@@ -213,7 +214,7 @@ impl ClusterSetup {
                 Arc::new(feature_local),
                 Arc::clone(features),
                 remote,
-                tracker.clone(),
+                tracker.worker(w).clone(),
             );
             let positives = locals[w].edges().to_vec();
             let negative_space = match spec.negatives {

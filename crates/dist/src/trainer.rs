@@ -1,4 +1,4 @@
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use splpg_rng::rngs::StdRng;
@@ -8,14 +8,17 @@ use splpg_datasets::Dataset;
 use splpg_gnn::trainer::{
     batch_grads, evaluate_hits, train_centralized, ModelKind, TrainConfig,
 };
+use splpg_graph::Graph;
 use splpg_gnn::{
-    FullFeatureAccess, FullGraphAccess, LinkPredictor, NeighborSampler,
-    PerSourceNegativeSampler,
+    FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler,
 };
-use splpg_nn::{average_grads, Adam, Optimizer, ParamSet};
-use splpg_tensor::Tensor;
+use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy};
+use splpg_nn::{Adam, Optimizer, ParamSet};
 
-use crate::setup::{ClusterSetup, WorkerData};
+use crate::runtime::{
+    ga_apply_round, ma_aggregate, worker_loop, Backend, MasterNet, NetReport, Replica,
+};
+use crate::setup::ClusterSetup;
 use crate::{CommReport, DistError, Strategy};
 
 /// How worker replicas are synchronized.
@@ -34,6 +37,10 @@ pub enum SyncMethod {
 /// whole epoch with the given probability (it contributes nothing to that
 /// epoch's synchronization and rejoins at the next one — the behaviour of
 /// FedAvg-style systems under worker preemption).
+///
+/// This models *epoch-granular* unavailability; message-level wire faults
+/// (drop/duplicate/delay/permanent crash) live in
+/// [`DistConfig::wire_faults`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Per-worker, per-epoch failure probability in `[0, 1)`.
@@ -71,10 +78,23 @@ pub struct DistConfig {
     pub eval_every: usize,
     /// Seed for partitioning/sparsification.
     pub setup_seed: u64,
-    /// Optional worker fault injection.
+    /// Optional epoch-granular worker fault injection.
     pub faults: Option<FaultConfig>,
     /// Sparsification algorithm for the shared remote copies.
     pub sparsifier: crate::SparsifierKind,
+    /// Minimum number of workers that must answer each synchronization
+    /// unit for training to proceed (`None` = all of them). Responses
+    /// from injected-down workers count — they answered, they just
+    /// contributed nothing. Falling below the quorum aborts with
+    /// [`DistError::QuorumLost`].
+    pub quorum: Option<usize>,
+    /// Per-message timeout/backoff/retry policy. Only consulted when
+    /// silence is possible (wire faults configured or quorum below `p`);
+    /// a fault-free full-quorum run never starts a timer.
+    pub retry: RetryPolicy,
+    /// Optional message-level wire faults (drop/duplicate/delay/crash),
+    /// applied deterministically per message by the transport layer.
+    pub wire_faults: Option<FaultPlan>,
 }
 
 impl Default for DistConfig {
@@ -88,6 +108,9 @@ impl Default for DistConfig {
             setup_seed: 17,
             faults: None,
             sparsifier: crate::SparsifierKind::default(),
+            quorum: None,
+            retry: RetryPolicy::default(),
+            wire_faults: None,
         }
     }
 }
@@ -120,6 +143,9 @@ pub struct DistOutcome {
     pub sparsify_time: Duration,
     /// `(epoch, worker)` pairs that were down due to fault injection.
     pub failures: Vec<(usize, usize)>,
+    /// Wire-level traffic report (all zeros for the sequential reference
+    /// and the centralized path, which move no messages).
+    pub net: NetReport,
 }
 
 /// Distributed trainer implementing Algorithm 1 and all baselines.
@@ -127,14 +153,6 @@ pub struct DistOutcome {
 pub struct DistTrainer {
     dist: DistConfig,
     train: TrainConfig,
-}
-
-struct WorkerState {
-    model: LinkPredictor,
-    params: ParamSet,
-    opt: Adam,
-    rng: StdRng,
-    data: WorkerData,
 }
 
 impl DistTrainer {
@@ -153,60 +171,209 @@ impl DistTrainer {
         &self.train
     }
 
-    /// Runs training of `kind` on `data` and returns accuracy +
-    /// communication statistics.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration, partitioning and worker failures.
-    pub fn run(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
-        if self.dist.strategy == Strategy::Centralized {
-            return self.run_centralized(kind, data);
-        }
+    /// Rejects invalid fault, retry, and quorum parameters before any
+    /// thread or channel exists.
+    fn validate(&self) -> Result<(), DistError> {
         if self.dist.num_workers < 2 {
             return Err(DistError::InvalidConfig(
                 "distributed strategies need at least 2 workers".to_string(),
             ));
         }
-        let train_graph = std::sync::Arc::new(
+        if let Some(f) = &self.dist.faults {
+            let p = f.failure_probability;
+            if !p.is_finite() {
+                return Err(DistError::InvalidFault(format!(
+                    "failure probability is not finite ({p})"
+                )));
+            }
+            if p < 0.0 {
+                return Err(DistError::InvalidFault(format!(
+                    "failure probability {p} is negative"
+                )));
+            }
+            if p >= 1.0 {
+                return Err(DistError::InvalidFault(format!(
+                    "failure probability {p} >= 1 leaves no worker to ever synchronize"
+                )));
+            }
+        }
+        if let Some(plan) = &self.dist.wire_faults {
+            plan.validate().map_err(DistError::InvalidFault)?;
+            for &(w, _) in &plan.crashes {
+                if w >= self.dist.num_workers {
+                    return Err(DistError::InvalidFault(format!(
+                        "crash schedule names worker {w} but the cluster has {} workers",
+                        self.dist.num_workers
+                    )));
+                }
+            }
+        }
+        self.dist.retry.validate().map_err(DistError::InvalidFault)?;
+        if let Some(q) = self.dist.quorum {
+            if q == 0 {
+                return Err(DistError::InvalidFault(
+                    "quorum of 0 would let training proceed with no workers at all"
+                        .to_string(),
+                ));
+            }
+            if q > self.dist.num_workers {
+                return Err(DistError::InvalidFault(format!(
+                    "quorum {q} exceeds the worker count {}",
+                    self.dist.num_workers
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the training graph and the partitioned cluster setup.
+    fn prepare(&self, data: &Dataset) -> Result<(Arc<Graph>, ClusterSetup), DistError> {
+        let train_graph = Arc::new(
             data.split
                 .train_graph(data.graph.num_nodes())
                 .map_err(|e| DistError::InvalidConfig(e.to_string()))?,
         );
-        let features = std::sync::Arc::new(data.features.clone());
-        let spec = self.dist.strategy.spec();
+        let features = Arc::new(data.features.clone());
         let setup = ClusterSetup::build_with_sparsifier(
             &train_graph,
             &features,
-            spec,
+            self.dist.strategy.spec(),
             self.dist.num_workers,
             self.dist.alpha,
             self.dist.setup_seed,
             self.dist.sparsifier,
         )?;
+        Ok((train_graph, setup))
+    }
 
-        // Global model (master) + identically-initialized worker replicas.
-        let mut master_rng = StdRng::seed_from_u64(self.train.seed);
-        let mut master_params = ParamSet::new();
-        let master_model =
-            self.train.build_model(kind, data.features.dim(), &mut master_params, &mut master_rng);
-        let mut states: Vec<WorkerState> = setup
+    /// Identically-initialized worker replicas, one per partition.
+    fn build_replicas(&self, kind: ModelKind, data: &Dataset, setup: &ClusterSetup) -> Vec<Replica> {
+        setup
             .workers
             .iter()
             .map(|w| {
                 let mut rng = StdRng::seed_from_u64(self.train.seed);
                 let mut params = ParamSet::new();
-                let model = self.train.build_model(kind, data.features.dim(), &mut params, &mut rng);
-                WorkerState {
+                let model =
+                    self.train.build_model(kind, data.features.dim(), &mut params, &mut rng);
+                Replica::new(
+                    w.worker_id,
                     model,
                     params,
-                    opt: Adam::new(self.train.learning_rate),
-                    rng: StdRng::seed_from_u64(self.train.seed ^ (w.worker_id as u64 + 1) << 32),
-                    data: w.clone(),
-                }
+                    Adam::new(self.train.learning_rate),
+                    StdRng::seed_from_u64(self.train.seed ^ (w.worker_id as u64 + 1) << 32),
+                    w.clone(),
+                    setup.tracker.worker(w.worker_id).clone(),
+                    self.train.sampler(),
+                    self.train.batch_size,
+                )
             })
-            .collect();
+            .collect()
+    }
 
+    /// Runs training of `kind` on `data` and returns accuracy +
+    /// communication statistics.
+    ///
+    /// Workers run as long-lived actors on dedicated threads and exchange
+    /// typed serialized messages with the master through `splpg-net`;
+    /// with no wire faults and a full quorum the result is bit-identical
+    /// to [`DistTrainer::run_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, partitioning and worker failures;
+    /// [`DistError::QuorumLost`] when too few workers answer a
+    /// synchronization unit.
+    pub fn run(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
+        if self.dist.strategy == Strategy::Centralized {
+            return self.run_centralized(kind, data);
+        }
+        self.validate()?;
+        let (train_graph, setup) = self.prepare(data)?;
+        let replicas = self.build_replicas(kind, data, &setup);
+        let p = self.dist.num_workers;
+        let quorum = self.dist.quorum.unwrap_or(p);
+        let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
+        let cluster_cfg = ClusterConfig { workers: p, faults: wire.clone() };
+        let cells: Vec<Mutex<Option<Replica>>> =
+            replicas.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let faults = self.dist.faults;
+        let (result, stats) = splpg_net::run_cluster(
+            &cluster_cfg,
+            |port| {
+                let w = port.worker();
+                let rep = cells[w]
+                    .lock()
+                    .expect("invariant: replica cell never poisoned")
+                    .take()
+                    .expect("invariant: one actor per replica");
+                let crash = wire.as_ref().and_then(|f| f.crash_epoch(w)).map(|e| e as u64);
+                worker_loop(port, rep, faults, crash);
+            },
+            |hub| {
+                let stats = hub.stats_handle();
+                let active = wire.is_some() || quorum < p;
+                let net = MasterNet::new(hub, self.dist.retry, active, quorum);
+                (self.master_loop(Backend::Net(net), kind, data, &train_graph, &setup), stats)
+            },
+        );
+        // Wire counters land on the *sending* thread after a frame enters
+        // its lane; only now — with every worker joined — is the snapshot
+        // guaranteed to cover all traffic, so the frame counts taken
+        // inside the master loop are replaced with the final ones.
+        let mut result = result;
+        if let Ok(out) = &mut result {
+            let snap = stats.snapshot();
+            out.net.messages = snap.messages;
+            out.net.bytes = snap.bytes;
+            out.net.dropped = snap.dropped;
+            out.net.duplicated = snap.duplicated;
+            out.net.delayed = snap.delayed;
+            out.net.retries = snap.retries;
+        }
+        result
+    }
+
+    /// Sequential in-process reference of [`DistTrainer::run`]: the same
+    /// replicas, the same aggregation, executed on the calling thread in
+    /// worker order with no message passing. This defines the expected
+    /// bits of a fault-free cluster run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects configurations with active wire faults (only the cluster
+    /// path can inject them); otherwise as [`DistTrainer::run`].
+    pub fn run_reference(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
+        if self.dist.strategy == Strategy::Centralized {
+            return self.run_centralized(kind, data);
+        }
+        if self.dist.wire_faults.as_ref().is_some_and(|f| f.is_active()) {
+            return Err(DistError::InvalidConfig(
+                "the sequential reference cannot inject wire faults; use run()".to_string(),
+            ));
+        }
+        self.validate()?;
+        let (train_graph, setup) = self.prepare(data)?;
+        let replicas = self.build_replicas(kind, data, &setup);
+        let backend = Backend::Local { replicas, faults: self.dist.faults };
+        self.master_loop(backend, kind, data, &train_graph, &setup)
+    }
+
+    /// The master's training loop, identical for the cluster and the
+    /// sequential reference backend.
+    fn master_loop(
+        &self,
+        mut backend: Backend,
+        kind: ModelKind,
+        data: &Dataset,
+        train_graph: &Arc<Graph>,
+        setup: &ClusterSetup,
+    ) -> Result<DistOutcome, DistError> {
+        let spec = self.dist.strategy.spec();
+        let mut master_rng = StdRng::seed_from_u64(self.train.seed);
+        let mut master_params = ParamSet::new();
+        let master_model =
+            self.train.build_model(kind, data.features.dim(), &mut master_params, &mut master_rng);
         let sampler = self.train.sampler();
         let eval_sampler = NeighborSampler::full(self.train.layers);
         let mut master_opt = Adam::new(self.train.learning_rate);
@@ -217,94 +384,113 @@ impl DistTrainer {
         let mut epochs = Vec::with_capacity(self.train.epochs);
         let mut best = (f64::NEG_INFINITY, global_flat.clone());
         let mut prev_bytes = setup.tracker.total_bytes();
-
+        let rounds_per_epoch = setup
+            .workers
+            .iter()
+            .map(|w| w.positives.len().div_ceil(self.train.batch_size))
+            .max()
+            .unwrap_or(0);
         let mut failures: Vec<(usize, usize)> = Vec::new();
-        for epoch in 0..self.train.epochs {
-            let down: Vec<bool> = (0..self.dist.num_workers)
-                .map(|w| self.dist.faults.is_some_and(|f| f.is_down(w, epoch)))
-                .collect();
-            for (w, &d) in down.iter().enumerate() {
-                if d {
-                    failures.push((epoch, w));
-                }
-            }
-            let mean_loss = match self.dist.sync {
-                SyncMethod::ModelAveraging => {
-                    self.epoch_model_averaging(&mut states, &sampler, &mut global_flat, &down)?
-                }
-                SyncMethod::GradientAveraging => self.epoch_gradient_averaging(
-                    &mut states,
-                    &sampler,
-                    &mut master_params,
-                    &mut master_opt,
-                    &mut global_flat,
-                    &down,
-                )?,
-            };
 
-            // LLCG global correction: the master performs a centralized
-            // step on the full graph after synchronization.
-            if spec.global_correction {
-                master_params
-                    .load_flat(&global_flat)
+        // The epoch loop runs inside a closure so an error still reaches
+        // backend.finish() below — which shuts the cluster down and keeps
+        // the error path deadlock-free by construction.
+        let loop_result: Result<(), DistError> = (|| {
+            for epoch in 0..self.train.epochs {
+                for w in 0..self.dist.num_workers {
+                    if self.dist.faults.is_some_and(|f| f.is_down(w, epoch)) {
+                        failures.push((epoch, w));
+                    }
+                }
+                let mean_loss = match self.dist.sync {
+                    SyncMethod::ModelAveraging => {
+                        let contribs = backend.epoch_ma(epoch, &global_flat)?;
+                        ma_aggregate(contribs, &mut global_flat)?
+                    }
+                    SyncMethod::GradientAveraging => {
+                        let mut loss_acc = (0.0f64, 0u64);
+                        for round in 0..rounds_per_epoch {
+                            let contribs =
+                                backend.round_ga(epoch, round as u64, &global_flat)?;
+                            ga_apply_round(
+                                contribs,
+                                &mut master_params,
+                                &mut master_opt,
+                                &mut global_flat,
+                                &mut loss_acc,
+                            )?;
+                        }
+                        (loss_acc.0 / loss_acc.1.max(1) as f64) as f32
+                    }
+                };
+
+                // LLCG global correction: the master performs a centralized
+                // step on the full graph after synchronization.
+                if spec.global_correction {
+                    master_params
+                        .load_flat(&global_flat)
+                        .map_err(|e| DistError::Worker(e.to_string()))?;
+                    let mut batch = data.split.train.clone();
+                    batch.shuffle(&mut correction_rng);
+                    batch.truncate(self.train.batch_size.min(batch.len()));
+                    let mut ga = FullGraphAccess::new(train_graph);
+                    let mut fa = FullFeatureAccess::new(&data.features);
+                    let negative_sampler =
+                        PerSourceNegativeSampler::global(data.graph.num_nodes());
+                    let (_, grads) = batch_grads(
+                        &master_model,
+                        &master_params,
+                        &mut ga,
+                        &mut fa,
+                        &sampler,
+                        &negative_sampler,
+                        &batch,
+                        &mut correction_rng,
+                    )
                     .map_err(|e| DistError::Worker(e.to_string()))?;
-                let mut batch = data.split.train.clone();
-                batch.shuffle(&mut correction_rng);
-                batch.truncate(self.train.batch_size.min(batch.len()));
-                let mut ga = FullGraphAccess::new(&train_graph);
-                let mut fa = FullFeatureAccess::new(&data.features);
-                let negative_sampler =
-                    PerSourceNegativeSampler::global(data.graph.num_nodes());
-                let (_, grads) = batch_grads(
-                    &master_model,
-                    &master_params,
-                    &mut ga,
-                    &mut fa,
-                    &sampler,
-                    &negative_sampler,
-                    &batch,
-                    &mut correction_rng,
-                )
-                .map_err(|e| DistError::Worker(e.to_string()))?;
-                correction_opt.step(&mut master_params, &grads);
-                global_flat = master_params.to_flat();
-            }
-
-            let comm_bytes = setup.tracker.total_bytes() - prev_bytes;
-            prev_bytes = setup.tracker.total_bytes();
-
-            let valid_hits = if epoch % self.dist.eval_every == 0
-                || epoch + 1 == self.train.epochs
-            {
-                master_params
-                    .load_flat(&global_flat)
-                    .map_err(|e| DistError::Worker(e.to_string()))?;
-                let mut ga = FullGraphAccess::new(&train_graph);
-                let mut fa = FullFeatureAccess::new(&data.features);
-                let hits = evaluate_hits(
-                    &master_model,
-                    &master_params,
-                    &mut ga,
-                    &mut fa,
-                    &eval_sampler,
-                    &data.split.valid,
-                    &data.split.valid_neg,
-                    self.train.hits_k,
-                    &mut master_rng,
-                )
-                .map_err(|e| DistError::Eval(e.to_string()))?;
-                if hits > best.0 {
-                    best = (hits, global_flat.clone());
+                    correction_opt.step(&mut master_params, &grads);
+                    global_flat = master_params.to_flat();
                 }
-                Some(hits)
-            } else {
-                None
-            };
-            epochs.push(EpochStats { epoch, mean_loss, valid_hits, comm_bytes });
-        }
+
+                let comm_bytes = setup.tracker.total_bytes() - prev_bytes;
+                prev_bytes = setup.tracker.total_bytes();
+
+                let valid_hits = if epoch % self.dist.eval_every == 0
+                    || epoch + 1 == self.train.epochs
+                {
+                    master_params
+                        .load_flat(&global_flat)
+                        .map_err(|e| DistError::Worker(e.to_string()))?;
+                    let mut ga = FullGraphAccess::new(train_graph);
+                    let mut fa = FullFeatureAccess::new(&data.features);
+                    let hits = evaluate_hits(
+                        &master_model,
+                        &master_params,
+                        &mut ga,
+                        &mut fa,
+                        &eval_sampler,
+                        &data.split.valid,
+                        &data.split.valid_neg,
+                        self.train.hits_k,
+                        &mut master_rng,
+                    )
+                    .map_err(|e| DistError::Eval(e.to_string()))?;
+                    if hits > best.0 {
+                        best = (hits, global_flat.clone());
+                    }
+                    Some(hits)
+                } else {
+                    None
+                };
+                epochs.push(EpochStats { epoch, mean_loss, valid_hits, comm_bytes });
+            }
+            Ok(())
+        })();
+        let net = backend.finish();
+        loop_result?;
 
         master_params.load_flat(&best.1).map_err(|e| DistError::Worker(e.to_string()))?;
-        let mut ga = FullGraphAccess::new(&train_graph);
+        let mut ga = FullGraphAccess::new(train_graph);
         let mut fa = FullFeatureAccess::new(&data.features);
         let test_hits = evaluate_hits(
             &master_model,
@@ -331,202 +517,8 @@ impl DistTrainer {
             partition_time: setup.partition_time,
             sparsify_time: setup.sparsify_time,
             failures,
+            net,
         })
-    }
-
-    /// One epoch with per-epoch model averaging. Workers run their local
-    /// batches in parallel threads; the averaged parameters become the new
-    /// global model.
-    fn epoch_model_averaging(
-        &self,
-        states: &mut [WorkerState],
-        sampler: &NeighborSampler,
-        global_flat: &mut Vec<f32>,
-        down: &[bool],
-    ) -> Result<f32, DistError> {
-        // (flat params, summed loss, batch count) for a live worker; None
-        // for a crashed one.
-        type WorkerEpoch = Result<Option<(Vec<f32>, f64, usize)>, String>;
-        let batch_size = self.train.batch_size;
-        let flat: &Vec<f32> = global_flat;
-        let results: Vec<WorkerEpoch> =
-            // splpg-lint: allow(thread-spawn) — worker replicas are long-lived actors, one OS thread each; splpg-par's fork-join pool cannot host them
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = states
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, state)| {
-                        let crashed = down.get(i).copied().unwrap_or(false);
-                        scope.spawn(move || -> WorkerEpoch {
-                            if crashed {
-                                // A crashed worker does no work and is
-                                // excluded from the average; it reloads
-                                // the global model when it rejoins.
-                                return Ok(None);
-                            }
-                            state.params.load_flat(flat).map_err(|e| e.to_string())?;
-                            let negative_sampler = PerSourceNegativeSampler::new(
-                                state.data.negative_space.clone(),
-                            );
-                            let mut positives = state.data.positives.clone();
-                            positives.shuffle(&mut state.rng);
-                            let mut loss_sum = 0.0f64;
-                            let mut batches = 0usize;
-                            for chunk in positives.chunks(batch_size) {
-                                let mut view = state.data.view.clone();
-                                let mut feat_view = state.data.view.clone();
-                                let (loss, grads) = batch_grads(
-                                    &state.model,
-                                    &state.params,
-                                    &mut view,
-                                    &mut feat_view,
-                                    sampler,
-                                    &negative_sampler,
-                                    chunk,
-                                    &mut state.rng,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                state.opt.step(&mut state.params, &grads);
-                                loss_sum += loss as f64;
-                                batches += 1;
-                            }
-                            Ok(Some((state.params.to_flat(), loss_sum, batches)))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".to_string())))
-                    .collect()
-            });
-        let mut flats = Vec::with_capacity(states.len());
-        let mut loss_sum = 0.0f64;
-        let mut batch_count = 0usize;
-        for r in results {
-            if let Some((f, l, b)) = r.map_err(DistError::Worker)? {
-                flats.push(f);
-                loss_sum += l;
-                batch_count += b;
-            }
-        }
-        if !flats.is_empty() {
-            // If every worker is down the round is lost and the global
-            // model simply carries over.
-            *global_flat =
-                ParamSet::average_flat(&flats).map_err(|e| DistError::Worker(e.to_string()))?;
-        }
-        Ok((loss_sum / batch_count.max(1) as f64) as f32)
-    }
-
-    /// One epoch with synchronous per-batch gradient averaging (Algorithm
-    /// 1 lines 19–30). All workers advance in lockstep rounds; worker 0
-    /// applies the averaged gradient to the shared global parameters.
-    #[allow(clippy::too_many_arguments)]
-    fn epoch_gradient_averaging(
-        &self,
-        states: &mut [WorkerState],
-        sampler: &NeighborSampler,
-        master_params: &mut ParamSet,
-        master_opt: &mut Adam,
-        global_flat: &mut Vec<f32>,
-        down: &[bool],
-    ) -> Result<f32, DistError> {
-        let batch_size = self.train.batch_size;
-        let rounds = states
-            .iter()
-            .map(|s| s.data.positives.len().div_ceil(batch_size))
-            .max()
-            .unwrap_or(0);
-        let num_workers = states.len();
-        let barrier = Barrier::new(num_workers);
-        let slots: Mutex<Vec<Option<Vec<Tensor>>>> = Mutex::new(vec![None; num_workers]);
-        let shared_global = Mutex::new((std::mem::take(global_flat), master_params, master_opt));
-        let loss_acc = Mutex::new((0.0f64, 0usize));
-
-        // splpg-lint: allow(thread-spawn) — barrier-synchronised worker replicas (DDP emulation) need dedicated threads, not pool tasks
-        let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = states
-                .iter_mut()
-                .enumerate()
-                .map(|(i, state)| {
-                    let barrier = &barrier;
-                    let slots = &slots;
-                    let shared_global = &shared_global;
-                    let loss_acc = &loss_acc;
-                    let crashed = down.get(i).copied().unwrap_or(false);
-                    scope.spawn(move || -> Result<(), String> {
-                        let negative_sampler =
-                            PerSourceNegativeSampler::new(state.data.negative_space.clone());
-                        let mut positives = state.data.positives.clone();
-                        positives.shuffle(&mut state.rng);
-                        for round in 0..rounds {
-                            {
-                                let guard = shared_global.lock().expect("lock poisoned");
-                                state.params.load_flat(&guard.0).map_err(|e| e.to_string())?;
-                            }
-                            let start = round * batch_size;
-                            let grads = if !crashed && start < positives.len() {
-                                let end = (start + batch_size).min(positives.len());
-                                let mut view = state.data.view.clone();
-                                let mut feat_view = state.data.view.clone();
-                                let (loss, grads) = batch_grads(
-                                    &state.model,
-                                    &state.params,
-                                    &mut view,
-                                    &mut feat_view,
-                                    sampler,
-                                    &negative_sampler,
-                                    &positives[start..end],
-                                    &mut state.rng,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                let mut acc = loss_acc.lock().expect("lock poisoned");
-                                acc.0 += loss as f64;
-                                acc.1 += 1;
-                                grads
-                            } else {
-                                // Exhausted workers contribute zero
-                                // gradients to keep the average unbiased
-                                // towards still-active workers.
-                                (0..state.params.len())
-                                    .map(|p| {
-                                        let (r, c) = state.params.value(p).shape();
-                                        Tensor::zeros(r, c)
-                                    })
-                                    .collect()
-                            };
-                            slots.lock().expect("lock poisoned")[i] = Some(grads);
-                            barrier.wait();
-                            if i == 0 {
-                                let collected: Vec<Vec<Tensor>> = {
-                                    let mut guard = slots.lock().expect("lock poisoned");
-                                    guard.iter_mut().map(|g| g.take().expect("all set")).collect()
-                                };
-                                let avg =
-                                    average_grads(&collected).map_err(|e| e.to_string())?;
-                                let mut guard = shared_global.lock().expect("lock poisoned");
-                                let (flat, params, opt) = &mut *guard;
-                                params.load_flat(flat).map_err(|e| e.to_string())?;
-                                opt.step(params, &avg);
-                                *flat = params.to_flat();
-                            }
-                            barrier.wait();
-                        }
-                        Ok(())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".to_string())))
-                .collect()
-        });
-        for r in results {
-            r.map_err(DistError::Worker)?;
-        }
-        *global_flat = shared_global.into_inner().expect("lock poisoned").0;
-        let (loss_sum, batches) = loss_acc.into_inner().expect("lock poisoned");
-        Ok((loss_sum / batches.max(1) as f64) as f32)
     }
 
     fn run_centralized(&self, kind: ModelKind, data: &Dataset) -> Result<DistOutcome, DistError> {
@@ -552,6 +544,7 @@ impl DistTrainer {
             partition_time: Duration::ZERO,
             sparsify_time: Duration::ZERO,
             failures: Vec::new(),
+            net: NetReport::default(),
         })
     }
 }
@@ -654,6 +647,162 @@ mod tests {
             Err(DistError::InvalidConfig(_))
         ));
     }
+
+    #[test]
+    fn fault_free_run_counts_wire_traffic() {
+        let data = tiny_data();
+        let dist = DistConfig { num_workers: 2, strategy: Strategy::SpLpg, ..Default::default() };
+        let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
+        // 2 epochs × (2 requests + 2 responses) + 2 stop frames.
+        assert_eq!(out.net.messages, 10);
+        assert!(out.net.bytes > 0);
+        assert_eq!(out.net.dropped, 0);
+        assert_eq!(out.net.retries, 0);
+        assert!(out.net.dead_workers.is_empty());
+        // The transport-shipped fetch ledgers reconcile exactly with the
+        // worker-side communication meters.
+        assert_eq!(out.net.data_bytes, out.comm.total_bytes());
+    }
+
+    #[test]
+    fn reference_matches_cluster_run_bit_for_bit() {
+        let data = tiny_data();
+        for sync in [SyncMethod::ModelAveraging, SyncMethod::GradientAveraging] {
+            let dist = DistConfig {
+                num_workers: 2,
+                strategy: Strategy::SpLpg,
+                sync,
+                ..Default::default()
+            };
+            let trainer = DistTrainer::new(dist, quick_train());
+            let cluster = trainer.run(ModelKind::GraphSage, &data).unwrap();
+            let reference = trainer.run_reference(ModelKind::GraphSage, &data).unwrap();
+            assert_eq!(cluster.epochs, reference.epochs, "sync {sync:?}");
+            assert_eq!(cluster.test_hits.to_bits(), reference.test_hits.to_bits());
+            assert_eq!(cluster.comm, reference.comm);
+            assert_eq!(cluster.failures, reference.failures);
+        }
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    use super::*;
+
+    fn trainer(dist: DistConfig) -> DistTrainer {
+        DistTrainer::new(dist, TrainConfig::default())
+    }
+
+    fn expect_invalid_fault(dist: DistConfig) {
+        match trainer(dist).validate() {
+            Err(DistError::InvalidFault(_)) => {}
+            other => panic!("expected InvalidFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_failure_probability_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            faults: Some(FaultConfig { failure_probability: f64::NAN, seed: 1 }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn negative_failure_probability_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            faults: Some(FaultConfig { failure_probability: -0.5, seed: 1 }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn certain_failure_probability_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            faults: Some(FaultConfig { failure_probability: 1.0, seed: 1 }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn wire_fault_nan_probability_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            wire_faults: Some(FaultPlan { drop: f64::NAN, ..FaultPlan::default() }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn wire_fault_probability_sum_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            wire_faults: Some(FaultPlan {
+                drop: 0.5,
+                duplicate: 0.3,
+                delay: 0.3,
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn crash_of_unknown_worker_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            wire_faults: Some(FaultPlan { crashes: vec![(5, 0)], ..FaultPlan::default() }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn zero_timeout_with_retries_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            retry: RetryPolicy { timeout_ms: 0, max_retries: 3, backoff: 2 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn zero_backoff_rejected() {
+        expect_invalid_fault(DistConfig {
+            num_workers: 2,
+            retry: RetryPolicy { timeout_ms: 100, max_retries: 3, backoff: 0 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn quorum_zero_rejected() {
+        expect_invalid_fault(DistConfig { num_workers: 2, quorum: Some(0), ..Default::default() });
+    }
+
+    #[test]
+    fn quorum_above_worker_count_rejected() {
+        expect_invalid_fault(DistConfig { num_workers: 2, quorum: Some(3), ..Default::default() });
+    }
+
+    #[test]
+    fn valid_fault_setup_accepted() {
+        let dist = DistConfig {
+            num_workers: 3,
+            quorum: Some(2),
+            wire_faults: Some(FaultPlan {
+                drop: 0.1,
+                duplicate: 0.05,
+                seed: 7,
+                crashes: vec![(2, 1)],
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        };
+        assert!(trainer(dist).validate().is_ok());
+    }
 }
 
 #[cfg(test)]
@@ -735,6 +884,8 @@ mod fault_tests {
     fn all_workers_down_carries_model_over() {
         // probability 1.0 - eps: every epoch everyone is down; the global
         // model must remain the initial one and training must not crash.
+        // The down workers still answer (Unavailable), so the default
+        // full quorum is met and no timeout ever starts.
         let data = tiny_data();
         let dist = DistConfig {
             num_workers: 2,
@@ -745,5 +896,57 @@ mod fault_tests {
         let out = DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data).unwrap();
         assert_eq!(out.failures.len(), 2 * quick_train().epochs);
         assert!(out.test_hits.is_finite());
+    }
+
+    #[test]
+    fn wire_faults_with_quorum_complete_and_reproduce() {
+        // drop + duplicate + one permanently crashed worker, quorum p-1:
+        // training must complete, and the same seeds must reproduce the
+        // same metrics in a second run.
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 3,
+            strategy: Strategy::SpLpg,
+            quorum: Some(2),
+            retry: RetryPolicy { timeout_ms: 200, max_retries: 4, backoff: 2 },
+            wire_faults: Some(FaultPlan {
+                drop: 0.1,
+                duplicate: 0.05,
+                seed: 21,
+                crashes: vec![(2, 1)],
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        };
+        let trainer = DistTrainer::new(dist, quick_train());
+        let a = trainer.run(ModelKind::GraphSage, &data).unwrap();
+        let b = trainer.run(ModelKind::GraphSage, &data).unwrap();
+        assert_eq!(a.net.dead_workers, vec![2], "crashed worker detected");
+        assert!(a.net.dropped > 0 || a.net.duplicated > 0, "faults were exercised");
+        assert_eq!(a.epochs, b.epochs, "faulty runs reproduce");
+        assert_eq!(a.test_hits.to_bits(), b.test_hits.to_bits());
+        assert_eq!(a.comm, b.comm);
+    }
+
+    #[test]
+    fn losing_the_quorum_is_an_error_not_a_hang() {
+        // Both remaining workers crash at epoch 0 with quorum 2: the
+        // gather exhausts its retries and surfaces QuorumLost.
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 2,
+            strategy: Strategy::PsgdPa,
+            quorum: Some(2),
+            retry: RetryPolicy { timeout_ms: 50, max_retries: 1, backoff: 2 },
+            wire_faults: Some(FaultPlan {
+                crashes: vec![(0, 0), (1, 0)],
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        };
+        match DistTrainer::new(dist, quick_train()).run(ModelKind::GraphSage, &data) {
+            Err(DistError::QuorumLost(_)) => {}
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
     }
 }

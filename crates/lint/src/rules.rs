@@ -28,7 +28,7 @@ impl std::fmt::Display for Diagnostic {
 
 /// Crates whose library code must be bit-reproducible run to run: hash
 /// containers (randomized iteration order *per process*) are banned there.
-pub const DETERMINISTIC_CRATES: &[&str] = &["graph", "gnn", "dist", "partition", "sparsify"];
+pub const DETERMINISTIC_CRATES: &[&str] = &["graph", "gnn", "dist", "net", "partition", "sparsify"];
 
 /// Stable names of every rule, in reporting order.
 pub const RULE_NAMES: &[&str] = &[
@@ -52,13 +52,14 @@ pub fn describe(rule: &str) -> &'static str {
     match rule {
         RULE_HASH_ITER => {
             "no std HashMap/HashSet in library code of deterministic crates \
-             (graph, gnn, dist, partition, sparsify): hash iteration order is \
-             randomized per process and silently breaks run-to-run \
+             (graph, gnn, dist, net, partition, sparsify): hash iteration \
+             order is randomized per process and silently breaks run-to-run \
              reproducibility — use BTreeMap/BTreeSet or index vectors"
         }
         RULE_THREAD_SPAWN => {
-            "no std::thread::spawn/scope outside splpg-par: ad-hoc threads \
-             bypass the deterministic fork-join pool and its thread-count \
+            "no std::thread::spawn/scope outside splpg-par and splpg-net: \
+             ad-hoc threads bypass the deterministic fork-join pool (par) \
+             and the cluster actor runtime (net) and their thread-count \
              invariance guarantees"
         }
         RULE_WALLCLOCK => {
@@ -161,7 +162,9 @@ fn hash_iter(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str,
 }
 
 fn thread_spawn(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
-    if scope.in_crate("par") {
+    // par hosts the fork-join pool; net hosts the long-lived cluster
+    // actors. All other crates must route threads through one of the two.
+    if scope.in_crate("par") || scope.in_crate("net") {
         return;
     }
     for token in ["thread::spawn", "thread::scope"] {
@@ -169,8 +172,9 @@ fn thread_spawn(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static s
             push(
                 RULE_THREAD_SPAWN,
                 format!(
-                    "{token} outside splpg-par: route parallel work through the \
-                     global pool so thread-count invariance holds"
+                    "{token} outside splpg-par/splpg-net: route parallel work \
+                     through the global pool (or cluster actors through \
+                     splpg-net) so thread-count invariance holds"
                 ),
             );
             return;
@@ -347,6 +351,24 @@ mod tests {
     fn preceding_line_pragma_suppresses() {
         let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow(hash-iter) — lookup only\nuse std::collections::HashMap;\n";
         assert!(diags("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_scope_allowed_in_par_and_net_only() {
+        let src = "#![forbid(unsafe_code)]\nstd::thread::scope(|s| s.spawn(|| {}));\n";
+        assert!(diags("crates/par/src/lib.rs", src).is_empty());
+        assert!(diags("crates/net/src/cluster.rs", src).is_empty());
+        let d = diags("crates/dist/src/trainer.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_THREAD_SPAWN);
+    }
+
+    #[test]
+    fn hash_iter_covers_net() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n";
+        let d = diags("crates/net/src/codec.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_HASH_ITER);
     }
 
     #[test]

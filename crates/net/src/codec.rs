@@ -1,0 +1,378 @@
+//! The in-tree wire format.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! [len: u32][kind: u8][worker: u32][epoch: u64][round: u64][attempt: u32][payload...]
+//! ```
+//!
+//! `len` counts everything after the length field. All integers and
+//! floats are little-endian; floats are shipped as raw IEEE-754 bits, so
+//! an encode/decode round trip is bit-exact — the property the trainer's
+//! determinism guarantee rests on. The 25-byte identity header sits at a
+//! fixed offset for *every* kind, which lets the fault-injection layer
+//! key its drop/duplicate/delay decisions off message identity without
+//! decoding payloads.
+
+use crate::message::{FetchLedger, Message, MsgId, Request, Response};
+use crate::NetError;
+
+/// Bytes of the identity header (kind + worker + epoch + round + attempt).
+pub const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
+
+const KIND_REQ_EPOCH: u8 = 1;
+const KIND_REQ_ROUND: u8 = 2;
+const KIND_REQ_STOP: u8 = 3;
+const KIND_RESP_EPOCH: u8 = 4;
+const KIND_RESP_ROUND: u8 = 5;
+const KIND_RESP_UNAVAILABLE: u8 = 6;
+const KIND_RESP_FAILED: u8 = 7;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8, id: MsgId) -> Self {
+        // Reserve the length prefix; patched in `finish`.
+        let mut buf = Vec::with_capacity(4 + HEADER_LEN);
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.push(kind);
+        buf.extend_from_slice(&id.worker.to_le_bytes());
+        buf.extend_from_slice(&id.epoch.to_le_bytes());
+        buf.extend_from_slice(&id.round.to_le_bytes());
+        buf.extend_from_slice(&id.attempt.to_le_bytes());
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn f32s(&mut self, vs: &[f32]) {
+        self.u64(vs.len() as u64);
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn ledger(&mut self, l: &FetchLedger) {
+        self.u64(l.structure_edges);
+        self.u64(l.structure_nodes);
+        self.u64(l.feature_elems);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let len = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.pos + n > self.buf.len() {
+            return Err(NetError::Codec(format!(
+                "truncated frame: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("exact slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("exact slice")))
+    }
+
+    fn f32(&mut self) -> Result<f32, NetError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, NetError> {
+        let n = self.u64()? as usize;
+        // A frame holds at least 4 bytes per element; reject inflated
+        // length claims before allocating.
+        if n > (self.buf.len() - self.pos) / 4 {
+            return Err(NetError::Codec(format!("f32 vector claims {n} elements")));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn str(&mut self) -> Result<String, NetError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| NetError::Codec(format!("non-utf8 string payload: {e}")))
+    }
+
+    fn ledger(&mut self) -> Result<FetchLedger, NetError> {
+        Ok(FetchLedger {
+            structure_edges: self.u64()?,
+            structure_nodes: self.u64()?,
+            feature_elems: self.u64()?,
+        })
+    }
+
+    fn done(&self) -> Result<(), NetError> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Codec(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a message into a length-prefixed frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::Request(Request::Epoch { id, params }) => {
+            let mut w = Writer::new(KIND_REQ_EPOCH, *id);
+            w.f32s(params);
+            w.finish()
+        }
+        Message::Request(Request::Round { id, params }) => {
+            let mut w = Writer::new(KIND_REQ_ROUND, *id);
+            w.f32s(params);
+            w.finish()
+        }
+        Message::Request(Request::Stop { id }) => Writer::new(KIND_REQ_STOP, *id).finish(),
+        Message::Response(Response::Epoch { id, params, loss_sum, batches, ledger }) => {
+            let mut w = Writer::new(KIND_RESP_EPOCH, *id);
+            w.f32s(params);
+            w.f64(*loss_sum);
+            w.u64(*batches);
+            w.ledger(ledger);
+            w.finish()
+        }
+        Message::Response(Response::Round { id, active, loss, grads, ledger }) => {
+            let mut w = Writer::new(KIND_RESP_ROUND, *id);
+            w.u8(u8::from(*active));
+            w.f32(*loss);
+            w.f32s(grads);
+            w.ledger(ledger);
+            w.finish()
+        }
+        Message::Response(Response::Unavailable { id }) => {
+            Writer::new(KIND_RESP_UNAVAILABLE, *id).finish()
+        }
+        Message::Response(Response::Failed { id, error }) => {
+            let mut w = Writer::new(KIND_RESP_FAILED, *id);
+            w.str(error);
+            w.finish()
+        }
+    }
+}
+
+/// Decodes a length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] on truncation, length mismatch, unknown
+/// kind tags, or trailing bytes.
+pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
+    let mut r = Reader { buf: frame, pos: 0 };
+    let len = r.u32()? as usize;
+    if len != frame.len() - 4 {
+        return Err(NetError::Codec(format!(
+            "length prefix {len} disagrees with frame body {}",
+            frame.len() - 4
+        )));
+    }
+    let kind = r.u8()?;
+    let id = MsgId {
+        worker: r.u32()?,
+        epoch: r.u64()?,
+        round: r.u64()?,
+        attempt: r.u32()?,
+    };
+    let msg = match kind {
+        KIND_REQ_EPOCH => Message::Request(Request::Epoch { id, params: r.f32s()? }),
+        KIND_REQ_ROUND => Message::Request(Request::Round { id, params: r.f32s()? }),
+        KIND_REQ_STOP => Message::Request(Request::Stop { id }),
+        KIND_RESP_EPOCH => Message::Response(Response::Epoch {
+            id,
+            params: r.f32s()?,
+            loss_sum: r.f64()?,
+            batches: r.u64()?,
+            ledger: r.ledger()?,
+        }),
+        KIND_RESP_ROUND => {
+            let active = r.u8()? != 0;
+            let loss = r.f32()?;
+            let grads = r.f32s()?;
+            let ledger = r.ledger()?;
+            Message::Response(Response::Round { id, active, loss, grads, ledger })
+        }
+        KIND_RESP_UNAVAILABLE => Message::Response(Response::Unavailable { id }),
+        KIND_RESP_FAILED => Message::Response(Response::Failed { id, error: r.str()? }),
+        other => return Err(NetError::Codec(format!("unknown message kind {other}"))),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+/// Reads `(kind, identity)` from a frame without decoding the payload —
+/// the fault layer's hook.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] when the frame is shorter than the fixed
+/// header.
+pub fn peek_identity(frame: &[u8]) -> Result<(u8, MsgId), NetError> {
+    let mut r = Reader { buf: frame, pos: 0 };
+    let _len = r.u32()?;
+    let kind = r.u8()?;
+    let id = MsgId {
+        worker: r.u32()?,
+        epoch: r.u64()?,
+        round: r.u64()?,
+        attempt: r.u32()?,
+    };
+    Ok((kind, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_id() -> MsgId {
+        MsgId { worker: 3, epoch: 17, round: 2, attempt: 1 }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        let id = sample_id();
+        let ledger =
+            FetchLedger { structure_edges: 10, structure_nodes: 4, feature_elems: 96 };
+        vec![
+            Message::Request(Request::Epoch { id, params: vec![1.0, -2.5, f32::MIN_POSITIVE] }),
+            Message::Request(Request::Round { id, params: vec![] }),
+            Message::Request(Request::Stop { id }),
+            Message::Response(Response::Epoch {
+                id,
+                params: vec![0.25; 7],
+                loss_sum: 1.75e-3,
+                batches: 9,
+                ledger,
+            }),
+            Message::Response(Response::Round {
+                id,
+                active: true,
+                loss: 0.693,
+                grads: vec![-1.0, 0.0, 1e-30],
+                ledger,
+            }),
+            Message::Response(Response::Unavailable { id }),
+            Message::Response(Response::Failed { id, error: "oops — µ".to_string() }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_kind() {
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            assert_eq!(decode(&frame).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let weird = vec![f32::NAN, -0.0, f32::INFINITY, 1e-45, 3.402_823_5e38];
+        let msg = Message::Request(Request::Epoch { id: sample_id(), params: weird.clone() });
+        let Message::Request(Request::Epoch { params, .. }) =
+            decode(&encode(&msg)).unwrap()
+        else {
+            panic!("wrong kind")
+        };
+        for (a, b) in weird.iter().zip(&params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn peek_matches_full_decode() {
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            let (_, id) = peek_identity(&frame).unwrap();
+            assert_eq!(id, msg.id());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        for cut in 0..frame.len() {
+            assert!(
+                matches!(decode(&frame[..cut]), Err(NetError::Codec(_))),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_bytes_rejected() {
+        let mut frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        frame[4] = 200;
+        assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
+
+        let mut padded = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        padded.push(0);
+        // Length prefix now disagrees.
+        assert!(matches!(decode(&padded), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn inflated_vector_length_rejected_before_allocation() {
+        let mut frame = encode(&Message::Request(Request::Epoch {
+            id: sample_id(),
+            params: vec![1.0],
+        }));
+        // Overwrite the vector length (first payload field) with u64::MAX.
+        let off = 4 + HEADER_LEN;
+        frame[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
+    }
+}

@@ -1,0 +1,391 @@
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::codec;
+use crate::transport::{Transport, WireStats};
+use crate::NetError;
+
+/// Deterministic message-level fault model.
+///
+/// Each send draws exactly one fault decision, a pure function of
+/// `(seed, lane, message kind, message identity)` — no wall clock, no
+/// RNG state shared across threads — so a seeded faulty run replays
+/// bit-identically in a fresh process. Retransmissions carry a bumped
+/// `attempt` counter and therefore draw fresh decisions, which is what
+/// lets bounded retries make progress through a lossy wire.
+///
+/// `crashes` lists `(worker, epoch)` pairs: the worker exits its loop
+/// permanently at the start of that epoch and never answers again (the
+/// cluster-runtime analogue of a process kill; the master detects it by
+/// retry exhaustion and proceeds on quorum).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-message drop probability in `[0, 1)`.
+    pub drop: f64,
+    /// Per-message duplication probability in `[0, 1)`.
+    pub duplicate: f64,
+    /// Per-message delay probability in `[0, 1)`; a delayed frame is
+    /// held back until the next send on the same lane (a deterministic
+    /// one-slot reordering, not a timed sleep).
+    pub delay: f64,
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// `(worker, epoch)` permanent crash points.
+    pub crashes: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// Validates the plan: probabilities must be finite, non-negative,
+    /// below 1, and sum below 1 (a message suffers at most one fault).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in
+            [("drop", self.drop), ("duplicate", self.duplicate), ("delay", self.delay)]
+        {
+            if !p.is_finite() {
+                return Err(format!("{name} probability is not finite ({p})"));
+            }
+            if p < 0.0 {
+                return Err(format!("{name} probability {p} is negative"));
+            }
+            if p >= 1.0 {
+                return Err(format!(
+                    "{name} probability {p} >= 1 would fault every message and no retry \
+                     budget could make progress"
+                ));
+            }
+        }
+        let sum = self.drop + self.duplicate + self.delay;
+        if sum >= 1.0 {
+            return Err(format!(
+                "fault probabilities sum to {sum} >= 1; each message draws one fault, so \
+                 the sum must stay below 1"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The epoch at which `worker` crashes permanently, if any (the
+    /// earliest of its scheduled crash points).
+    pub fn crash_epoch(&self, worker: usize) -> Option<usize> {
+        self.crashes.iter().filter(|(w, _)| *w == worker).map(|&(_, e)| e).min()
+    }
+
+    /// Whether any fault is configured at all.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.delay > 0.0 || !self.crashes.is_empty()
+    }
+
+    fn decide(&self, lane: u64, kind: u8, id: crate::MsgId) -> FaultAction {
+        // splitmix64-style avalanche over the full message identity.
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for x in [
+            lane,
+            kind as u64 + 1,
+            id.worker as u64 + 1,
+            id.epoch.wrapping_add(1),
+            id.round.wrapping_add(1),
+            id.attempt as u64 + 1,
+        ] {
+            h ^= x;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            h ^= h >> 33;
+        }
+        // 53 uniform bits → [0, 1).
+        let r = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if r < self.drop {
+            FaultAction::Drop
+        } else if r < self.drop + self.duplicate {
+            FaultAction::Duplicate
+        } else if r < self.drop + self.duplicate + self.delay {
+            FaultAction::Delay
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// Per-message timeout, bounded exponential backoff, bounded retries —
+/// the master's gather policy when silence is possible (faults enabled
+/// or quorum below `p`).
+///
+/// Attempt `a` waits `timeout_ms * backoff^a` milliseconds (saturating,
+/// capped at one minute) before retransmitting; after `max_retries`
+/// retransmissions the missing workers are declared dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Base per-message timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Retransmissions after the original send.
+    pub max_retries: u32,
+    /// Multiplicative backoff per attempt (>= 1).
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { timeout_ms: 500, max_retries: 4, backoff: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Hard ceiling on a single wait window.
+    const MAX_WINDOW_MS: u64 = 60_000;
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation: a zero timeout combined
+    /// with retries (retransmitting into a zero-length window can never
+    /// observe a response), or a backoff factor of zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.timeout_ms == 0 && self.max_retries > 0 {
+            return Err(
+                "zero per-message timeout with retries enabled: every wait window has \
+                 zero length, so retries would exhaust instantly regardless of worker \
+                 health"
+                    .to_string(),
+            );
+        }
+        if self.backoff == 0 {
+            return Err("backoff factor must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// The wait window for retransmission attempt `attempt` (0-based).
+    pub fn window(&self, attempt: u32) -> Duration {
+        let factor = (self.backoff as u64).saturating_pow(attempt);
+        Duration::from_millis(self.timeout_ms.saturating_mul(factor).min(Self::MAX_WINDOW_MS))
+    }
+}
+
+/// Fault-injecting [`Transport`] decorator.
+///
+/// Wraps any lane and applies the [`FaultPlan`] to outgoing frames:
+///
+/// * **drop** — the frame is discarded;
+/// * **duplicate** — the frame is delivered twice back-to-back;
+/// * **delay** — the frame is held and released immediately before the
+///   *next* frame sent on this lane (one-slot reordering). A delayed
+///   frame with no successor is never delivered — indistinguishable
+///   from a drop, which retries already handle.
+///
+/// Receives pass through untouched; faulting each direction of a duplex
+/// link means wrapping each endpoint's sender side.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    lane: u64,
+    held: VecDeque<Vec<u8>>,
+    stats: WireStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Decorates `inner`. `lane` must be unique per directed lane of the
+    /// cluster so fault schedules differ across lanes.
+    pub fn new(inner: T, plan: FaultPlan, lane: u64, stats: WireStats) -> Self {
+        FaultyTransport { inner, plan, lane, held: VecDeque::new(), stats }
+    }
+
+    fn flush_held(&mut self) -> Result<(), NetError> {
+        while let Some(frame) = self.held.pop_front() {
+            self.inner.send(frame)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        let (kind, id) = codec::peek_identity(&frame)?;
+        // Any send first releases frames delayed earlier on this lane.
+        self.flush_held()?;
+        match self.plan.decide(self.lane, kind, id) {
+            FaultAction::Deliver => self.inner.send(frame),
+            FaultAction::Drop => {
+                self.stats.record_drop();
+                Ok(())
+            }
+            FaultAction::Duplicate => {
+                self.stats.record_duplicate();
+                self.inner.send(frame.clone())?;
+                self.inner.send(frame)
+            }
+            FaultAction::Delay => {
+                self.stats.record_delay();
+                self.held.push_back(frame);
+                Ok(())
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        self.inner.recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, MsgId, Request};
+    use crate::transport::ChannelTransport;
+
+    fn frame(worker: u32, epoch: u64, attempt: u32) -> Vec<u8> {
+        Message::Request(Request::Stop {
+            id: MsgId { worker, epoch, round: 0, attempt },
+        })
+        .encode()
+    }
+
+    fn plan(drop: f64, duplicate: f64, delay: f64) -> FaultPlan {
+        FaultPlan { drop, duplicate, delay, seed: 42, crashes: vec![] }
+    }
+
+    #[test]
+    fn decisions_are_identity_pure() {
+        let p = plan(0.3, 0.2, 0.2);
+        for e in 0..50u64 {
+            let id = MsgId { worker: 1, epoch: e, round: 3, attempt: 0 };
+            assert_eq!(p.decide(7, 1, id), p.decide(7, 1, id));
+        }
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_probabilities() {
+        let p = plan(0.25, 0.1, 0.1);
+        let mut counts = [0usize; 4];
+        for e in 0..20_000u64 {
+            let id = MsgId { worker: 0, epoch: e, round: 0, attempt: 0 };
+            let a = p.decide(0, 1, id);
+            counts[match a {
+                FaultAction::Deliver => 0,
+                FaultAction::Drop => 1,
+                FaultAction::Duplicate => 2,
+                FaultAction::Delay => 3,
+            }] += 1;
+        }
+        assert!((4_000..6_000).contains(&counts[1]), "drops {}", counts[1]);
+        assert!((1_400..2_600).contains(&counts[2]), "dups {}", counts[2]);
+        assert!((1_400..2_600).contains(&counts[3]), "delays {}", counts[3]);
+    }
+
+    #[test]
+    fn retries_redraw_the_decision() {
+        // With drop = 0.5, some message must differ across attempts.
+        let p = plan(0.5, 0.0, 0.0);
+        let differs = (0..100u64).any(|e| {
+            let a0 = p.decide(1, 1, MsgId { worker: 0, epoch: e, round: 0, attempt: 0 });
+            let a1 = p.decide(1, 1, MsgId { worker: 0, epoch: e, round: 0, attempt: 1 });
+            a0 != a1
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn dropped_frames_never_arrive_duplicates_arrive_twice() {
+        let stats = WireStats::new();
+        let (raw, mut rx) = ChannelTransport::pair(64, stats.clone());
+        // Probe the plan for one guaranteed drop and one guaranteed dup.
+        let p = plan(0.4, 0.4, 0.0);
+        let pick = |want: FaultAction| {
+            (0..10_000u64)
+                .find(|&e| {
+                    p.decide(5, 3, MsgId { worker: 0, epoch: e, round: 0, attempt: 0 }) == want
+                })
+                .expect("plan produces the action somewhere")
+        };
+        let (e_drop, e_dup) = (pick(FaultAction::Drop), pick(FaultAction::Duplicate));
+        let mut faulty = FaultyTransport::new(raw, p, 5, stats.clone());
+        faulty.send(frame(0, e_drop, 0)).unwrap();
+        faulty.send(frame(0, e_dup, 0)).unwrap();
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert_eq!(first, second, "duplicate delivers the same frame twice");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+        let snap = stats.snapshot();
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.duplicated, 1);
+    }
+
+    #[test]
+    fn delayed_frame_released_by_next_send() {
+        let stats = WireStats::new();
+        let (raw, mut rx) = ChannelTransport::pair(64, stats.clone());
+        let p = plan(0.0, 0.0, 0.4);
+        let e_delay = (0..10_000u64)
+            .find(|&e| {
+                p.decide(9, 3, MsgId { worker: 0, epoch: e, round: 0, attempt: 0 })
+                    == FaultAction::Delay
+            })
+            .expect("plan delays something");
+        let e_ok = (0..10_000u64)
+            .find(|&e| {
+                p.decide(9, 3, MsgId { worker: 0, epoch: e, round: 0, attempt: 0 })
+                    == FaultAction::Deliver
+            })
+            .expect("plan delivers something");
+        let mut faulty = FaultyTransport::new(raw, p, 9, stats.clone());
+        let delayed = frame(0, e_delay, 0);
+        let successor = frame(0, e_ok, 0);
+        faulty.send(delayed.clone()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+        faulty.send(successor.clone()).unwrap();
+        // Held frame first, then the successor: one-slot reordering.
+        assert_eq!(rx.recv().unwrap(), delayed);
+        assert_eq!(rx.recv().unwrap(), successor);
+        assert_eq!(stats.snapshot().delayed, 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(plan(f64::NAN, 0.0, 0.0).validate().is_err());
+        assert!(plan(-0.1, 0.0, 0.0).validate().is_err());
+        assert!(plan(1.0, 0.0, 0.0).validate().is_err());
+        assert!(plan(0.5, 0.4, 0.2).validate().is_err(), "sum >= 1");
+        assert!(plan(0.1, 0.05, 0.05).validate().is_ok());
+        assert!(FaultPlan::default().validate().is_ok());
+    }
+
+    #[test]
+    fn retry_policy_validation_and_windows() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy { timeout_ms: 0, max_retries: 1, backoff: 2 }.validate().is_err());
+        assert!(RetryPolicy { timeout_ms: 0, max_retries: 0, backoff: 1 }.validate().is_ok());
+        assert!(RetryPolicy { timeout_ms: 100, max_retries: 2, backoff: 0 }.validate().is_err());
+        let p = RetryPolicy { timeout_ms: 100, max_retries: 3, backoff: 2 };
+        assert_eq!(p.window(0), Duration::from_millis(100));
+        assert_eq!(p.window(2), Duration::from_millis(400));
+        // Saturating, capped.
+        assert_eq!(p.window(40), Duration::from_millis(60_000));
+    }
+
+    #[test]
+    fn crash_epoch_picks_earliest() {
+        let p = FaultPlan { crashes: vec![(1, 5), (0, 2), (1, 3)], ..FaultPlan::default() };
+        assert_eq!(p.crash_epoch(1), Some(3));
+        assert_eq!(p.crash_epoch(0), Some(2));
+        assert_eq!(p.crash_epoch(2), None);
+        assert!(p.is_active());
+        assert!(!FaultPlan::default().is_active());
+    }
+}

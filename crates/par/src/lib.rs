@@ -102,6 +102,46 @@ pub fn partition_items(items: usize, parts: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Hosts `actors` long-lived actor bodies on dedicated scoped threads
+/// while `master` runs on the calling thread; returns `master`'s result
+/// after every actor has finished.
+///
+/// This is the *other* threading shape the workspace needs, next to the
+/// fork-join [`Pool`]: the distributed cluster runtime (`splpg-net`) runs
+/// one worker replica per actor for the whole lifetime of a training run,
+/// exchanging messages with the master instead of joining after each work
+/// item. Actors are identified by index and are never chunked, so the
+/// actor count is a property of the cluster, not of the pool width —
+/// thread-count invariance is unaffected.
+///
+/// Deadlock discipline is the caller's: `master` must, before returning,
+/// release whatever the actors block on (e.g. drop its channel endpoints)
+/// so the implicit join in this scope can complete.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::mpsc::sync_channel;
+/// let (tx, rx) = sync_channel(4);
+/// let sum = splpg_par::actor_scope(
+///     3,
+///     |i| tx.clone().send(i as u64 + 1).unwrap(),
+///     || (0..3).map(|_| rx.recv().unwrap()).sum::<u64>(),
+/// );
+/// assert_eq!(sum, 6);
+/// ```
+pub fn actor_scope<R>(actors: usize, actor: impl Fn(usize) + Sync, master: impl FnOnce() -> R) -> R {
+    thread::scope(|s| {
+        let actor = &actor;
+        let handles: Vec<_> = (0..actors).map(|i| s.spawn(move || actor(i))).collect();
+        let result = master();
+        for h in handles {
+            h.join().expect("actor panicked");
+        }
+        result
+    })
+}
+
 /// A fixed-width fork-join worker pool.
 ///
 /// `Pool` is a value, not a handle to live threads: each call spawns its
@@ -340,6 +380,25 @@ mod tests {
         assert_eq!(global().threads(), 3);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn actor_scope_joins_all_actors_and_returns_master_result() {
+        let flags: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let out = actor_scope(
+            5,
+            |i| {
+                flags[i].fetch_add(1, Ordering::SeqCst);
+            },
+            || 42u32,
+        );
+        assert_eq!(out, 42);
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn actor_scope_with_zero_actors_runs_master_inline() {
+        assert_eq!(actor_scope(0, |_| unreachable!(), || "done"), "done");
     }
 
     #[test]

@@ -14,6 +14,18 @@ cargo test --workspace -q
 echo "== splpg-lint (determinism & safety analyzer) =="
 cargo run -p splpg-lint --release -- check
 
+echo "== fault-injection e2e (drop=0.1 dup=0.05, crash, quorum p-1) =="
+# The wire_chaos stdout is seed-determined only: identical across runs
+# and thread counts, or the fault layer leaked wallclock into training.
+chaos1=$(SPLPG_NUM_THREADS=1 cargo run -q -p splpg-examples --bin wire_chaos --release 2>/dev/null)
+chaos4=$(SPLPG_NUM_THREADS=4 cargo run -q -p splpg-examples --bin wire_chaos --release 2>/dev/null)
+if [ "$chaos1" != "$chaos4" ]; then
+    echo "FAIL: wire_chaos metrics diverged between 1 and 4 threads" >&2
+    printf '%s\n--- vs ---\n%s\n' "$chaos1" "$chaos4" >&2
+    exit 1
+fi
+echo "$chaos1"
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
