@@ -32,7 +32,7 @@ use splpg_net::{
 use splpg_nn::{average_grads, Adam, Optimizer, ParamSet};
 use splpg_rng::rngs::StdRng;
 use splpg_rng::seq::SliceRandom;
-use splpg_tensor::Tensor;
+use splpg_tensor::{Tape, Tensor};
 
 use crate::setup::WorkerData;
 use crate::trainer::FaultConfig;
@@ -125,6 +125,9 @@ pub(crate) struct Replica {
     positives: Vec<splpg_graph::Edge>,
     shuffled_epoch: Option<u64>,
     reported: FetchLedger,
+    /// Long-lived autodiff tape: its arena is recycled across every batch
+    /// this replica ever computes, so steady-state steps allocate nothing.
+    tape: Tape,
 }
 
 impl Replica {
@@ -155,6 +158,7 @@ impl Replica {
             positives: Vec::new(),
             shuffled_epoch: None,
             reported: FetchLedger::default(),
+            tape: Tape::new(),
         }
     }
 
@@ -173,15 +177,18 @@ impl Replica {
     /// One full local epoch from `flat` (model averaging): shuffle the
     /// local positives, step the local optimizer per batch, return
     /// `(trained flat params, loss sum, batch count)`.
-    pub fn epoch_ma(&mut self, flat: &[f32]) -> Result<(Vec<f32>, f64, u64), String> {
+    pub fn epoch_ma(&mut self, epoch: u64, flat: &[f32]) -> Result<(Vec<f32>, f64, u64), String> {
         self.params.load_flat(flat).map_err(|e| e.to_string())?;
+        self.data.view.begin_epoch(epoch);
         let mut positives = self.data.positives.clone();
         positives.shuffle(&mut self.rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0u64;
+        // Both views are clones of the same worker view and share its
+        // per-epoch feature-row cache; cloned once per epoch, not per batch.
+        let mut view = self.data.view.clone();
+        let mut feat_view = self.data.view.clone();
         for chunk in positives.chunks(self.batch_size) {
-            let mut view = self.data.view.clone();
-            let mut feat_view = self.data.view.clone();
             let (loss, grads) = batch_grads(
                 &self.model,
                 &self.params,
@@ -191,9 +198,13 @@ impl Replica {
                 &self.negative_sampler,
                 chunk,
                 &mut self.rng,
+                &mut self.tape,
             )
             .map_err(|e| e.to_string())?;
             self.opt.step(&mut self.params, &grads);
+            for g in grads {
+                self.tape.recycle(g);
+            }
             loss_sum += loss as f64;
             batches += 1;
         }
@@ -206,6 +217,7 @@ impl Replica {
     /// not the worker contributes.
     pub fn ensure_shuffled(&mut self, epoch: u64) {
         if self.shuffled_epoch != Some(epoch) {
+            self.data.view.begin_epoch(epoch);
             self.positives = self.data.positives.clone();
             self.positives.shuffle(&mut self.rng);
             self.shuffled_epoch = Some(epoch);
@@ -238,9 +250,14 @@ impl Replica {
             &self.negative_sampler,
             &self.positives[start..end],
             &mut self.rng,
+            &mut self.tape,
         )
         .map_err(|e| e.to_string())?;
-        Ok(Some((loss, flatten_grads(&grads))))
+        let flat = flatten_grads(&grads);
+        for g in grads {
+            self.tape.recycle(g);
+        }
+        Ok(Some((loss, flat)))
     }
 }
 
@@ -306,7 +323,7 @@ fn compute_response(rep: &mut Replica, req: &Request, faults: Option<&FaultConfi
                 // not wait out a timeout) without touching the RNG.
                 return Response::Unavailable { id };
             }
-            match rep.epoch_ma(params) {
+            match rep.epoch_ma(id.epoch, params) {
                 Ok((flat, loss_sum, batches)) => Response::Epoch {
                     id,
                     params: flat,
@@ -524,7 +541,7 @@ impl Backend {
                     if faults.is_some_and(|f| f.is_down(rep.worker_id, epoch)) {
                         out.push(None);
                     } else {
-                        out.push(Some(rep.epoch_ma(flat).map_err(DistError::Worker)?));
+                        out.push(Some(rep.epoch_ma(epoch as u64, flat).map_err(DistError::Worker)?));
                     }
                 }
                 Ok(out)

@@ -14,6 +14,7 @@ use splpg_gnn::{
 };
 use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy};
 use splpg_nn::{Adam, Optimizer, ParamSet};
+use splpg_tensor::Tape;
 
 use crate::runtime::{
     ga_apply_round, ma_aggregate, worker_loop, Backend, MasterNet, NetReport, Replica,
@@ -379,6 +380,10 @@ impl DistTrainer {
         let mut master_opt = Adam::new(self.train.learning_rate);
         let mut correction_opt = Adam::new(self.train.learning_rate);
         let mut correction_rng = StdRng::seed_from_u64(self.train.seed ^ 0xC0FFEE);
+        // Master-side tapes, reset per use: the LLCG correction step and
+        // the periodic evaluations reuse one arena each across epochs.
+        let mut correction_tape = Tape::new();
+        let mut eval_tape = Tape::new();
 
         let mut global_flat = master_params.to_flat();
         let mut epochs = Vec::with_capacity(self.train.epochs);
@@ -446,9 +451,13 @@ impl DistTrainer {
                         &negative_sampler,
                         &batch,
                         &mut correction_rng,
+                        &mut correction_tape,
                     )
                     .map_err(|e| DistError::Worker(e.to_string()))?;
                     correction_opt.step(&mut master_params, &grads);
+                    for g in grads {
+                        correction_tape.recycle(g);
+                    }
                     global_flat = master_params.to_flat();
                 }
 
@@ -473,6 +482,7 @@ impl DistTrainer {
                         &data.split.valid_neg,
                         self.train.hits_k,
                         &mut master_rng,
+                        &mut eval_tape,
                     )
                     .map_err(|e| DistError::Eval(e.to_string()))?;
                     if hits > best.0 {
@@ -502,6 +512,7 @@ impl DistTrainer {
             &data.split.test_neg,
             self.train.hits_k,
             &mut master_rng,
+            &mut eval_tape,
         )
         .map_err(|e| DistError::Eval(e.to_string()))?;
 

@@ -1,10 +1,27 @@
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 use splpg_gnn::{FeatureAccess, GraphAccess};
 use splpg_graph::{FeatureMatrix, Graph, NodeId};
-use splpg_tensor::Tensor;
 
 use crate::CommTracker;
+
+/// Default capacity (in rows) of the per-epoch remote feature-row cache.
+///
+/// DistDGL-style deployments cache hot remote features worker-side; a
+/// remote row is priced on first fetch within an epoch and free on
+/// re-fetch while it stays cached. Parameter refreshes invalidate the
+/// cache, so it is cleared at every epoch boundary
+/// ([`WorkerView::begin_epoch`]).
+pub const DEFAULT_FEATURE_CACHE_ROWS: usize = 8192;
+
+/// Per-epoch membership set of remote feature rows already fetched (and
+/// therefore free to re-read until the next epoch).
+#[derive(Debug, Default)]
+struct RowCache {
+    epoch: u64,
+    rows: BTreeSet<NodeId>,
+}
 
 /// How a worker reaches graph structure outside its own partition.
 #[derive(Debug, Clone)]
@@ -52,6 +69,10 @@ pub struct WorkerView {
     features: Arc<FeatureMatrix>,
     remote: RemoteMode,
     tracker: CommTracker,
+    /// Shared across clones of this view (replicas clone the view per
+    /// batch), so cached rows stay free for the whole epoch.
+    feature_cache: Arc<Mutex<RowCache>>,
+    feature_cache_rows: usize,
 }
 
 impl WorkerView {
@@ -71,7 +92,36 @@ impl WorkerView {
         assert_eq!(local.num_nodes(), structure_local.len());
         assert_eq!(local.num_nodes(), feature_local.len());
         assert_eq!(local.num_nodes(), features.num_rows());
-        WorkerView { local, structure_local, feature_local, features, remote, tracker }
+        WorkerView {
+            local,
+            structure_local,
+            feature_local,
+            features,
+            remote,
+            tracker,
+            feature_cache: Arc::new(Mutex::new(RowCache::default())),
+            feature_cache_rows: DEFAULT_FEATURE_CACHE_ROWS,
+        }
+    }
+
+    /// Overrides the feature-row cache capacity (`0` disables caching:
+    /// every remote row is metered on every fetch, the pre-cache
+    /// behaviour).
+    #[must_use]
+    pub fn with_feature_cache_rows(mut self, rows: usize) -> Self {
+        self.feature_cache_rows = rows;
+        self
+    }
+
+    /// Declares the start of `epoch`: parameter refreshes invalidate
+    /// cached activations, so the feature-row cache empties at every
+    /// epoch boundary. Idempotent within an epoch.
+    pub fn begin_epoch(&self, epoch: u64) {
+        let mut cache = self.feature_cache.lock().expect("feature cache lock poisoned");
+        if cache.epoch != epoch {
+            cache.epoch = epoch;
+            cache.rows.clear();
+        }
     }
 
     /// The shared communication tracker.
@@ -161,15 +211,27 @@ impl FeatureAccess for WorkerView {
         self.features.dim()
     }
 
-    fn gather(&mut self, nodes: &[NodeId]) -> Tensor {
-        let remote_rows =
-            nodes.iter().filter(|&&v| !self.feature_local[v as usize]).count() as u64;
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut Vec<f32>) {
+        let remote_rows = if self.feature_cache_rows == 0 {
+            nodes.iter().filter(|&&v| !self.feature_local[v as usize]).count() as u64
+        } else {
+            let mut cache = self.feature_cache.lock().expect("feature cache lock poisoned");
+            let mut fetched = 0u64;
+            for &v in nodes {
+                if self.feature_local[v as usize] || cache.rows.contains(&v) {
+                    continue;
+                }
+                fetched += 1;
+                if cache.rows.len() < self.feature_cache_rows {
+                    cache.rows.insert(v);
+                }
+            }
+            fetched
+        };
         if remote_rows > 0 {
             self.tracker.add_features(remote_rows, self.features.dim() as u64);
         }
-        let gathered = self.features.gather(nodes);
-        Tensor::from_vec(nodes.len(), self.features.dim(), gathered.as_slice().to_vec())
-            .expect("consistent gather shape")
+        self.features.gather_into(nodes, out);
     }
 }
 
@@ -265,6 +327,43 @@ mod tests {
         assert!(tracker.structure_bytes() > 0);
         // has_edge still sees the local copy (full adjacency for 0..2).
         assert!(view.has_edge(2, 3) || !view.has_edge(2, 3)); // no panic
+    }
+
+    #[test]
+    fn repeated_remote_gather_is_metered_once_per_epoch() {
+        let (mut v, t) = fixture(RemoteMode::None);
+        let _ = v.gather(&[3, 4]);
+        let first = t.feature_bytes();
+        assert_eq!(first, 2 * 2 * crate::BYTES_PER_FEATURE);
+        // Cached rows are free on re-fetch within the epoch.
+        let _ = v.gather(&[3, 4]);
+        assert_eq!(t.feature_bytes(), first);
+        // A clone of the view shares the cache.
+        let mut clone = v.clone();
+        let _ = clone.gather(&[4]);
+        assert_eq!(t.feature_bytes(), first);
+        // The next epoch invalidates the cache: re-fetches are priced again.
+        v.begin_epoch(1);
+        let _ = v.gather(&[3]);
+        assert_eq!(t.feature_bytes(), first + 2 * crate::BYTES_PER_FEATURE);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_membership() {
+        let (v, t) = fixture(RemoteMode::None);
+        let mut v = v.with_feature_cache_rows(1);
+        let _ = v.gather(&[3, 4]); // 3 cached; 4 over capacity
+        let _ = v.gather(&[3, 4]); // 3 free, 4 re-metered
+        assert_eq!(t.feature_bytes(), 3 * 2 * crate::BYTES_PER_FEATURE);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (v, t) = fixture(RemoteMode::None);
+        let mut v = v.with_feature_cache_rows(0);
+        let _ = v.gather(&[3]);
+        let _ = v.gather(&[3]);
+        assert_eq!(t.feature_bytes(), 2 * 2 * crate::BYTES_PER_FEATURE);
     }
 
     #[test]

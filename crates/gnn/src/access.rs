@@ -54,8 +54,18 @@ pub trait FeatureAccess {
     /// Feature dimensionality.
     fn dim(&self) -> usize;
 
+    /// Appends feature rows for `nodes` (in order) to `out` — the
+    /// allocation-free primitive the trainers use to gather straight into
+    /// tape-arena storage (metering happens here).
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut Vec<f32>);
+
     /// Gathers feature rows for `nodes` (in order) into a dense tensor.
-    fn gather(&mut self, nodes: &[NodeId]) -> Tensor;
+    fn gather(&mut self, nodes: &[NodeId]) -> Tensor {
+        let mut buf = Vec::with_capacity(nodes.len() * self.dim());
+        self.gather_into(nodes, &mut buf);
+        Tensor::from_vec(nodes.len(), self.dim(), buf)
+            .expect("gather produces consistent shape")
+    }
 }
 
 /// [`GraphAccess`] adapter over a complete in-memory [`Graph`] — what a
@@ -118,10 +128,8 @@ impl FeatureAccess for FullFeatureAccess<'_> {
         self.features.dim()
     }
 
-    fn gather(&mut self, nodes: &[NodeId]) -> Tensor {
-        let gathered = self.features.gather(nodes);
-        Tensor::from_vec(nodes.len(), self.features.dim(), gathered.as_slice().to_vec())
-            .expect("gather produces consistent shape")
+    fn gather_into(&mut self, nodes: &[NodeId], out: &mut Vec<f32>) {
+        self.features.gather_into(nodes, out);
     }
 }
 

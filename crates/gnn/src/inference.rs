@@ -60,12 +60,26 @@ pub fn infer_all_embeddings(
     graph: &Graph,
     features: &Tensor,
 ) -> Tensor {
+    let mut tape = Tape::new();
+    infer_all_embeddings_with(&mut tape, model, params, graph, features)
+}
+
+/// [`infer_all_embeddings`] on a caller-provided tape, reset in place —
+/// repeated evaluation passes reuse one arena instead of reallocating the
+/// full-graph working set each time.
+pub fn infer_all_embeddings_with(
+    tape: &mut Tape,
+    model: &dyn GnnModel,
+    params: &ParamSet,
+    graph: &Graph,
+    features: &Tensor,
+) -> Tensor {
     let block = full_block(graph);
     let blocks = vec![block; model.num_layers()];
-    let mut tape = Tape::new();
-    let binding = params.bind(&mut tape);
-    let x = tape.leaf(features.clone());
-    let out = model.forward(&mut tape, &binding, x, &blocks, None);
+    tape.reset();
+    let binding = params.bind(tape);
+    let x = tape.leaf_copy(features);
+    let out = model.forward(tape, &binding, x, &blocks, None);
     tape.value(out).clone()
 }
 
@@ -77,13 +91,25 @@ pub fn score_from_embeddings(
     edges: &[Edge],
 ) -> Vec<f32> {
     let mut tape = Tape::new();
-    let binding = params.bind(&mut tape);
-    let emb = tape.leaf(embeddings.clone());
+    score_from_embeddings_with(&mut tape, predictor, params, embeddings, edges)
+}
+
+/// [`score_from_embeddings`] on a caller-provided tape, reset in place.
+pub fn score_from_embeddings_with(
+    tape: &mut Tape,
+    predictor: &EdgePredictor,
+    params: &ParamSet,
+    embeddings: &Tensor,
+    edges: &[Edge],
+) -> Vec<f32> {
+    tape.reset();
+    let binding = params.bind(tape);
+    let emb = tape.leaf_copy(embeddings);
     let us: Vec<u32> = edges.iter().map(|e| e.src).collect();
     let vs: Vec<u32> = edges.iter().map(|e| e.dst).collect();
     let h_u = tape.gather_rows(emb, &us);
     let h_v = tape.gather_rows(emb, &vs);
-    let logits = predictor.score(&mut tape, &binding, h_u, h_v);
+    let logits = predictor.score(tape, &binding, h_u, h_v);
     tape.value(logits).data().to_vec()
 }
 
@@ -149,6 +175,7 @@ mod tests {
         let mut ga = FullGraphAccess::new(&g);
         let mut fa = FullFeatureAccess::new(&f);
         let mut r = splpg_rng::rngs::StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
         let slow = crate::trainer::score_edges(
             &model,
             &params,
@@ -157,6 +184,7 @@ mod tests {
             &NeighborSampler::full(2),
             &edges,
             &mut r,
+            &mut tape,
         );
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-4, "full-graph {a} vs sampled {b}");

@@ -99,10 +99,16 @@ impl NeighborSampler {
             }
         }
 
-        // Build from the output side (hop 1) towards the input.
+        // Build from the output side (hop 1) towards the input. Each hop's
+        // frontier is the previous block's `src_ids`, borrowed in place:
+        // the per-hop scratch (`src_ids`, edge arrays) is built once and
+        // moved into the `Block`, never cloned.
         let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
-        let mut frontier = unique_seeds.clone();
         for &fanout in &self.fanouts {
+            let frontier: &[NodeId] = match blocks_rev.last() {
+                Some(prev) => &prev.src_ids,
+                None => &unique_seeds,
+            };
             let num_dst = frontier.len();
             // Phase 1 — fetch (sequential): the metered remote operation.
             let mut lists: Vec<Vec<(NodeId, f32)>> =
@@ -127,7 +133,7 @@ impl NeighborSampler {
                 );
             }
             // Phase 3 — assemble (sequential): global-to-block indexing.
-            let mut src_ids = frontier.clone();
+            let mut src_ids = frontier.to_vec();
             let mut src_index: BTreeMap<NodeId, u32> =
                 src_ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
             let mut edge_src = Vec::new();
@@ -146,14 +152,13 @@ impl NeighborSampler {
             }
             let src_degree = src_ids.iter().map(|&v| access.degree(v) as f32).collect();
             blocks_rev.push(Block {
-                src_ids: src_ids.clone(),
+                src_ids,
                 num_dst,
                 edge_src,
                 edge_dst,
                 edge_weight,
                 src_degree,
             });
-            frontier = src_ids;
         }
         blocks_rev.reverse();
         MiniBatch { blocks: blocks_rev, seeds: unique_seeds }

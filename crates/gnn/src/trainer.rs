@@ -146,6 +146,11 @@ impl TrainConfig {
 /// 20–28): draws per-source negatives, samples blocks, runs
 /// forward/backward.
 ///
+/// `tape` is reset and reused: a trainer holds one tape across steps so the
+/// steady-state step draws every buffer from the tape's arena instead of
+/// the allocator. Recycle the returned gradients back into the tape
+/// ([`Tape::recycle`]) once the optimizer has consumed them.
+///
 /// # Errors
 ///
 /// Propagates negative-sampling failures.
@@ -159,6 +164,7 @@ pub fn batch_grads<G, F>(
     negative_sampler: &PerSourceNegativeSampler,
     positives: &[Edge],
     rng: &mut StdRng,
+    tape: &mut Tape,
 ) -> Result<(f32, Vec<Tensor>), GnnError>
 where
     G: GraphAccess,
@@ -167,23 +173,26 @@ where
     let negatives = negative_sampler.sample_for_edges(graph_access, positives, rng)?;
     let (seeds, pairs, labels) = edges_to_pairs(positives, &negatives);
     let batch = sampler.sample(graph_access, &seeds, rng);
-    let input = feature_access.gather(batch.input_nodes());
 
-    let mut tape = Tape::new();
-    let binding = params.bind(&mut tape);
-    let x = tape.leaf(input);
+    tape.reset();
+    let binding = params.bind(tape);
+    let input_nodes = batch.input_nodes();
+    let x = tape.leaf_with(input_nodes.len(), feature_access.dim(), |buf| {
+        feature_access.gather_into(input_nodes, buf);
+    });
     let mut dropout_rng = rng.clone();
-    let logits =
-        model.score_pairs(&mut tape, &binding, x, &batch, &pairs, Some(&mut dropout_rng));
+    let logits = model.score_pairs(tape, &binding, x, &batch, &pairs, Some(&mut dropout_rng));
     let loss = tape.bce_with_logits(logits, &labels);
     let loss_value = tape.value(loss).get(0, 0);
     let mut grads = tape.backward(loss);
     let collected = binding.collect_grads(params, &mut grads);
+    tape.recycle_gradients(grads);
     Ok((loss_value, collected))
 }
 
 /// Scores a list of edges under the current parameters (no gradients,
-/// full-precision eval pass).
+/// full-precision eval pass). Resets and reuses `tape` per chunk.
+#[allow(clippy::too_many_arguments)]
 pub fn score_edges<G, F>(
     model: &LinkPredictor,
     params: &ParamSet,
@@ -192,21 +201,25 @@ pub fn score_edges<G, F>(
     sampler: &NeighborSampler,
     edges: &[Edge],
     rng: &mut StdRng,
+    tape: &mut Tape,
 ) -> Vec<f32>
 where
     G: GraphAccess,
     F: FeatureAccess,
 {
     let mut scores = Vec::with_capacity(edges.len());
-    // Chunk to bound peak memory on large eval sets.
+    // Chunk to bound peak memory on large eval sets; the reused tape keeps
+    // the chunk working set warm instead of reallocating it per chunk.
     for chunk in edges.chunks(1024) {
         let (seeds, pairs, _) = edges_to_pairs(chunk, &[]);
         let batch = sampler.sample(graph_access, &seeds, rng);
-        let input = feature_access.gather(batch.input_nodes());
-        let mut tape = Tape::new();
-        let binding = params.bind(&mut tape);
-        let x = tape.leaf(input);
-        let logits = model.score_pairs(&mut tape, &binding, x, &batch, &pairs, None);
+        tape.reset();
+        let binding = params.bind(tape);
+        let input_nodes = batch.input_nodes();
+        let x = tape.leaf_with(input_nodes.len(), feature_access.dim(), |buf| {
+            feature_access.gather_into(input_nodes, buf);
+        });
+        let logits = model.score_pairs(tape, &binding, x, &batch, &pairs, None);
         scores.extend_from_slice(tape.value(logits).data());
     }
     scores
@@ -228,13 +241,16 @@ pub fn evaluate_hits<G, F>(
     negatives: &[Edge],
     k: usize,
     rng: &mut StdRng,
+    tape: &mut Tape,
 ) -> Result<f64, GnnError>
 where
     G: GraphAccess,
     F: FeatureAccess,
 {
-    let pos = score_edges(model, params, graph_access, feature_access, sampler, positives, rng);
-    let neg = score_edges(model, params, graph_access, feature_access, sampler, negatives, rng);
+    let pos =
+        score_edges(model, params, graph_access, feature_access, sampler, positives, rng, tape);
+    let neg =
+        score_edges(model, params, graph_access, feature_access, sampler, negatives, rng, tape);
     metrics::hits_at_k(&pos, &neg, k)
 }
 
@@ -300,6 +316,10 @@ pub fn train_centralized(
     let mut history = TrainHistory::default();
     let mut best = (f64::NEG_INFINITY, params.to_flat());
     let mut train_edges = split.train.clone();
+    // One tape per loop: train batches and eval chunks have different
+    // shapes, so separate tapes keep each arena at its own fixed point.
+    let mut tape = Tape::new();
+    let mut eval_tape = Tape::new();
     for _epoch in 0..config.epochs {
         train_edges.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -316,8 +336,12 @@ pub fn train_centralized(
                 &negative_sampler,
                 chunk,
                 &mut rng,
+                &mut tape,
             )?;
             opt.step(&mut params, &grads);
+            for g in grads {
+                tape.recycle(g);
+            }
             epoch_loss += loss as f64;
             batches += 1;
         }
@@ -335,6 +359,7 @@ pub fn train_centralized(
             &split.valid_neg,
             config.hits_k,
             &mut rng,
+            &mut eval_tape,
         )?;
         history.valid_hits.push(hits);
         if hits > best.0 {
@@ -354,6 +379,7 @@ pub fn train_centralized(
         &split.test_neg,
         config.hits_k,
         &mut rng,
+        &mut eval_tape,
     )?;
     Ok(TrainedModel { model, params, history, test_hits })
 }
@@ -467,7 +493,8 @@ mod tests {
             let mut ga = FullGraphAccess::new(&g);
             let mut fa = FullFeatureAccess::new(&f);
             let mut r = StdRng::seed_from_u64(9);
-            score_edges(&model, &params, &mut ga, &mut fa, &sampler, &split.test, &mut r)
+            let mut tape = Tape::new();
+            score_edges(&model, &params, &mut ga, &mut fa, &sampler, &split.test, &mut r, &mut tape)
         };
         assert_eq!(run(), run());
     }

@@ -105,10 +105,22 @@ impl FeatureMatrix {
     /// Panics if any node id is out of range.
     pub fn gather(&self, nodes: &[NodeId]) -> FeatureMatrix {
         let mut data = Vec::with_capacity(nodes.len() * self.dim);
-        for &v in nodes {
-            data.extend_from_slice(self.row(v));
-        }
+        self.gather_into(nodes, &mut data);
         FeatureMatrix { data, num_rows: nodes.len(), dim: self.dim }
+    }
+
+    /// Appends the rows for `nodes` (in order) to `out` — the allocation-free
+    /// variant of [`FeatureMatrix::gather`] for callers that reuse a buffer
+    /// across batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id is out of range.
+    pub fn gather_into(&self, nodes: &[NodeId], out: &mut Vec<f32>) {
+        out.reserve(nodes.len() * self.dim);
+        for &v in nodes {
+            out.extend_from_slice(self.row(v));
+        }
     }
 
     /// Bytes occupied by `count` feature rows (the communication price of

@@ -38,6 +38,7 @@ pub const RULE_NAMES: &[&str] = &[
     RULE_UNWRAP,
     RULE_FORBID_UNSAFE,
     RULE_PRINT_MACRO,
+    RULE_TAPE_IN_LOOP,
 ];
 
 pub const RULE_HASH_ITER: &str = "hash-iter";
@@ -46,6 +47,7 @@ pub const RULE_WALLCLOCK: &str = "wallclock";
 pub const RULE_UNWRAP: &str = "unwrap-expect";
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_PRINT_MACRO: &str = "print-macro";
+pub const RULE_TAPE_IN_LOOP: &str = "tape-in-loop";
 
 /// One-line description per rule (for `splpg-lint rules`).
 pub fn describe(rule: &str) -> &'static str {
@@ -77,6 +79,13 @@ pub fn describe(rule: &str) -> &'static str {
         RULE_PRINT_MACRO => {
             "no println!/eprintln!/print!/eprint! in library code outside \
              crates/bench: libraries return data, binaries print it"
+        }
+        RULE_TAPE_IN_LOOP => {
+            "no Tape::new() inside a loop body in library code: a fresh \
+             tape per iteration reallocates the whole autodiff working set \
+             every step — hoist one Tape out of the loop and let reset() \
+             recycle its arena (allow with a reason where a cold-start \
+             tape per iteration is the point)"
         }
         _ => "unknown rule",
     }
@@ -136,6 +145,7 @@ pub fn check(path: &str, file: &SourceFile) -> Vec<Diagnostic> {
     }
 
     forbid_unsafe(path, &scope, file, &allows, &mut out);
+    tape_in_loop(path, &scope, file, &allows, &mut out);
     out
 }
 
@@ -287,6 +297,108 @@ fn forbid_unsafe(
     }
 }
 
+/// What a scanned token means to the loop tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopEv {
+    Open,
+    Close,
+    Semi,
+    /// `for` / `while` / `loop` keyword; the next `{` opens a loop body.
+    LoopKw,
+    /// `impl` keyword; cancels a following `for` (trait impls, not loops).
+    ImplKw,
+    /// A `Tape::new` occurrence.
+    TapeNew,
+}
+
+/// Flags `Tape::new()` inside loop bodies of non-test library code: a
+/// fresh tape per iteration defeats the arena — its buffers are rebuilt
+/// from cold every step instead of being recycled by `Tape::reset()`.
+///
+/// Loop bodies are tracked by brace matching on the masked code: a `{`
+/// preceded (in the same statement) by a `for`/`while`/`loop` keyword
+/// opens a loop scope. `impl … for … {` and higher-ranked `for<…>` bounds
+/// are recognized and do not open loop scopes.
+fn tape_in_loop(
+    path: &str,
+    scope: &FileScope,
+    file: &SourceFile,
+    allows: &[Vec<String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    if scope.is_binary {
+        // Binaries may build throwaway tapes (e.g. a bench's cold-start
+        // baseline measures exactly that cost).
+        return;
+    }
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    let mut pending_impl = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut events: Vec<(usize, LoopEv)> = Vec::new();
+        for (at, ch) in code.char_indices() {
+            match ch {
+                '{' => events.push((at, LoopEv::Open)),
+                '}' => events.push((at, LoopEv::Close)),
+                ';' => events.push((at, LoopEv::Semi)),
+                _ => {}
+            }
+        }
+        for kw in ["for", "while", "loop"] {
+            for at in find_word(code, kw) {
+                // `for<'a> Fn(…)` is a higher-ranked bound, not a loop.
+                let rest = code[at + kw.len()..].trim_start();
+                if kw == "for" && rest.starts_with('<') {
+                    continue;
+                }
+                events.push((at, LoopEv::LoopKw));
+            }
+        }
+        for at in find_word(code, "impl") {
+            events.push((at, LoopEv::ImplKw));
+        }
+        for at in find_word(code, "Tape::new") {
+            events.push((at, LoopEv::TapeNew));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        for (_, ev) in events {
+            match ev {
+                LoopEv::Open => {
+                    stack.push(pending_loop && !pending_impl);
+                    pending_loop = false;
+                    pending_impl = false;
+                }
+                LoopEv::Close => {
+                    stack.pop();
+                }
+                LoopEv::Semi => {
+                    pending_loop = false;
+                    pending_impl = false;
+                }
+                LoopEv::LoopKw => pending_loop = true,
+                LoopEv::ImplKw => pending_impl = true,
+                LoopEv::TapeNew => {
+                    if !line.in_test
+                        && stack.iter().any(|&is_loop| is_loop)
+                        && !allowed(allows, file, idx, RULE_TAPE_IN_LOOP)
+                    {
+                        out.push(Diagnostic {
+                            path: path.to_string(),
+                            line: idx + 1,
+                            rule: RULE_TAPE_IN_LOOP,
+                            message: "Tape::new() inside a loop body: hoist the tape out \
+                                      of the loop and call reset() per iteration so its \
+                                      arena is recycled instead of reallocated"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Parses `splpg-lint: allow(rule-a, rule-b)` pragmas out of each line's
 /// comment text. Returns one allow-list per line.
 fn collect_allows(file: &SourceFile) -> Vec<Vec<String>> {
@@ -369,6 +481,45 @@ mod tests {
         let d = diags("crates/net/src/codec.rs", src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, RULE_HASH_ITER);
+    }
+
+    #[test]
+    fn tape_new_in_loop_fires() {
+        for header in ["for b in batches {", "while run {", "loop {"] {
+            let src = format!(
+                "#![forbid(unsafe_code)]\nfn f() {{\n    {header}\n        let mut tape = Tape::new();\n    }}\n}}\n"
+            );
+            let d = diags("crates/gnn/src/trainer.rs", &src);
+            assert_eq!(d.len(), 1, "{header}: {d:?}");
+            assert_eq!(d[0].rule, RULE_TAPE_IN_LOOP);
+            assert_eq!(d[0].line, 4);
+        }
+    }
+
+    #[test]
+    fn tape_new_outside_loop_is_fine() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {\n    let mut tape = Tape::new();\n    for b in batches {\n        tape.reset();\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tape_in_loop_skips_tests_binaries_and_impl_for() {
+        let in_test = "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n    fn t() {\n        for i in 0..3 {\n            let mut tape = Tape::new();\n        }\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", in_test).is_empty());
+        let in_bin = "fn main() {\n    for i in 0..3 {\n        let t = Tape::new();\n    }\n}\n";
+        assert!(diags("crates/bench/src/bin/train_step.rs", in_bin).is_empty());
+        // `impl Trait for Type` must not be mistaken for a loop header.
+        let impl_for = "#![forbid(unsafe_code)]\nimpl Builder for Factory {\n    fn build(&self) -> Tape {\n        Tape::new()\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", impl_for).is_empty());
+        // Higher-ranked `for<'a>` bounds are not loops either.
+        let hrtb = "#![forbid(unsafe_code)]\nfn f(g: impl for<'a> Fn(&'a u32)) {\n    let t = Tape::new();\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", hrtb).is_empty());
+    }
+
+    #[test]
+    fn tape_in_loop_pragma_suppresses() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {\n    for i in 0..3 {\n        // splpg-lint: allow(tape-in-loop) — cold-start cost is the measurement\n        let t = Tape::new();\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", src).is_empty());
     }
 
     #[test]

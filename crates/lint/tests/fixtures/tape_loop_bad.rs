@@ -1,0 +1,16 @@
+// Fixture: a fresh tape per iteration reallocates the whole autodiff
+// working set every step.
+pub fn train(batches: &[Batch]) -> f32 {
+    let mut loss = 0.0;
+    for batch in batches {
+        let mut tape = Tape::new();
+        loss += step(&mut tape, batch);
+    }
+    loss
+}
+
+pub fn poll() {
+    while running() {
+        let _tape = Tape::new();
+    }
+}

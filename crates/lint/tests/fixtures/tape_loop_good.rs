@@ -1,0 +1,25 @@
+// Fixture: the tape is hoisted out of the loop and reset per iteration,
+// so its arena is recycled; a reasoned pragma keeps an intentional
+// cold-start site.
+pub fn train(batches: &[Batch]) -> f32 {
+    let mut tape = Tape::new();
+    let mut loss = 0.0;
+    for batch in batches {
+        tape.reset();
+        loss += step(&mut tape, batch);
+    }
+    loss
+}
+
+pub fn cold_start_baseline(reps: usize) {
+    for _ in 0..reps {
+        // splpg-lint: allow(tape-in-loop) — measuring cold-allocation cost is the point
+        let _tape = Tape::new();
+    }
+}
+
+impl TapeSource for Factory {
+    fn fresh(&self) -> Tape {
+        Tape::new()
+    }
+}

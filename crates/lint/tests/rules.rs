@@ -149,6 +149,31 @@ fn print_macro_passes_good_fixture_bench_and_binaries() {
 }
 
 #[test]
+fn tape_in_loop_fires_on_bad_fixture() {
+    let d = check_source(
+        "crates/gnn/src/fixture.rs",
+        include_str!("fixtures/tape_loop_bad.rs"),
+    );
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "tape-in-loop").collect();
+    assert_eq!(hits.len(), 2, "for-loop and while-loop sites: {hits:?}");
+}
+
+#[test]
+fn tape_in_loop_passes_good_fixture_and_binaries() {
+    let good = fired_content(
+        "crates/gnn/src/fixture.rs",
+        include_str!("fixtures/tape_loop_good.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+    // Binaries (e.g. the bench's cold-start baseline) are exempt.
+    let binary = fired_content(
+        "crates/bench/src/bin/train_step.rs",
+        include_str!("fixtures/tape_loop_bad.rs"),
+    );
+    assert!(binary.is_empty(), "bin targets may build throwaway tapes: {binary:?}");
+}
+
+#[test]
 fn pragma_reasons_survive_extra_rules_listed() {
     // One pragma can name several rules.
     let src = "#![forbid(unsafe_code)]\n\

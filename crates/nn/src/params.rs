@@ -72,7 +72,9 @@ impl ParamSet {
     /// [`Binding`] used to address them during the forward pass and to
     /// collect their gradients afterwards.
     pub fn bind(&self, tape: &mut Tape) -> Binding {
-        let vars = self.values.iter().map(|t| tape.leaf(t.clone())).collect();
+        // leaf_copy draws the leaf storage from the tape's arena, so a
+        // reused tape re-binds parameters every step without allocating.
+        let vars = self.values.iter().map(|t| tape.leaf_copy(t)).collect();
         Binding { vars }
     }
 

@@ -45,19 +45,22 @@ pub fn grad_check<F>(input: &Tensor, epsilon: f64, build: F) -> GradCheckReport
 where
     F: Fn(&mut Tape, Var) -> Var,
 {
-    // Analytic gradient.
+    // Analytic gradient. The same tape is reset and reused for every
+    // perturbed evaluation below, exercising the arena-reuse path the
+    // trainers rely on.
     let mut tape = Tape::new();
-    let v = tape.leaf(input.clone());
+    let v = tape.leaf_copy(input);
     let loss = build(&mut tape, v);
     let grads = tape.backward(loss);
     let analytic = grads.get(v).cloned().unwrap_or_else(|| {
         let (r, c) = input.shape();
         Tensor::zeros(r, c)
     });
+    tape.recycle_gradients(grads);
 
-    let eval = |t: &Tensor| -> f64 {
-        let mut tape = Tape::new();
-        let v = tape.leaf(t.clone());
+    let mut eval = |t: &Tensor| -> f64 {
+        tape.reset();
+        let v = tape.leaf_copy(t);
         let loss = build(&mut tape, v);
         tape.value(loss).get(0, 0) as f64
     };

@@ -41,10 +41,30 @@ fn min_rows_per_chunk(k: usize, m: usize) -> usize {
 /// [`Tensor::matmul_scalar`](crate::Tensor::matmul_scalar).
 pub fn matmul_nn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool) -> Vec<f32> {
     let mut out = vec![0.0f32; n * m];
+    matmul_nn_into(a, b, n, k, m, pool, &mut out);
+    out
+}
+
+/// [`matmul_nn`] writing into a caller-provided **zero-filled** `[n,m]`
+/// buffer (the tape arena's pooled storage).
+///
+/// # Panics
+///
+/// Panics if `out.len() != n * m`.
+pub fn matmul_nn_into(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    pool: &Pool,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
     if n == 0 || m == 0 || k == 0 {
-        return out;
+        return;
     }
-    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+    pool.parallel_for_mut(out, m, min_rows_per_chunk(k, m), |row0, chunk| {
         for (r, o_row) in chunk.chunks_mut(m).enumerate() {
             let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
             for kb in (0..k).step_by(TILE_K) {
@@ -64,7 +84,6 @@ pub fn matmul_nn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool
             }
         }
     });
-    out
 }
 
 /// `a[k,n]^T @ b[k,m]` into a fresh `[n,m]` buffer, without
@@ -76,10 +95,30 @@ pub fn matmul_nn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool
 /// bit for bit.
 pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, pool: &Pool) -> Vec<f32> {
     let mut out = vec![0.0f32; n * m];
+    matmul_tn_into(a, b, k, n, m, pool, &mut out);
+    out
+}
+
+/// [`matmul_tn`] writing into a caller-provided **zero-filled** `[n,m]`
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if `out.len() != n * m`.
+pub fn matmul_tn_into(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    m: usize,
+    pool: &Pool,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
     if n == 0 || m == 0 || k == 0 {
-        return out;
+        return;
     }
-    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+    pool.parallel_for_mut(out, m, min_rows_per_chunk(k, m), |row0, chunk| {
         let rows = chunk.len() / m;
         for rb in (0..rows).step_by(TILE_I) {
             let re = (rb + TILE_I).min(rows);
@@ -98,7 +137,6 @@ pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, pool: &Pool
             }
         }
     });
-    out
 }
 
 /// `a[n,k] @ b[m,k]^T` into a fresh `[n,m]` buffer, without
@@ -110,10 +148,30 @@ pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, pool: &Pool
 /// [`Tensor::matmul_nt_scalar`](crate::Tensor::matmul_nt_scalar).
 pub fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool) -> Vec<f32> {
     let mut out = vec![0.0f32; n * m];
+    matmul_nt_into(a, b, n, k, m, pool, &mut out);
+    out
+}
+
+/// [`matmul_nt`] writing into a caller-provided `[n,m]` buffer (every
+/// element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `out.len() != n * m`.
+pub fn matmul_nt_into(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    pool: &Pool,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
     if n == 0 || m == 0 {
-        return out;
+        return;
     }
-    pool.parallel_for_mut(&mut out, m, min_rows_per_chunk(k, m), |row0, chunk| {
+    pool.parallel_for_mut(out, m, min_rows_per_chunk(k, m), |row0, chunk| {
         let rows = chunk.len() / m;
         for jb in (0..m).step_by(TILE_J) {
             let je = (jb + TILE_J).min(m);
@@ -130,5 +188,4 @@ pub fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, pool: &Pool
             }
         }
     });
-    out
 }

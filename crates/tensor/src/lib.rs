@@ -8,9 +8,15 @@
 //! * [`Tensor`] — a 2-D row-major `f32` matrix with the usual arithmetic;
 //! * [`Tape`] — an arena-based autograd tape. Operations append nodes; a
 //!   single [`Tape::backward`] pass computes gradients for every leaf.
-//!   Tapes are cheap to create (one per mini-batch) and thread-local, so
-//!   each simulated worker differentiates independently — mirroring how
-//!   each GPU in DDP holds its own autograd graph;
+//!   Tapes are thread-local, so each simulated worker differentiates
+//!   independently — mirroring how each GPU in DDP holds its own autograd
+//!   graph. Trainers hold **one tape across steps**: [`Tape::reset`]
+//!   recycles every backing buffer into the tape's arena, so the
+//!   steady-state training step performs no heap allocation
+//!   ([`ArenaStats`] counts the warm-up allocations);
+//! * [`segment`] — the deterministic parallel aggregation kernels behind
+//!   the tape's graph ops, bit-identical to their scalar counterparts at
+//!   every thread count;
 //! * graph-specific ops: [`Tape::gather_rows`], [`Tape::segment_sum`]
 //!   (neighborhood aggregation), [`Tape::segment_softmax`] (GAT attention),
 //!   [`Tape::scale_rows`] (GCN normalization / sparsifier edge weights);
@@ -35,11 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod check;
 pub mod kernels;
+pub mod segment;
 mod tape;
 mod tensor;
 
+pub use arena::ArenaStats;
 pub use check::{grad_check, GradCheckReport};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

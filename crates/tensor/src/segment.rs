@@ -1,0 +1,731 @@
+//! Parallel segment/gather and row-wise elementwise kernels for the
+//! aggregation hot path.
+//!
+//! These back [`Tape`](crate::Tape)'s message-passing ops
+//! (`gather_rows`, `segment_sum`, `segment_softmax`, row scaling) and the
+//! row-wise elementwise activations, forward *and* backward. Each kernel
+//! partitions a contiguous range of **destination rows or segments** per
+//! thread over a [`Pool`] — never interleaving by thread id — and every
+//! accumulator runs over its contributions in ascending input order, so
+//! outputs are **bit-identical** to the scalar reference at any thread
+//! count. Kernels follow the matmul scalar-fallback policy: below
+//! [`PAR_FLOP_THRESHOLD`](crate::kernels::PAR_FLOP_THRESHOLD) estimated
+//! flops (or on a one-thread pool) the scalar loop runs inline.
+//!
+//! Scratch buffers (`segment_softmax`'s max/denominator, the backward
+//! pass's per-segment dot products) are caller-provided so the tape arena
+//! can pool them; kernels never allocate.
+
+use splpg_par::Pool;
+
+use crate::kernels::PAR_FLOP_THRESHOLD;
+
+/// Minimum estimated flops per chunk handed to a worker thread (same
+/// amortization floor as the matmul kernels).
+const MIN_CHUNK_FLOPS: usize = 500_000;
+
+/// Minimum rows per chunk for a kernel doing ~`per_row` flops per row.
+fn min_rows(per_row: usize) -> usize {
+    (MIN_CHUNK_FLOPS / per_row.max(1)).max(1)
+}
+
+/// Whether `work` estimated flops justify fan-out on `pool`.
+fn par(work: usize, pool: &Pool) -> bool {
+    work >= PAR_FLOP_THRESHOLD && pool.threads() > 1
+}
+
+/// Row gather: `out` row `i` is `a`'s row `idx[i]` (`m` columns).
+///
+/// Output rows are partitioned across the pool; each is a plain copy, so
+/// any partition is bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or the buffer lengths disagree.
+pub fn gather_rows(a: &[f32], m: usize, idx: &[u32], out: &mut [f32], pool: &Pool) {
+    let n = a.len().checked_div(m).unwrap_or(0);
+    assert_eq!(out.len(), idx.len() * m, "gather output shape");
+    if m == 0 {
+        return;
+    }
+    for &src in idx {
+        assert!((src as usize) < n, "gather index {src} out of range {n}");
+    }
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (i, o_row) in chunk.chunks_mut(m).enumerate() {
+            let src = idx[row0 + i] as usize;
+            o_row.copy_from_slice(&a[src * m..(src + 1) * m]);
+        }
+    };
+    if par(idx.len() * m, pool) {
+        pool.parallel_for_mut(out, m, min_rows(m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Backward of [`gather_rows`]: scatter-adds `grad` row `i` into `da` row
+/// `idx[i]`.
+///
+/// `da` (`n x m`, zero-initialized by the caller) is partitioned by
+/// destination row; each thread scans `idx` in ascending order and
+/// accumulates only the rows it owns, reproducing the scalar
+/// accumulation order exactly.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn gather_rows_grad(grad: &[f32], m: usize, idx: &[u32], da: &mut [f32], pool: &Pool) {
+    assert_eq!(grad.len(), idx.len() * m, "gather grad shape");
+    if m == 0 || da.is_empty() {
+        return;
+    }
+    assert_eq!(da.len() % m, 0, "da must hold whole rows");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / m;
+        for (i, &src) in idx.iter().enumerate() {
+            let src = src as usize;
+            if src >= row0 && src < row0 + rows {
+                let o_row = &mut chunk[(src - row0) * m..(src - row0 + 1) * m];
+                for (o, &g) in o_row.iter_mut().zip(&grad[i * m..(i + 1) * m]) {
+                    *o += g;
+                }
+            }
+        }
+    };
+    if par(2 * idx.len() * m, pool) {
+        pool.parallel_for_mut(da, m, min_rows(2 * m), run);
+    } else {
+        run(0, da);
+    }
+}
+
+/// Segment sum: `out` row `s` is the sum of `a` rows `i` with
+/// `seg[i] == s` (the neighborhood-aggregation primitive).
+///
+/// `out` (`num_segments x m`, zero-initialized by the caller) is
+/// partitioned by destination segment; each thread scans `seg` ascending
+/// and accumulates only its own segments — the scalar order per segment.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of range or buffer lengths disagree.
+pub fn segment_sum(a: &[f32], m: usize, seg: &[u32], out: &mut [f32], pool: &Pool) {
+    assert_eq!(a.len(), seg.len() * m, "segment input shape");
+    if m == 0 {
+        return;
+    }
+    if out.is_empty() {
+        assert!(seg.is_empty(), "segment id out of range");
+        return;
+    }
+    assert_eq!(out.len() % m, 0, "out must hold whole rows");
+    let num_segments = out.len() / m;
+    for &s in seg {
+        assert!((s as usize) < num_segments, "segment id {s} out of range");
+    }
+    let run = |seg0: usize, chunk: &mut [f32]| {
+        let segs = chunk.len() / m;
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            if s >= seg0 && s < seg0 + segs {
+                let o_row = &mut chunk[(s - seg0) * m..(s - seg0 + 1) * m];
+                for (o, &x) in o_row.iter_mut().zip(&a[i * m..(i + 1) * m]) {
+                    *o += x;
+                }
+            }
+        }
+    };
+    if par(2 * seg.len() * m, pool) {
+        pool.parallel_for_mut(out, m, min_rows(2 * m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Backward of [`segment_sum`]: `da` row `i` is `grad` row `seg[i]`.
+///
+/// Rows of `da` are independent copies, partitioned across the pool.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn segment_sum_grad(grad: &[f32], m: usize, seg: &[u32], da: &mut [f32], pool: &Pool) {
+    assert_eq!(da.len(), seg.len() * m, "segment grad shape");
+    if m == 0 {
+        return;
+    }
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (i, o_row) in chunk.chunks_mut(m).enumerate() {
+            let s = seg[row0 + i] as usize;
+            o_row.copy_from_slice(&grad[s * m..(s + 1) * m]);
+        }
+    };
+    if par(seg.len() * m, pool) {
+        pool.parallel_for_mut(da, m, min_rows(m), run);
+    } else {
+        run(0, da);
+    }
+}
+
+/// Numerically-stable softmax over segments of the column `x`.
+///
+/// `max` (init `f32::NEG_INFINITY`) and `denom` (init `0.0`) are
+/// caller-provided per-segment scratch of length `num_segments`. The
+/// per-segment passes partition the *segment* arrays (each thread scans
+/// `seg` ascending for its own segments) and the per-row passes partition
+/// `out`; both orders match the scalar reference element for element.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of range or lengths disagree.
+pub fn segment_softmax(
+    x: &[f32],
+    seg: &[u32],
+    max: &mut [f32],
+    denom: &mut [f32],
+    out: &mut [f32],
+    pool: &Pool,
+) {
+    let n = x.len();
+    assert_eq!(seg.len(), n, "segment ids must cover every row");
+    assert_eq!(out.len(), n, "softmax output shape");
+    assert_eq!(max.len(), denom.len(), "scratch lengths");
+    let num_segments = max.len();
+    for &s in seg {
+        assert!((s as usize) < num_segments, "segment id {s} out of range");
+    }
+    if n == 0 {
+        return;
+    }
+    let wide = par(8 * n, pool);
+    // Pass 1: per-segment max.
+    let max_run = |seg0: usize, chunk: &mut [f32]| {
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            if s >= seg0 && s < seg0 + chunk.len() {
+                chunk[s - seg0] = chunk[s - seg0].max(x[i]);
+            }
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(max, 1, 1, max_run);
+    } else {
+        max_run(0, max);
+    }
+    // Pass 2: exponentials, shifted by the segment max.
+    let maxes = &*max;
+    let exp_run = |i0: usize, chunk: &mut [f32]| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = (x[i0 + i] - maxes[seg[i0 + i] as usize]).exp();
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(out, 1, MIN_CHUNK_FLOPS / 8, exp_run);
+    } else {
+        exp_run(0, out);
+    }
+    // Pass 3: per-segment denominators, accumulated in ascending row
+    // order exactly like the scalar reference.
+    let exp = &*out;
+    let denom_run = |seg0: usize, chunk: &mut [f32]| {
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            if s >= seg0 && s < seg0 + chunk.len() {
+                chunk[s - seg0] += exp[i];
+            }
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(denom, 1, 1, denom_run);
+    } else {
+        denom_run(0, denom);
+    }
+    // Pass 4: normalize.
+    let div_run = |i0: usize, chunk: &mut [f32]| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o /= denom[seg[i0 + i] as usize].max(f32::MIN_POSITIVE);
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(out, 1, MIN_CHUNK_FLOPS / 8, div_run);
+    } else {
+        div_run(0, out);
+    }
+}
+
+/// Backward of [`segment_softmax`]:
+/// `da_i = y_i (g_i - sum_{j in segment(i)} y_j g_j)`.
+///
+/// `seg_dot` (init `0.0`) is caller-provided per-segment scratch; the
+/// dot pass partitions segments (ascending scan), the output pass
+/// partitions rows.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of range or lengths disagree.
+pub fn segment_softmax_grad(
+    y: &[f32],
+    g: &[f32],
+    seg: &[u32],
+    seg_dot: &mut [f32],
+    da: &mut [f32],
+    pool: &Pool,
+) {
+    let n = y.len();
+    assert_eq!(g.len(), n, "grad shape");
+    assert_eq!(seg.len(), n, "segment ids must cover every row");
+    assert_eq!(da.len(), n, "output shape");
+    let num_segments = seg_dot.len();
+    for &s in seg {
+        assert!((s as usize) < num_segments, "segment id {s} out of range");
+    }
+    if n == 0 {
+        return;
+    }
+    let wide = par(6 * n, pool);
+    let dot_run = |seg0: usize, chunk: &mut [f32]| {
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            if s >= seg0 && s < seg0 + chunk.len() {
+                chunk[s - seg0] += y[i] * g[i];
+            }
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(seg_dot, 1, 1, dot_run);
+    } else {
+        dot_run(0, seg_dot);
+    }
+    let dots = &*seg_dot;
+    let out_run = |i0: usize, chunk: &mut [f32]| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let at = i0 + i;
+            *o = y[at] * (g[at] - dots[seg[at] as usize]);
+        }
+    };
+    if wide {
+        pool.parallel_for_mut(da, 1, MIN_CHUNK_FLOPS / 6, out_run);
+    } else {
+        out_run(0, da);
+    }
+}
+
+/// Elementwise `out[i] = f(a[i])`, partitioned across the pool.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn unary_map<F>(a: &[f32], out: &mut [f32], f: F, pool: &Pool)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    assert_eq!(a.len(), out.len(), "unary map shape");
+    let run = |i0: usize, chunk: &mut [f32]| {
+        let src = &a[i0..i0 + chunk.len()];
+        for (o, &x) in chunk.iter_mut().zip(src) {
+            *o = f(x);
+        }
+    };
+    if par(2 * a.len(), pool) {
+        pool.parallel_for_mut(out, 1, MIN_CHUNK_FLOPS / 2, run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Elementwise `out[i] = f(a[i], b[i])`, partitioned across the pool.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn binary_map<F>(a: &[f32], b: &[f32], out: &mut [f32], f: F, pool: &Pool)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_eq!(a.len(), b.len(), "binary map shape");
+    assert_eq!(a.len(), out.len(), "binary map shape");
+    let run = |i0: usize, chunk: &mut [f32]| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = f(a[i0 + i], b[i0 + i]);
+        }
+    };
+    if par(2 * a.len(), pool) {
+        pool.parallel_for_mut(out, 1, MIN_CHUNK_FLOPS / 2, run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Row scaling: `out` row `r` is `a` row `r` times `factors[r]`
+/// (GCN normalization, attention weighting, and their backward passes).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn row_scale(a: &[f32], m: usize, factors: &[f32], out: &mut [f32], pool: &Pool) {
+    assert_eq!(a.len(), out.len(), "row scale shape");
+    if m == 0 {
+        return;
+    }
+    assert_eq!(a.len(), factors.len() * m, "one factor per row");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+            let f = factors[row0 + r];
+            for (o, &x) in o_row.iter_mut().zip(&a[(row0 + r) * m..(row0 + r + 1) * m]) {
+                *o = x * f;
+            }
+        }
+    };
+    if par(2 * a.len(), pool) {
+        pool.parallel_for_mut(out, m, min_rows(2 * m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Per-row dot products `out[r] = a_row_r . b_row_r` (the attention
+/// column's backward pass).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn row_dot(a: &[f32], b: &[f32], m: usize, out: &mut [f32], pool: &Pool) {
+    assert_eq!(a.len(), b.len(), "row dot shape");
+    if m == 0 {
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        return;
+    }
+    assert_eq!(a.len(), out.len() * m, "row dot output shape");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o) in chunk.iter_mut().enumerate() {
+            let at = (row0 + r) * m;
+            let mut acc = 0.0f32;
+            for (&x, &y) in a[at..at + m].iter().zip(&b[at..at + m]) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+    if par(2 * a.len(), pool) {
+        pool.parallel_for_mut(out, 1, min_rows(2 * m).max(1), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Broadcast row addition `out = a + bias` with `bias` of length `m`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn add_bias(a: &[f32], bias: &[f32], out: &mut [f32], pool: &Pool) {
+    let m = bias.len();
+    assert_eq!(a.len(), out.len(), "add bias shape");
+    if m == 0 {
+        return;
+    }
+    assert_eq!(a.len() % m, 0, "rows must match bias width");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+            let a_row = &a[(row0 + r) * m..(row0 + r + 1) * m];
+            for ((o, &x), &b) in o_row.iter_mut().zip(a_row).zip(bias) {
+                *o = x + b;
+            }
+        }
+    };
+    if par(2 * a.len(), pool) {
+        pool.parallel_for_mut(out, m, min_rows(2 * m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Fills each `m`-wide row `r` of `out` with `col[r]` (row-sum backward).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn rows_from_col(col: &[f32], m: usize, out: &mut [f32], pool: &Pool) {
+    if m == 0 {
+        return;
+    }
+    assert_eq!(out.len(), col.len() * m, "broadcast shape");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+            o_row.fill(col[row0 + r]);
+        }
+    };
+    if par(out.len(), pool) {
+        pool.parallel_for_mut(out, m, min_rows(m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Row-wise sums `out[r] = sum(a row r)`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn row_sums(a: &[f32], m: usize, out: &mut [f32], pool: &Pool) {
+    if m == 0 {
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        return;
+    }
+    assert_eq!(a.len(), out.len() * m, "row sums shape");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o) in chunk.iter_mut().enumerate() {
+            let at = (row0 + r) * m;
+            *o = a[at..at + m].iter().sum();
+        }
+    };
+    if par(a.len(), pool) {
+        pool.parallel_for_mut(out, 1, min_rows(m).max(1), run);
+    } else {
+        run(0, out);
+    }
+}
+
+/// Column concatenation: `out` row `r` is `a` row `r` (`ma` wide)
+/// followed by `b` row `r` (`mb` wide).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn concat_cols(a: &[f32], ma: usize, b: &[f32], mb: usize, out: &mut [f32], pool: &Pool) {
+    let m = ma + mb;
+    if m == 0 {
+        return;
+    }
+    assert_eq!(out.len() % m, 0, "out must hold whole rows");
+    let n = out.len() / m;
+    assert_eq!(a.len(), n * ma, "left operand shape");
+    assert_eq!(b.len(), n * mb, "right operand shape");
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+            let at = row0 + r;
+            o_row[..ma].copy_from_slice(&a[at * ma..(at + 1) * ma]);
+            o_row[ma..].copy_from_slice(&b[at * mb..(at + 1) * mb]);
+        }
+    };
+    if par(out.len(), pool) {
+        pool.parallel_for_mut(out, m, min_rows(m), run);
+    } else {
+        run(0, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splpg_rng::{Rng, SeedableRng};
+
+    const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+    fn rng(seed: u64) -> splpg_rng::rngs::StdRng {
+        splpg_rng::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng(seed);
+        (0..len).map(|_| r.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn rand_idx(len: usize, n: usize, seed: u64) -> Vec<u32> {
+        let mut r = rng(seed);
+        (0..len).map(|_| r.gen_range(0..n) as u32).collect()
+    }
+
+    // Shapes large enough that `par()` takes the fan-out path on
+    // multi-thread pools, so 1-vs-N compares scalar vs parallel.
+    const EDGES: usize = 300_000;
+    const NODES: usize = 50_000;
+    const SEGS: usize = 40_000;
+    const DIM: usize = 8;
+
+    #[test]
+    fn gather_rows_bit_identical_across_threads() {
+        let a = rand_vec(NODES * DIM, 1);
+        let idx = rand_idx(EDGES, NODES, 2);
+        let mut reference = vec![0.0; EDGES * DIM];
+        gather_rows(&a, DIM, &idx, &mut reference, &Pool::new(1));
+        for t in THREADS {
+            let mut out = vec![0.0; EDGES * DIM];
+            gather_rows(&a, DIM, &idx, &mut out, &Pool::new(t));
+            assert_eq!(out, reference, "gather_rows at {t} threads");
+        }
+    }
+
+    #[test]
+    fn gather_rows_grad_bit_identical_across_threads() {
+        let grad = rand_vec(EDGES * DIM, 3);
+        let idx = rand_idx(EDGES, NODES, 4);
+        let mut reference = vec![0.0; NODES * DIM];
+        gather_rows_grad(&grad, DIM, &idx, &mut reference, &Pool::new(1));
+        for t in THREADS {
+            let mut da = vec![0.0; NODES * DIM];
+            gather_rows_grad(&grad, DIM, &idx, &mut da, &Pool::new(t));
+            assert_eq!(da, reference, "gather_rows_grad at {t} threads");
+        }
+    }
+
+    #[test]
+    fn segment_sum_bit_identical_across_threads() {
+        let a = rand_vec(EDGES * DIM, 5);
+        let seg = rand_idx(EDGES, SEGS, 6);
+        let mut reference = vec![0.0; SEGS * DIM];
+        segment_sum(&a, DIM, &seg, &mut reference, &Pool::new(1));
+        for t in THREADS {
+            let mut out = vec![0.0; SEGS * DIM];
+            segment_sum(&a, DIM, &seg, &mut out, &Pool::new(t));
+            assert_eq!(out, reference, "segment_sum at {t} threads");
+        }
+    }
+
+    #[test]
+    fn segment_sum_grad_bit_identical_across_threads() {
+        let grad = rand_vec(SEGS * DIM, 7);
+        let seg = rand_idx(EDGES, SEGS, 8);
+        let mut reference = vec![0.0; EDGES * DIM];
+        segment_sum_grad(&grad, DIM, &seg, &mut reference, &Pool::new(1));
+        for t in THREADS {
+            let mut da = vec![0.0; EDGES * DIM];
+            segment_sum_grad(&grad, DIM, &seg, &mut da, &Pool::new(t));
+            assert_eq!(da, reference, "segment_sum_grad at {t} threads");
+        }
+    }
+
+    #[test]
+    fn segment_softmax_bit_identical_across_threads_and_matches_fused_scalar() {
+        let n = 400_000;
+        let segs = 30_000;
+        let x = rand_vec(n, 9);
+        let seg = rand_idx(n, segs, 10);
+        // Fused scalar reference (the pre-parallel tape implementation).
+        let mut fmax = vec![f32::NEG_INFINITY; segs];
+        for (i, &s) in seg.iter().enumerate() {
+            fmax[s as usize] = fmax[s as usize].max(x[i]);
+        }
+        let mut fden = vec![0.0f32; segs];
+        let mut fused = vec![0.0f32; n];
+        for (i, &s) in seg.iter().enumerate() {
+            let e = (x[i] - fmax[s as usize]).exp();
+            fused[i] = e;
+            fden[s as usize] += e;
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            fused[i] /= fden[s as usize].max(f32::MIN_POSITIVE);
+        }
+        for t in THREADS {
+            let mut max = vec![f32::NEG_INFINITY; segs];
+            let mut denom = vec![0.0; segs];
+            let mut out = vec![0.0; n];
+            segment_softmax(&x, &seg, &mut max, &mut denom, &mut out, &Pool::new(t));
+            assert_eq!(out, fused, "segment_softmax at {t} threads");
+        }
+    }
+
+    #[test]
+    fn segment_softmax_grad_bit_identical_across_threads() {
+        let n = 400_000;
+        let segs = 30_000;
+        let y = rand_vec(n, 11);
+        let g = rand_vec(n, 12);
+        let seg = rand_idx(n, segs, 13);
+        let mut ref_dot = vec![0.0; segs];
+        let mut reference = vec![0.0; n];
+        segment_softmax_grad(&y, &g, &seg, &mut ref_dot, &mut reference, &Pool::new(1));
+        for t in THREADS {
+            let mut dot = vec![0.0; segs];
+            let mut da = vec![0.0; n];
+            segment_softmax_grad(&y, &g, &seg, &mut dot, &mut da, &Pool::new(t));
+            assert_eq!(da, reference, "segment_softmax_grad at {t} threads");
+            assert_eq!(dot, ref_dot, "seg_dot at {t} threads");
+        }
+    }
+
+    #[test]
+    fn elementwise_and_row_kernels_bit_identical_across_threads() {
+        let n = 300_000;
+        let m = 8;
+        let a = rand_vec(n * m, 14);
+        let b = rand_vec(n * m, 15);
+        let factors = rand_vec(n, 16);
+        let bias = rand_vec(m, 17);
+        for t in THREADS {
+            let pool = Pool::new(t);
+            let one = Pool::new(1);
+            let mut x = vec![0.0; n * m];
+            let mut y = vec![0.0; n * m];
+            unary_map(&a, &mut x, |v| v.max(0.0), &pool);
+            unary_map(&a, &mut y, |v| v.max(0.0), &one);
+            assert_eq!(x, y, "unary at {t}");
+            binary_map(&a, &b, &mut x, |u, v| u * v, &pool);
+            binary_map(&a, &b, &mut y, |u, v| u * v, &one);
+            assert_eq!(x, y, "binary at {t}");
+            row_scale(&a, m, &factors, &mut x, &pool);
+            row_scale(&a, m, &factors, &mut y, &one);
+            assert_eq!(x, y, "row_scale at {t}");
+            add_bias(&a, &bias, &mut x, &pool);
+            add_bias(&a, &bias, &mut y, &one);
+            assert_eq!(x, y, "add_bias at {t}");
+            let mut cx = vec![0.0; n];
+            let mut cy = vec![0.0; n];
+            row_dot(&a, &b, m, &mut cx, &pool);
+            row_dot(&a, &b, m, &mut cy, &one);
+            assert_eq!(cx, cy, "row_dot at {t}");
+            row_sums(&a, m, &mut cx, &pool);
+            row_sums(&a, m, &mut cy, &one);
+            assert_eq!(cx, cy, "row_sums at {t}");
+            rows_from_col(&factors, m, &mut x, &pool);
+            rows_from_col(&factors, m, &mut y, &one);
+            assert_eq!(x, y, "rows_from_col at {t}");
+        }
+    }
+
+    #[test]
+    fn concat_cols_matches_scalar_layout() {
+        let a = rand_vec(5 * 2, 18);
+        let b = rand_vec(5 * 3, 19);
+        let mut out = vec![0.0; 5 * 5];
+        concat_cols(&a, 2, &b, 3, &mut out, &Pool::new(4));
+        for r in 0..5 {
+            assert_eq!(&out[r * 5..r * 5 + 2], &a[r * 2..(r + 1) * 2]);
+            assert_eq!(&out[r * 5 + 2..r * 5 + 5], &b[r * 3..(r + 1) * 3]);
+        }
+    }
+
+    #[test]
+    fn small_shapes_stay_on_the_scalar_path() {
+        // Below the flop threshold the pool must not be consulted: a
+        // panicking closure inside Pool would fire if fan-out happened.
+        let a = rand_vec(6 * 2, 20);
+        let idx = vec![0u32, 3, 5, 1];
+        let mut out = vec![0.0; 4 * 2];
+        gather_rows(&a, 2, &idx, &mut out, &Pool::new(8));
+        for (i, &src) in idx.iter().enumerate() {
+            assert_eq!(&out[i * 2..(i + 1) * 2], &a[src as usize * 2..(src as usize + 1) * 2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_checks_bounds() {
+        let a = vec![0.0; 4];
+        let mut out = vec![0.0; 2];
+        gather_rows(&a, 2, &[7], &mut out, &Pool::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_sum_checks_bounds() {
+        let a = vec![0.0; 4];
+        let mut out = vec![0.0; 2];
+        segment_sum(&a, 2, &[0, 3], &mut out, &Pool::new(1));
+    }
+}

@@ -1,5 +1,7 @@
 use splpg_rng::Rng;
 
+use crate::arena::{ArenaStats, TapeArena};
+use crate::segment;
 use crate::Tensor;
 
 /// Handle to a value recorded on a [`Tape`].
@@ -10,6 +12,9 @@ use crate::Tensor;
 pub struct Var(usize);
 
 /// Gradients produced by [`Tape::backward`], addressable by [`Var`].
+///
+/// Hand the struct back to [`Tape::recycle_gradients`] once the wanted
+/// gradients have been taken, so the next step reuses its storage.
 #[derive(Debug)]
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
@@ -63,10 +68,17 @@ struct Node {
 
 /// Arena-based reverse-mode autograd tape.
 ///
-/// Create one tape per forward pass (mini-batch), record operations through
-/// its methods, then call [`Tape::backward`] on the scalar loss. The tape
-/// owns all intermediate values; leaves are snapshots of parameters or
-/// inputs.
+/// Record operations through its methods, then call [`Tape::backward`] on
+/// the scalar loss. The tape owns all intermediate values; leaves are
+/// snapshots of parameters or inputs.
+///
+/// Trainers hold **one tape across steps**: [`Tape::reset`] clears the
+/// recorded graph while keeping every backing buffer pooled in the
+/// tape's arena, so step N+1 reuses step N's memory and the steady-state
+/// step performs no heap allocation ([`Tape::arena_stats`] proves it).
+/// The aggregation ops (`gather_rows`, `segment_sum`, `segment_softmax`,
+/// row-wise elementwise) fan out over the global [`splpg_par`] pool with
+/// outputs bit-identical to the scalar kernels at any thread count.
 ///
 /// # Examples
 ///
@@ -78,16 +90,21 @@ struct Node {
 /// let loss = t.sum_all(y);
 /// let grads = t.backward(loss);
 /// assert_eq!(grads.get(x).unwrap().data(), &[1.0, 0.0]);
+/// // Reuse the tape for the next step without reallocating:
+/// t.recycle_gradients(grads);
+/// t.reset();
+/// assert!(t.is_empty());
 /// ```
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    arena: TapeArena,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape { nodes: Vec::new(), arena: TapeArena::default() }
     }
 
     /// Number of recorded nodes.
@@ -98,6 +115,72 @@ impl Tape {
     /// Whether the tape has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears the recorded graph while keeping every backing buffer —
+    /// values, op metadata, node table — pooled in the tape's arena for
+    /// the next step.
+    pub fn reset(&mut self) {
+        let Tape { nodes, arena } = self;
+        for node in nodes.drain(..) {
+            match node.op {
+                Op::Dropout { mask, .. } => arena.recycle_f32(mask),
+                Op::GatherRows { idx, .. } => arena.recycle_u32(idx),
+                Op::SegmentSum { seg, .. } | Op::SegmentSoftmax { seg, .. } => {
+                    arena.recycle_u32(seg);
+                }
+                Op::ScaleRows { factors, .. } => arena.recycle_f32(factors),
+                Op::BceWithLogits { targets, .. } => arena.recycle_f32(targets),
+                _ => {}
+            }
+            arena.recycle_tensor(node.value);
+        }
+    }
+
+    /// Returns a tensor's backing storage to the tape's arena (e.g.
+    /// parameter gradients after the optimizer step consumed them).
+    pub fn recycle(&mut self, t: Tensor) {
+        self.arena.recycle_tensor(t);
+    }
+
+    /// Returns a [`Gradients`] table and all gradients still inside it to
+    /// the arena, so the next [`Tape::backward`] reuses the storage.
+    pub fn recycle_gradients(&mut self, mut g: Gradients) {
+        for slot in g.grads.iter_mut() {
+            if let Some(t) = slot.take() {
+                self.arena.recycle_tensor(t);
+            }
+        }
+        g.grads.clear();
+        if g.grads.capacity() > self.arena.grad_slots.capacity() {
+            self.arena.grad_slots = g.grads;
+        }
+    }
+
+    /// Allocation counters for the tape's arena; the per-step delta of
+    /// [`ArenaStats::allocations`] is zero once shapes have warmed up.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Bytes of backing capacity the tape currently holds: live node
+    /// values and metadata, pooled free buffers, and the node/gradient
+    /// tables. Stable across steps once shapes have warmed up.
+    pub fn backing_bytes(&self) -> usize {
+        let mut total = self.arena.pooled_bytes();
+        total += self.nodes.capacity() * std::mem::size_of::<Node>();
+        for node in &self.nodes {
+            total += node.value.data_capacity() * 4;
+            total += 4 * match &node.op {
+                Op::Dropout { mask, .. } => mask.capacity(),
+                Op::GatherRows { idx, .. } => idx.capacity(),
+                Op::SegmentSum { seg, .. } | Op::SegmentSoftmax { seg, .. } => seg.capacity(),
+                Op::ScaleRows { factors, .. } => factors.capacity(),
+                Op::BceWithLogits { targets, .. } => targets.capacity(),
+                _ => 0,
+            };
+        }
+        total
     }
 
     /// Current value of `var`.
@@ -114,39 +197,105 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
-    /// Records an input/parameter leaf.
+    /// Records an input/parameter leaf, taking ownership of `value`.
+    ///
+    /// Prefer [`Tape::leaf_copy`] / [`Tape::leaf_with`] inside training
+    /// loops: a moved-in tensor was allocated outside the arena, so its
+    /// storage joins the pool on [`Tape::reset`] and the pool grows by
+    /// one buffer per step instead of reaching a fixed point.
     pub fn leaf(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf)
     }
 
+    /// Records a leaf holding a pooled copy of `value` — the zero-realloc
+    /// way to feed parameters into the tape every step.
+    pub fn leaf_copy(&mut self, value: &Tensor) -> Var {
+        let v = self.arena.copy_tensor(value);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Records a `rows x cols` leaf whose contents are produced by `fill`
+    /// into a cleared pooled buffer (e.g. a feature gather writing
+    /// straight into the arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` doesn't leave exactly `rows * cols` elements.
+    pub fn leaf_with(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut Vec<f32>),
+    ) -> Var {
+        let mut buf = self.arena.take_f32(rows * cols);
+        fill(&mut buf);
+        assert_eq!(buf.len(), rows * cols, "leaf_with fill length");
+        self.push(Tensor::from_raw(rows, cols, buf), Op::Leaf)
+    }
+
     /// `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul { a, b })
+        let (n, _) = self.value(a).shape();
+        let (_, m) = self.value(b).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(Tensor::from_raw(n, m, out), Op::MatMul { a, b })
     }
 
     /// Element-wise `a + b` (same shapes).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add { a, b })
+        let (n, m) = self.binary_shape(a, b);
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::binary_map(
+            self.value(a).data(),
+            self.value(b).data(),
+            &mut out,
+            |x, y| x + y,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::Add { a, b })
     }
 
     /// Element-wise `a - b` (same shapes).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub { a, b })
+        let (n, m) = self.binary_shape(a, b);
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::binary_map(
+            self.value(a).data(),
+            self.value(b).data(),
+            &mut out,
+            |x, y| x - y,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::Sub { a, b })
     }
 
     /// Element-wise `a * b` (same shapes).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul { a, b })
+        let (n, m) = self.binary_shape(a, b);
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::binary_map(
+            self.value(a).data(),
+            self.value(b).data(),
+            &mut out,
+            |x, y| x * y,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::Mul { a, b })
+    }
+
+    fn binary_shape(&self, a: Var, b: Var) -> (usize, usize) {
+        let shape = self.value(a).shape();
+        assert_eq!(shape, self.value(b).shape(), "element-wise shape mismatch");
+        shape
     }
 
     /// Scalar multiple `c * a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).scale(c);
-        self.push(v, Op::Scale { a, c })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::unary_map(self.value(a).data(), &mut out, |x| x * c, &splpg_par::global());
+        self.push(Tensor::from_raw(n, m, out), Op::Scale { a, c })
     }
 
     /// Broadcast row addition: `[n, m] + [1, m]`.
@@ -158,42 +307,59 @@ impl Tape {
         let (n, m) = self.value(a).shape();
         let bshape = self.value(bias).shape();
         assert_eq!(bshape, (1, m), "bias must be [1, {m}], got {bshape:?}");
-        let mut v = self.value(a).clone();
-        let b = self.value(bias).data().to_vec();
-        for r in 0..n {
-            for (x, &bb) in v.row_mut(r).iter_mut().zip(&b) {
-                *x += bb;
-            }
-        }
-        self.push(v, Op::AddBias { a, bias })
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::add_bias(
+            self.value(a).data(),
+            self.value(bias).data(),
+            &mut out,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::AddBias { a, bias })
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu { a })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::unary_map(self.value(a).data(), &mut out, |x| x.max(0.0), &splpg_par::global());
+        self.push(Tensor::from_raw(n, m, out), Op::Relu { a })
     }
 
     /// Leaky ReLU with the given negative slope (GAT uses 0.2).
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu { a, slope })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::unary_map(
+            self.value(a).data(),
+            &mut out,
+            |x| if x > 0.0 { x } else { slope * x },
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::LeakyRelu { a, slope })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(stable_sigmoid);
-        self.push(v, Op::Sigmoid { a })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::unary_map(self.value(a).data(), &mut out, stable_sigmoid, &splpg_par::global());
+        self.push(Tensor::from_raw(n, m, out), Op::Sigmoid { a })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(v, Op::Tanh { a })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::unary_map(self.value(a).data(), &mut out, f32::tanh, &splpg_par::global());
+        self.push(Tensor::from_raw(n, m, out), Op::Tanh { a })
     }
 
     /// Inverted dropout with keep-probability scaling. A no-op when
     /// `p <= 0`; during evaluation simply don't call it.
+    ///
+    /// The mask is drawn sequentially (one RNG call per element, in
+    /// element order) so the stream is identical at every thread count;
+    /// only the mask application fans out.
     ///
     /// # Panics
     ///
@@ -204,18 +370,20 @@ impl Tape {
             return a;
         }
         let keep = 1.0 - p;
-        let mask: Vec<f32> = self
-            .value(a)
-            .data()
-            .iter()
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
-        let src = self.value(a).clone();
-        let mut v = src;
-        for (x, &m) in v.data_mut().iter_mut().zip(&mask) {
-            *x *= m;
+        let (n, m) = self.value(a).shape();
+        let mut mask = self.arena.take_f32(n * m);
+        for _ in 0..n * m {
+            mask.push(if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 });
         }
-        self.push(v, Op::Dropout { a, mask })
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::binary_map(
+            self.value(a).data(),
+            &mask,
+            &mut out,
+            |x, mk| x * mk,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::Dropout { a, mask })
     }
 
     /// Column-wise concatenation `[n, m1] ++ [n, m2] -> [n, m1 + m2]`
@@ -228,15 +396,16 @@ impl Tape {
         let (na, ma) = self.value(a).shape();
         let (nb, mb) = self.value(b).shape();
         assert_eq!(na, nb, "concat_cols row mismatch {na} vs {nb}");
-        let mut v = Tensor::zeros(na, ma + mb);
-        for r in 0..na {
-            v.row_mut(r)[..ma].copy_from_slice(self.value(a).row(r));
-        }
-        for r in 0..nb {
-            let brow = self.value(b).row(r).to_vec();
-            v.row_mut(r)[ma..].copy_from_slice(&brow);
-        }
-        self.push(v, Op::ConcatCols { a, b })
+        let mut out = self.arena.zeroed_f32(na * (ma + mb));
+        segment::concat_cols(
+            self.value(a).data(),
+            ma,
+            self.value(b).data(),
+            mb,
+            &mut out,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(na, ma + mb, out), Op::ConcatCols { a, b })
     }
 
     /// Row gather: output row `i` is `a`'s row `idx[i]`. Rows may repeat
@@ -246,14 +415,11 @@ impl Tape {
     ///
     /// Panics if an index is out of range.
     pub fn gather_rows(&mut self, a: Var, idx: &[u32]) -> Var {
-        let (n, m) = self.value(a).shape();
-        let mut v = Tensor::zeros(idx.len(), m);
-        for (i, &src) in idx.iter().enumerate() {
-            assert!((src as usize) < n, "gather index {src} out of range {n}");
-            let row = self.value(a).row(src as usize).to_vec();
-            v.row_mut(i).copy_from_slice(&row);
-        }
-        self.push(v, Op::GatherRows { a, idx: idx.to_vec() })
+        let (_, m) = self.value(a).shape();
+        let idx_copy = self.arena.copy_u32(idx);
+        let mut out = self.arena.zeroed_f32(idx.len() * m);
+        segment::gather_rows(self.value(a).data(), m, idx, &mut out, &splpg_par::global());
+        self.push(Tensor::from_raw(idx.len(), m, out), Op::GatherRows { a, idx: idx_copy })
     }
 
     /// Segment sum: output row `s` is the sum of input rows `i` with
@@ -266,15 +432,10 @@ impl Tape {
     pub fn segment_sum(&mut self, a: Var, seg: &[u32], num_segments: usize) -> Var {
         let (n, m) = self.value(a).shape();
         assert_eq!(seg.len(), n, "segment ids must cover every row");
-        let mut v = Tensor::zeros(num_segments, m);
-        for (i, &s) in seg.iter().enumerate() {
-            assert!((s as usize) < num_segments, "segment id {s} out of range");
-            let row = self.value(a).row(i).to_vec();
-            for (o, &x) in v.row_mut(s as usize).iter_mut().zip(&row) {
-                *o += x;
-            }
-        }
-        self.push(v, Op::SegmentSum { a, seg: seg.to_vec() })
+        let seg_copy = self.arena.copy_u32(seg);
+        let mut out = self.arena.zeroed_f32(num_segments * m);
+        segment::segment_sum(self.value(a).data(), m, seg, &mut out, &splpg_par::global());
+        self.push(Tensor::from_raw(num_segments, m, out), Op::SegmentSum { a, seg: seg_copy })
     }
 
     /// Multiplies row `i` by the constant `factors[i]` (no gradient flows
@@ -285,15 +446,12 @@ impl Tape {
     ///
     /// Panics if `factors.len()` differs from the row count.
     pub fn scale_rows(&mut self, a: Var, factors: &[f32]) -> Var {
-        let (n, _m) = self.value(a).shape();
+        let (n, m) = self.value(a).shape();
         assert_eq!(factors.len(), n, "one factor per row required");
-        let mut v = self.value(a).clone();
-        for (r, &f) in factors.iter().enumerate() {
-            for x in v.row_mut(r) {
-                *x *= f;
-            }
-        }
-        self.push(v, Op::ScaleRows { a, factors: factors.to_vec() })
+        let fac_copy = self.arena.copy_f32(factors);
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::row_scale(self.value(a).data(), m, factors, &mut out, &splpg_par::global());
+        self.push(Tensor::from_raw(n, m, out), Op::ScaleRows { a, factors: fac_copy })
     }
 
     /// Multiplies each row of `a` (`[n, m]`) by the matching entry of the
@@ -303,16 +461,17 @@ impl Tape {
     ///
     /// Panics if shapes are incompatible.
     pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
-        let (n, _m) = self.value(a).shape();
+        let (n, m) = self.value(a).shape();
         assert_eq!(self.value(col).shape(), (n, 1), "col must be [{n}, 1]");
-        let colv = self.value(col).data().to_vec();
-        let mut v = self.value(a).clone();
-        for (r, &c) in colv.iter().enumerate() {
-            for x in v.row_mut(r) {
-                *x *= c;
-            }
-        }
-        self.push(v, Op::MulColBroadcast { a, col })
+        let mut out = self.arena.zeroed_f32(n * m);
+        segment::row_scale(
+            self.value(a).data(),
+            m,
+            self.value(col).data(),
+            &mut out,
+            &splpg_par::global(),
+        );
+        self.push(Tensor::from_raw(n, m, out), Op::MulColBroadcast { a, col })
     }
 
     /// Numerically-stable softmax over segments of a `[n, 1]` column:
@@ -326,41 +485,44 @@ impl Tape {
         let (n, m) = self.value(a).shape();
         assert_eq!(m, 1, "segment_softmax expects a column tensor");
         assert_eq!(seg.len(), n, "segment ids must cover every row");
-        let x = self.value(a).data();
-        let mut max = vec![f32::NEG_INFINITY; num_segments];
-        for (i, &s) in seg.iter().enumerate() {
-            max[s as usize] = max[s as usize].max(x[i]);
-        }
-        let mut denom = vec![0.0f32; num_segments];
-        let mut out = vec![0.0f32; n];
-        for (i, &s) in seg.iter().enumerate() {
-            let e = (x[i] - max[s as usize]).exp();
-            out[i] = e;
-            denom[s as usize] += e;
-        }
-        for (i, &s) in seg.iter().enumerate() {
-            out[i] /= denom[s as usize].max(f32::MIN_POSITIVE);
-        }
-        let v = Tensor::from_vec(n, 1, out).expect("shape by construction");
-        self.push(v, Op::SegmentSoftmax { a, seg: seg.to_vec() })
+        let seg_copy = self.arena.copy_u32(seg);
+        let mut max = self.arena.take_f32(num_segments);
+        max.resize(num_segments, f32::NEG_INFINITY);
+        let mut denom = self.arena.zeroed_f32(num_segments);
+        let mut out = self.arena.zeroed_f32(n);
+        segment::segment_softmax(
+            self.value(a).data(),
+            seg,
+            &mut max,
+            &mut denom,
+            &mut out,
+            &splpg_par::global(),
+        );
+        self.arena.recycle_f32(max);
+        self.arena.recycle_f32(denom);
+        self.push(Tensor::from_raw(n, 1, out), Op::SegmentSoftmax { a, seg: seg_copy })
     }
 
     /// Row-wise sum `[n, m] -> [n, 1]` (dot-product edge scores).
     pub fn row_sum(&mut self, a: Var) -> Var {
-        let v = self.value(a).row_sums();
-        self.push(v, Op::RowSum { a })
+        let (n, m) = self.value(a).shape();
+        let mut out = self.arena.zeroed_f32(n);
+        segment::row_sums(self.value(a).data(), m, &mut out, &splpg_par::global());
+        self.push(Tensor::from_raw(n, 1, out), Op::RowSum { a })
     }
 
     /// Mean of all elements as a `[1, 1]` scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]).expect("scalar");
-        self.push(v, Op::MeanAll { a })
+        let v = self.value(a).mean();
+        let t = self.arena.filled_tensor(1, 1, v);
+        self.push(t, Op::MeanAll { a })
     }
 
     /// Sum of all elements as a `[1, 1]` scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]).expect("scalar");
-        self.push(v, Op::SumAll { a })
+        let v = self.value(a).sum();
+        let t = self.arena.filled_tensor(1, 1, v);
+        self.push(t, Op::SumAll { a })
     }
 
     /// Mean binary cross-entropy between logits `a` (`[n, 1]`) and 0/1
@@ -381,210 +543,244 @@ impl Tape {
             let loss = zi.max(0.0) - zi * ti + (1.0 + (-zi.abs()).exp()).ln();
             total += loss as f64;
         }
-        let v = Tensor::from_vec(1, 1, vec![(total / n as f64) as f32]).expect("scalar");
-        self.push(v, Op::BceWithLogits { a, targets: targets.to_vec() })
+        let t_copy = self.arena.copy_f32(targets);
+        let v = self.arena.filled_tensor(1, 1, (total / n as f64) as f32);
+        self.push(v, Op::BceWithLogits { a, targets: t_copy })
     }
 
     /// Runs reverse-mode differentiation from the scalar `loss` node and
-    /// returns per-var gradients.
+    /// returns per-var gradients (backed by pooled arena storage; return
+    /// them via [`Tape::recycle_gradients`]).
     ///
     /// # Panics
     ///
     /// Panics if `loss` is not a `[1, 1]` scalar.
-    pub fn backward(&self, loss: Var) -> Gradients {
+    pub fn backward(&mut self, loss: Var) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "backward expects a scalar loss");
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::ones(1, 1));
+        let mut grads = std::mem::take(&mut self.arena.grad_slots);
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
+        let seed = self.arena.filled_tensor(1, 1, 1.0);
+        grads[loss.0] = Some(seed);
+        let Tape { nodes, arena } = self;
         for id in (0..=loss.0).rev() {
             let Some(grad) = grads[id].take() else { continue };
-            self.accumulate(id, &grad, &mut grads);
+            accumulate(nodes, arena, id, &grad, &mut grads);
             grads[id] = Some(grad);
         }
         Gradients { grads }
     }
+}
 
-    fn add_grad(grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
-        match &mut grads[var.0] {
-            Some(g) => g.axpy(1.0, &delta),
-            slot @ None => *slot = Some(delta),
+fn add_grad(arena: &mut TapeArena, grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
+    match &mut grads[var.0] {
+        Some(g) => {
+            g.axpy(1.0, &delta);
+            arena.recycle_tensor(delta);
         }
+        slot @ None => *slot = Some(delta),
     }
+}
 
-    #[allow(clippy::too_many_lines)]
-    fn accumulate(&self, id: usize, grad: &Tensor, grads: &mut [Option<Tensor>]) {
-        match &self.nodes[id].op {
-            Op::Leaf => {}
-            Op::MatMul { a, b } => {
-                let da = grad.matmul_nt(self.value(*b));
-                let db = self.value(*a).matmul_tn(grad);
-                Self::add_grad(grads, *a, da);
-                Self::add_grad(grads, *b, db);
-            }
-            Op::Add { a, b } => {
-                Self::add_grad(grads, *a, grad.clone());
-                Self::add_grad(grads, *b, grad.clone());
-            }
-            Op::Sub { a, b } => {
-                Self::add_grad(grads, *a, grad.clone());
-                Self::add_grad(grads, *b, grad.scale(-1.0));
-            }
-            Op::Mul { a, b } => {
-                Self::add_grad(grads, *a, grad.mul(self.value(*b)));
-                Self::add_grad(grads, *b, grad.mul(self.value(*a)));
-            }
-            Op::Scale { a, c } => {
-                Self::add_grad(grads, *a, grad.scale(*c));
-            }
-            Op::AddBias { a, bias } => {
-                Self::add_grad(grads, *a, grad.clone());
-                Self::add_grad(grads, *bias, grad.col_sums());
-            }
-            Op::Relu { a } => {
-                let mut d = grad.clone();
-                for (g, &x) in d.data_mut().iter_mut().zip(self.value(*a).data()) {
-                    if x <= 0.0 {
-                        *g = 0.0;
-                    }
+#[allow(clippy::too_many_lines)]
+fn accumulate(
+    nodes: &[Node],
+    arena: &mut TapeArena,
+    id: usize,
+    grad: &Tensor,
+    grads: &mut [Option<Tensor>],
+) {
+    let pool = splpg_par::global();
+    let val = |v: &Var| &nodes[v.0].value;
+    match &nodes[id].op {
+        Op::Leaf => {}
+        Op::MatMul { a, b } => {
+            let (ar, ac) = val(a).shape();
+            let mut da = arena.zeroed_f32(ar * ac);
+            grad.matmul_nt_into(val(b), &mut da);
+            let (br, bc) = val(b).shape();
+            let mut db = arena.zeroed_f32(br * bc);
+            val(a).matmul_tn_into(grad, &mut db);
+            add_grad(arena, grads, *a, Tensor::from_raw(ar, ac, da));
+            add_grad(arena, grads, *b, Tensor::from_raw(br, bc, db));
+        }
+        Op::Add { a, b } => {
+            let da = arena.copy_tensor(grad);
+            add_grad(arena, grads, *a, da);
+            let db = arena.copy_tensor(grad);
+            add_grad(arena, grads, *b, db);
+        }
+        Op::Sub { a, b } => {
+            let da = arena.copy_tensor(grad);
+            add_grad(arena, grads, *a, da);
+            let (n, m) = grad.shape();
+            let mut db = arena.zeroed_f32(n * m);
+            segment::unary_map(grad.data(), &mut db, |g| -g, &pool);
+            add_grad(arena, grads, *b, Tensor::from_raw(n, m, db));
+        }
+        Op::Mul { a, b } => {
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(grad.data(), val(b).data(), &mut da, |g, y| g * y, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+            let mut db = arena.zeroed_f32(n * m);
+            segment::binary_map(grad.data(), val(a).data(), &mut db, |g, x| g * x, &pool);
+            add_grad(arena, grads, *b, Tensor::from_raw(n, m, db));
+        }
+        Op::Scale { a, c } => {
+            let (n, m) = grad.shape();
+            let c = *c;
+            let mut da = arena.zeroed_f32(n * m);
+            segment::unary_map(grad.data(), &mut da, |g| g * c, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::AddBias { a, bias } => {
+            let da = arena.copy_tensor(grad);
+            add_grad(arena, grads, *a, da);
+            let (gn, gm) = grad.shape();
+            let mut dbias = arena.zeroed_f32(gm);
+            for r in 0..gn {
+                for (o, &g) in dbias.iter_mut().zip(grad.row(r)) {
+                    *o += g;
                 }
-                Self::add_grad(grads, *a, d);
             }
-            Op::LeakyRelu { a, slope } => {
-                let mut d = grad.clone();
-                for (g, &x) in d.data_mut().iter_mut().zip(self.value(*a).data()) {
-                    if x <= 0.0 {
-                        *g *= slope;
-                    }
-                }
-                Self::add_grad(grads, *a, d);
+            add_grad(arena, grads, *bias, Tensor::from_raw(1, gm, dbias));
+        }
+        Op::Relu { a } => {
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(
+                grad.data(),
+                val(a).data(),
+                &mut da,
+                |g, x| if x <= 0.0 { 0.0 } else { g },
+                &pool,
+            );
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::LeakyRelu { a, slope } => {
+            let (n, m) = grad.shape();
+            let slope = *slope;
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(
+                grad.data(),
+                val(a).data(),
+                &mut da,
+                |g, x| if x <= 0.0 { g * slope } else { g },
+                &pool,
+            );
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::Sigmoid { a } => {
+            let out = &nodes[id].value;
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(
+                grad.data(),
+                out.data(),
+                &mut da,
+                |g, s| g * (s * (1.0 - s)),
+                &pool,
+            );
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::Tanh { a } => {
+            let out = &nodes[id].value;
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(
+                grad.data(),
+                out.data(),
+                &mut da,
+                |g, t| g * (1.0 - t * t),
+                &pool,
+            );
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::Dropout { a, mask } => {
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::binary_map(grad.data(), mask, &mut da, |g, mk| g * mk, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::ConcatCols { a, b } => {
+            let (n, ma) = val(a).shape();
+            let (_, mb) = val(b).shape();
+            let mut da = arena.zeroed_f32(n * ma);
+            let mut db = arena.zeroed_f32(n * mb);
+            for r in 0..n {
+                let g_row = grad.row(r);
+                da[r * ma..(r + 1) * ma].copy_from_slice(&g_row[..ma]);
+                db[r * mb..(r + 1) * mb].copy_from_slice(&g_row[ma..]);
             }
-            Op::Sigmoid { a } => {
-                let out = &self.nodes[id].value;
-                let mut d = grad.clone();
-                for (g, &s) in d.data_mut().iter_mut().zip(out.data()) {
-                    *g *= s * (1.0 - s);
-                }
-                Self::add_grad(grads, *a, d);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, ma, da));
+            add_grad(arena, grads, *b, Tensor::from_raw(n, mb, db));
+        }
+        Op::GatherRows { a, idx } => {
+            let (n, m) = val(a).shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::gather_rows_grad(grad.data(), m, idx, &mut da, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::SegmentSum { a, seg } => {
+            let (n, m) = val(a).shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::segment_sum_grad(grad.data(), m, seg, &mut da, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::ScaleRows { a, factors } => {
+            let (n, m) = grad.shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::row_scale(grad.data(), m, factors, &mut da, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::MulColBroadcast { a, col } => {
+            let (n, m) = val(a).shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::row_scale(grad.data(), m, val(col).data(), &mut da, &pool);
+            let mut dcol = arena.zeroed_f32(n);
+            segment::row_dot(grad.data(), val(a).data(), m, &mut dcol, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+            add_grad(arena, grads, *col, Tensor::from_raw(n, 1, dcol));
+        }
+        Op::SegmentSoftmax { a, seg } => {
+            // dx_i = y_i (g_i - sum_{j in segment} y_j g_j)
+            let y = nodes[id].value.data();
+            let n = y.len();
+            let num_segments = seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+            let mut seg_dot = arena.zeroed_f32(num_segments);
+            let mut da = arena.zeroed_f32(n);
+            segment::segment_softmax_grad(y, grad.data(), seg, &mut seg_dot, &mut da, &pool);
+            arena.recycle_f32(seg_dot);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, 1, da));
+        }
+        Op::RowSum { a } => {
+            let (n, m) = val(a).shape();
+            let mut da = arena.zeroed_f32(n * m);
+            segment::rows_from_col(grad.data(), m, &mut da, &pool);
+            add_grad(arena, grads, *a, Tensor::from_raw(n, m, da));
+        }
+        Op::MeanAll { a } => {
+            let (n, m) = val(a).shape();
+            let g = grad.get(0, 0) / (n * m) as f32;
+            let da = arena.filled_tensor(n, m, g);
+            add_grad(arena, grads, *a, da);
+        }
+        Op::SumAll { a } => {
+            let (n, m) = val(a).shape();
+            let g = grad.get(0, 0);
+            let da = arena.filled_tensor(n, m, g);
+            add_grad(arena, grads, *a, da);
+        }
+        Op::BceWithLogits { a, targets } => {
+            let z = val(a).data();
+            let n = z.len() as f32;
+            let g = grad.get(0, 0);
+            let mut da = arena.take_f32(z.len());
+            for (&zi, &ti) in z.iter().zip(targets) {
+                da.push(g * (stable_sigmoid(zi) - ti) / n);
             }
-            Op::Tanh { a } => {
-                let out = &self.nodes[id].value;
-                let mut d = grad.clone();
-                for (g, &t) in d.data_mut().iter_mut().zip(out.data()) {
-                    *g *= 1.0 - t * t;
-                }
-                Self::add_grad(grads, *a, d);
-            }
-            Op::Dropout { a, mask } => {
-                let mut d = grad.clone();
-                for (g, &m) in d.data_mut().iter_mut().zip(mask) {
-                    *g *= m;
-                }
-                Self::add_grad(grads, *a, d);
-            }
-            Op::ConcatCols { a, b } => {
-                let (n, ma) = self.value(*a).shape();
-                let (_, mb) = self.value(*b).shape();
-                let mut da = Tensor::zeros(n, ma);
-                let mut db = Tensor::zeros(n, mb);
-                for r in 0..n {
-                    da.row_mut(r).copy_from_slice(&grad.row(r)[..ma]);
-                    db.row_mut(r).copy_from_slice(&grad.row(r)[ma..]);
-                }
-                Self::add_grad(grads, *a, da);
-                Self::add_grad(grads, *b, db);
-            }
-            Op::GatherRows { a, idx } => {
-                let (n, m) = self.value(*a).shape();
-                let mut da = Tensor::zeros(n, m);
-                for (i, &src) in idx.iter().enumerate() {
-                    let gr = grad.row(i).to_vec();
-                    for (o, &g) in da.row_mut(src as usize).iter_mut().zip(&gr) {
-                        *o += g;
-                    }
-                }
-                Self::add_grad(grads, *a, da);
-            }
-            Op::SegmentSum { a, seg } => {
-                let (n, m) = self.value(*a).shape();
-                let mut da = Tensor::zeros(n, m);
-                for (i, &s) in seg.iter().enumerate() {
-                    da.row_mut(i).copy_from_slice(grad.row(s as usize));
-                }
-                Self::add_grad(grads, *a, da);
-            }
-            Op::ScaleRows { a, factors } => {
-                let mut d = grad.clone();
-                for (r, &f) in factors.iter().enumerate() {
-                    for g in d.row_mut(r) {
-                        *g *= f;
-                    }
-                }
-                Self::add_grad(grads, *a, d);
-            }
-            Op::MulColBroadcast { a, col } => {
-                let (n, _m) = self.value(*a).shape();
-                let colv = self.value(*col).data();
-                let mut da = grad.clone();
-                for (r, &c) in colv.iter().enumerate() {
-                    for g in da.row_mut(r) {
-                        *g *= c;
-                    }
-                }
-                let mut dcol = Tensor::zeros(n, 1);
-                for r in 0..n {
-                    let s: f32 =
-                        grad.row(r).iter().zip(self.value(*a).row(r)).map(|(&g, &x)| g * x).sum();
-                    dcol.set(r, 0, s);
-                }
-                Self::add_grad(grads, *a, da);
-                Self::add_grad(grads, *col, dcol);
-            }
-            Op::SegmentSoftmax { a, seg } => {
-                // dx_i = y_i (g_i - sum_{j in segment} y_j g_j)
-                let y = self.nodes[id].value.data();
-                let g = grad.data();
-                let num_segments =
-                    seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
-                let mut seg_dot = vec![0.0f32; num_segments];
-                for (i, &s) in seg.iter().enumerate() {
-                    seg_dot[s as usize] += y[i] * g[i];
-                }
-                let mut da = Tensor::zeros(y.len(), 1);
-                for (i, &s) in seg.iter().enumerate() {
-                    da.set(i, 0, y[i] * (g[i] - seg_dot[s as usize]));
-                }
-                Self::add_grad(grads, *a, da);
-            }
-            Op::RowSum { a } => {
-                let (n, m) = self.value(*a).shape();
-                let mut da = Tensor::zeros(n, m);
-                for r in 0..n {
-                    let g = grad.get(r, 0);
-                    for x in da.row_mut(r) {
-                        *x = g;
-                    }
-                }
-                Self::add_grad(grads, *a, da);
-            }
-            Op::MeanAll { a } => {
-                let (n, m) = self.value(*a).shape();
-                let g = grad.get(0, 0) / (n * m) as f32;
-                Self::add_grad(grads, *a, Tensor::from_fn(n, m, |_, _| g));
-            }
-            Op::SumAll { a } => {
-                let (n, m) = self.value(*a).shape();
-                let g = grad.get(0, 0);
-                Self::add_grad(grads, *a, Tensor::from_fn(n, m, |_, _| g));
-            }
-            Op::BceWithLogits { a, targets } => {
-                let z = self.value(*a).data();
-                let n = z.len() as f32;
-                let g = grad.get(0, 0);
-                let mut da = Tensor::zeros(z.len(), 1);
-                for (i, (&zi, &ti)) in z.iter().zip(targets).enumerate() {
-                    da.set(i, 0, g * (stable_sigmoid(zi) - ti) / n);
-                }
-                Self::add_grad(grads, *a, da);
-            }
+            add_grad(arena, grads, *a, Tensor::from_raw(z.len(), 1, da));
         }
     }
 }
@@ -601,6 +797,7 @@ fn stable_sigmoid(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use splpg_rng::SeedableRng;
 
     fn t(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
         Tensor::from_vec(rows, cols, data).unwrap()
@@ -744,5 +941,71 @@ mod tests {
             tape.backward(a);
         }));
         assert!(result.is_err());
+    }
+
+    /// One training-like step: forward chain over every op family,
+    /// backward, gradient harvest, recycle. Returns the loss.
+    fn fake_step(tape: &mut Tape, x: &Tensor, w: &Tensor, seed: u64) -> f32 {
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
+        tape.reset();
+        let xv = tape.leaf_copy(x);
+        let wv = tape.leaf_copy(w);
+        let idx: Vec<u32> = (0..16).map(|i| (i * 7 % x.rows()) as u32).collect();
+        let seg: Vec<u32> = (0..16).map(|i| (i % 5) as u32).collect();
+        let gathered = tape.gather_rows(xv, &idx);
+        let scaled = tape.scale_rows(gathered, &[0.5; 16]);
+        let agg = tape.segment_sum(scaled, &seg, 5);
+        let h = tape.matmul(agg, wv);
+        let act = tape.relu(h);
+        let dropped = tape.dropout(act, 0.3, &mut rng);
+        let scores = tape.row_sum(dropped);
+        let att_in = tape.scale(scores, 0.1);
+        let att = tape.segment_softmax(att_in, &[0, 0, 1, 1, 1], 2);
+        let weighted = tape.mul_col_broadcast(dropped, att);
+        let logits = tape.row_sum(weighted);
+        let loss = tape.bce_with_logits(logits, &[1.0, 0.0, 1.0, 0.0, 1.0]);
+        let out = tape.value(loss).get(0, 0);
+        let mut grads = tape.backward(loss);
+        let gw = grads.take(wv).expect("weight gradient");
+        tape.recycle(gw);
+        tape.recycle_gradients(grads);
+        out
+    }
+
+    #[test]
+    fn backing_capacity_stable_from_step_two() {
+        use splpg_rng::Rng;
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
+        let x = Tensor::from_fn(24, 6, |_, _| rng.gen_range(-1.0f32..1.0));
+        let w = Tensor::from_fn(6, 6, |_, _| rng.gen_range(-1.0f32..1.0));
+        let mut tape = Tape::new();
+        let mut bytes = Vec::new();
+        let mut allocs = Vec::new();
+        for step in 0..6 {
+            fake_step(&mut tape, &x, &w, step);
+            bytes.push(tape.backing_bytes());
+            allocs.push(tape.arena_stats().allocations());
+        }
+        // Identical shapes every step: backing capacity is a fixed point
+        // from step 2 onward, and no step after warm-up allocates.
+        assert_eq!(&bytes[1..], &vec![bytes[1]; bytes.len() - 1][..], "capacity plateau {bytes:?}");
+        for w in allocs[1..].windows(2) {
+            assert_eq!(w[0], w[1], "steady-state step allocated: {allocs:?}");
+        }
+    }
+
+    #[test]
+    fn reused_tape_reproduces_fresh_tape_losses() {
+        use splpg_rng::Rng;
+        let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(10);
+        let x = Tensor::from_fn(24, 6, |_, _| rng.gen_range(-1.0f32..1.0));
+        let w = Tensor::from_fn(6, 6, |_, _| rng.gen_range(-1.0f32..1.0));
+        let mut reused = Tape::new();
+        for step in 0..4 {
+            let a = fake_step(&mut reused, &x, &w, step);
+            let mut fresh = Tape::new();
+            let b = fake_step(&mut fresh, &x, &w, step);
+            assert_eq!(a.to_bits(), b.to_bits(), "step {step}: stale state leaked");
+        }
     }
 }

@@ -55,6 +55,23 @@ impl Tensor {
         Ok(Tensor { rows, cols, data })
     }
 
+    /// Builds from a buffer whose length is known by construction to be
+    /// `rows * cols` (the tape arena's pooled storage path).
+    pub(crate) fn from_raw(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols, "raw tensor shape");
+        Tensor { rows, cols, data }
+    }
+
+    /// Takes the backing buffer (for recycling into the tape arena).
+    pub(crate) fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Capacity of the backing buffer in elements.
+    pub(crate) fn data_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Builds element-wise from a function of `(row, col)`.
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -148,6 +165,15 @@ impl Tensor {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (n, m) = (self.rows, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        self.matmul_into(other, &mut out);
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided zero-filled
+    /// buffer (the tape arena's pooled storage path).
+    pub(crate) fn matmul_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dims: [{},{}] x [{},{}]",
@@ -155,10 +181,10 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            return self.matmul_scalar(other);
+            nn_scalar_into(&self.data, &other.data, n, k, m, out);
+        } else {
+            crate::kernels::matmul_nn_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
         }
-        let data = crate::kernels::matmul_nn(&self.data, &other.data, n, k, m, &splpg_par::global());
-        Tensor { rows: n, cols: m, data }
     }
 
     /// Scalar reference for [`Tensor::matmul`]: ikj loop order for
@@ -176,19 +202,7 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        nn_scalar_into(&self.data, &other.data, n, k, m, &mut out);
         Tensor { rows: n, cols: m, data: out }
     }
 
@@ -202,13 +216,22 @@ impl Tensor {
     ///
     /// Panics if row counts disagree.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (n, m) = (self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        self.matmul_tn_into(other, &mut out);
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-provided zero-filled
+    /// buffer.
+    pub(crate) fn matmul_tn_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.rows, other.rows, "matmul_tn row dims");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            return self.matmul_tn_scalar(other);
+            tn_scalar_into(&self.data, &other.data, k, n, m, out);
+        } else {
+            crate::kernels::matmul_tn_into(&self.data, &other.data, k, n, m, &splpg_par::global(), out);
         }
-        let data = crate::kernels::matmul_tn(&self.data, &other.data, k, n, m, &splpg_par::global());
-        Tensor { rows: n, cols: m, data }
     }
 
     /// Scalar reference for [`Tensor::matmul_tn`].
@@ -220,19 +243,7 @@ impl Tensor {
         assert_eq!(self.rows, other.rows, "matmul_tn row dims");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for kk in 0..k {
-            let a_row = &self.data[kk * n..(kk + 1) * n];
-            let b_row = &other.data[kk * m..(kk + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        tn_scalar_into(&self.data, &other.data, k, n, m, &mut out);
         Tensor { rows: n, cols: m, data: out }
     }
 
@@ -246,13 +257,22 @@ impl Tensor {
     ///
     /// Panics if column counts disagree.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (n, m) = (self.rows, other.rows);
+        let mut out = vec![0.0f32; n * m];
+        self.matmul_nt_into(other, &mut out);
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// [`Tensor::matmul_nt`] writing into a caller-provided zero-filled
+    /// buffer.
+    pub(crate) fn matmul_nt_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.cols, other.cols, "matmul_nt col dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            return self.matmul_nt_scalar(other);
+            nt_scalar_into(&self.data, &other.data, n, k, m, out);
+        } else {
+            crate::kernels::matmul_nt_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
         }
-        let data = crate::kernels::matmul_nt(&self.data, &other.data, n, k, m, &splpg_par::global());
-        Tensor { rows: n, cols: m, data }
     }
 
     /// Scalar reference for [`Tensor::matmul_nt`].
@@ -264,17 +284,7 @@ impl Tensor {
         assert_eq!(self.cols, other.cols, "matmul_nt col dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..m {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * m + j] = acc;
-            }
-        }
+        nt_scalar_into(&self.data, &other.data, n, k, m, &mut out);
         Tensor { rows: n, cols: m, data: out }
     }
 
@@ -372,6 +382,60 @@ impl Tensor {
             out.data[r] = self.row(r).iter().sum();
         }
         out
+    }
+}
+
+/// Scalar ikj matmul into a zero-filled `[n,m]` buffer: the bit-exact
+/// reference the parallel kernel is held to.
+fn nn_scalar_into(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * m..(i + 1) * m];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * m..(kk + 1) * m];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Scalar `a^T b` into a zero-filled `[n,m]` buffer (`a` is `[k,n]`).
+fn tn_scalar_into(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
+    for kk in 0..k {
+        let a_row = &a[kk * n..(kk + 1) * n];
+        let b_row = &b[kk * m..(kk + 1) * m];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let o_row = &mut out[i * m..(i + 1) * m];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Scalar `a b^T` into a `[n,m]` buffer (`b` is `[m,k]`); every element
+/// is overwritten by a single left-to-right dot product.
+fn nt_scalar_into(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), n * m, "matmul output shape");
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..m {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * m + j] = acc;
+        }
     }
 }
 

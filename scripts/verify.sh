@@ -26,6 +26,10 @@ if [ "$chaos1" != "$chaos4" ]; then
 fi
 echo "$chaos1"
 
+echo "== train-step bench smoke (zero-realloc arena) =="
+# Exits nonzero if any steady-state step allocates arena buffers.
+SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin train_step
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -74,6 +74,65 @@ fn splpg_run_invariant_to_thread_count() {
     assert_eq!(single.comm.total_bytes(), pooled.comm.total_bytes());
 }
 
+#[test]
+fn tape_loss_trajectory_bit_identical_across_thread_counts() {
+    // The parallel aggregation kernels (gather_rows / segment_sum /
+    // segment_softmax and friends) partition by destination row, never by
+    // thread id, so a reused-arena training loop must produce bit-identical
+    // per-step losses on a 1-thread and a 4-thread pool. Sizes sit above
+    // the ≥2M-flop parallel threshold so the pooled run actually takes the
+    // parallel path.
+    use splpg::tensor::{Tape, Tensor};
+    use splpg_rng::rngs::StdRng;
+    use splpg_rng::{Rng, SeedableRng};
+
+    const NODES: usize = 50_000;
+    const EDGES: usize = 300_000;
+    const DIM: usize = 8;
+
+    fn trajectory(threads: usize) -> Vec<u32> {
+        splpg_par::set_num_threads(threads);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut w = Tensor::from_fn(DIM, DIM, |_, _| rng.gen_range(-0.5f32..0.5));
+        let x = Tensor::from_fn(NODES, DIM, |_, _| rng.gen_range(-1.0f32..1.0));
+        let idx: Vec<u32> = (0..EDGES).map(|_| rng.gen_range(0..NODES as u32)).collect();
+        let seg: Vec<u32> = (0..EDGES).map(|i| (i * NODES / EDGES) as u32).collect();
+        let labels: Vec<f32> = (0..NODES).map(|i| (i % 2) as f32).collect();
+
+        let mut tape = Tape::new();
+        let mut losses = Vec::new();
+        for _step in 0..4 {
+            tape.reset();
+            let wv = tape.leaf_copy(&w);
+            let xv = tape.leaf_copy(&x);
+            let gathered = tape.gather_rows(xv, &idx);
+            let product = tape.matmul(gathered, wv);
+            let hidden = tape.relu(product);
+            let scores = tape.row_sum(hidden);
+            let attn = tape.segment_softmax(scores, &seg, NODES);
+            let weighted = tape.mul_col_broadcast(hidden, attn);
+            let pooled = tape.segment_sum(weighted, &seg, NODES);
+            let logits = tape.row_sum(pooled);
+            let loss = tape.bce_with_logits(logits, &labels);
+            losses.push(tape.value(loss).get(0, 0).to_bits());
+
+            let mut grads = tape.backward(loss);
+            let gw = grads.take(wv).expect("weight gradient");
+            w = Tensor::from_fn(DIM, DIM, |r, c| w.get(r, c) - 0.1 * gw.get(r, c));
+            tape.recycle(gw);
+            tape.recycle_gradients(grads);
+        }
+        splpg_par::set_num_threads(0);
+        losses
+    }
+
+    let single = trajectory(1);
+    let pooled = trajectory(4);
+    assert_eq!(single, pooled, "per-step losses diverged between 1 and 4 threads");
+    assert_eq!(single.len(), 4);
+    assert!(single.windows(2).any(|w| w[0] != w[1]), "training made no progress");
+}
+
 /// FNV-1a over a stream of u64 words — cheap, dependency-free, and stable
 /// across platforms for the value ranges hashed here.
 struct Fnv(u64);

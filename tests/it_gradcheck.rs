@@ -112,21 +112,14 @@ fn gradcheck_model(kind: ModelKind, seed: u64) -> Vec<(String, f64)> {
     let batch = NeighborSampler::full(cfg.layers).sample(&mut access, &seeds, &mut batch_rng);
     let input = FullFeatureAccess::new(&features).gather(batch.input_nodes());
 
-    let loss_at = |flat: &[f32]| -> f64 {
-        let mut p = params.clone();
-        p.load_flat(flat).unwrap();
-        let mut tape = splpg::tensor::Tape::new();
-        let binding = p.bind(&mut tape);
-        let x = tape.leaf(input.clone());
-        let logits = model.score_pairs(&mut tape, &binding, x, &batch, &pairs, None);
-        let loss = tape.bce_with_logits(logits, &labels);
-        tape.value(loss).get(0, 0) as f64
-    };
+    // One tape serves the analytic pass and every finite-difference
+    // evaluation below: `reset()` recycles its arena between passes, so
+    // the check also exercises the buffer-reuse path the trainers run on.
+    let mut tape = splpg::tensor::Tape::new();
 
     // Analytic gradients, flattened in canonical parameter order.
-    let mut tape = splpg::tensor::Tape::new();
     let binding = params.bind(&mut tape);
-    let x = tape.leaf(input.clone());
+    let x = tape.leaf_copy(&input);
     let logits = model.score_pairs(&mut tape, &binding, x, &batch, &pairs, None);
     let loss = tape.bce_with_logits(logits, &labels);
     let mut grads = tape.backward(loss);
@@ -136,6 +129,18 @@ fn gradcheck_model(kind: ModelKind, seed: u64) -> Vec<(String, f64)> {
         .flat_map(Tensor::data)
         .copied()
         .collect();
+    tape.recycle_gradients(grads);
+
+    let mut loss_at = |flat: &[f32]| -> f64 {
+        let mut p = params.clone();
+        p.load_flat(flat).unwrap();
+        tape.reset();
+        let binding = p.bind(&mut tape);
+        let x = tape.leaf_copy(&input);
+        let logits = model.score_pairs(&mut tape, &binding, x, &batch, &pairs, None);
+        let loss = tape.bce_with_logits(logits, &labels);
+        tape.value(loss).get(0, 0) as f64
+    };
 
     let flat = params.to_flat();
     assert_eq!(analytic.len(), flat.len(), "one gradient per parameter element");
@@ -230,6 +235,17 @@ fn gatv2_gradients_match_finite_differences() {
 #[test]
 fn gin_gradients_match_finite_differences() {
     assert_gradients_match(ModelKind::Gin, 15);
+}
+
+#[test]
+fn gcn_gradients_match_on_a_pooled_multi_thread_tape() {
+    // Same check through the arena-reusing tape with a >1-thread pool
+    // active: kernel outputs are thread-count invariant by construction,
+    // so the pooled run must agree with finite differences exactly as the
+    // default run does.
+    splpg_par::set_num_threads(4);
+    assert_gradients_match(ModelKind::Gcn, 11);
+    splpg_par::set_num_threads(0);
 }
 
 #[test]
