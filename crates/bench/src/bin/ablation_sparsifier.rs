@@ -13,6 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("effective-resistance (paper)", SparsifierKind::Degree),
         ("uniform", SparsifierKind::Uniform),
         ("spanning-forest", SparsifierKind::SpanningForest),
+        ("exact ER (per-node engine)", SparsifierKind::Exact),
+        ("JL sketch (64 proj)", SparsifierKind::Jl),
     ];
     print_header(
         &format!(

@@ -1,0 +1,224 @@
+//! End-to-end bench *and* smoke gate for the effective-resistance
+//! solver engine.
+//!
+//! On the kernel-bench community graph (200 nodes / 800 edges) it:
+//!
+//! 1. runs the pre-PR per-edge path (one unpreconditioned
+//!    [`solve_laplacian`] per edge) as the baseline, recording its total
+//!    CG iterations and matvec work (`iterations x n`) plus wall time;
+//! 2. runs `ExactSparsifier`'s engine path (Jacobi-PCG, blocked
+//!    multi-RHS, per-node reuse) at 1/2/4/8 threads, recording ns per
+//!    resistance set, solve/iteration counts, matvec work, and
+//!    steady-state workspace allocations after warm-up;
+//! 3. runs the warm-start pair path (`effective_resistances_with_stats`)
+//!    and records warm-start hits and estimated saved iterations;
+//! 4. writes everything to `BENCH_sparsify.json` at the repo root.
+//!
+//! **Gate** (exit 1, for `scripts/verify.sh`):
+//! * steady-state engine solves must not allocate;
+//! * the engine's total PCG iterations must not exceed the
+//!   unpreconditioned per-edge baseline's;
+//! * total matvec work must drop by at least 5x vs the baseline;
+//! * every engine resistance must match the per-edge reference within
+//!   1e-6 relative error.
+//!
+//! `SPLPG_BENCH_MS` shrinks the per-measurement budget for smoke runs.
+
+use std::fmt::Write as _;
+
+use splpg_bench::timing;
+use splpg_rng::SeedableRng;
+use splpg_datasets::{generate_community_graph, CommunityGraphParams};
+use splpg_graph::{Graph, NodeId};
+use splpg_linalg::{
+    effective_resistances_with_stats, solve_laplacian, CgOptions, SolverEngine,
+};
+use splpg_sparsify::ExactSparsifier;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Matvec-work reduction the engine must deliver vs the per-edge path.
+const MIN_WORK_RATIO: f64 = 5.0;
+
+/// Maximum relative error vs the unpreconditioned reference.
+const MAX_REL_ERR: f64 = 1e-6;
+
+fn community(nodes: usize, edges: usize, seed: u64) -> Graph {
+    let params = CommunityGraphParams { nodes, edges, ..Default::default() };
+    let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(seed);
+    generate_community_graph(&params, &mut rng).expect("valid params").0
+}
+
+struct Baseline {
+    resistances: Vec<f64>,
+    iterations: u64,
+    matvec_rows: u64,
+    ns_per_set: f64,
+}
+
+/// The pre-PR path: one unpreconditioned whole-graph CG solve per edge.
+fn run_baseline(g: &Graph, pairs: &[(NodeId, NodeId)]) -> Baseline {
+    let n = g.num_nodes();
+    let mut resistances = Vec::with_capacity(pairs.len());
+    let mut iterations = 0u64;
+    for &(u, v) in pairs {
+        let mut b = vec![0.0f64; n];
+        b[u as usize] = 1.0;
+        b[v as usize] = -1.0;
+        let out = solve_laplacian(g, &b, CgOptions::default()).expect("connected graph");
+        iterations += out.iterations as u64;
+        resistances.push(out.solution[u as usize] - out.solution[v as usize]);
+    }
+    let m = timing::bench("per_edge_baseline", || {
+        let mut total = 0.0f64;
+        for &(u, v) in pairs {
+            let mut b = vec![0.0f64; n];
+            b[u as usize] = 1.0;
+            b[v as usize] = -1.0;
+            let out = solve_laplacian(g, &b, CgOptions::default()).expect("connected graph");
+            total += out.solution[u as usize] - out.solution[v as usize];
+        }
+        total
+    });
+    Baseline {
+        resistances,
+        iterations,
+        matvec_rows: iterations * n as u64,
+        ns_per_set: m.ns_per_iter,
+    }
+}
+
+fn main() {
+    let (nodes, edges) = (200usize, 800usize);
+    let g = community(nodes, edges, 6);
+    let pairs: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.src, e.dst)).collect();
+    timing::section(&format!("ER engine vs per-edge baseline ({nodes}n/{edges}e community)"));
+
+    let baseline = run_baseline(&g, &pairs);
+    println!(
+        "baseline: {} solves, {} CG iterations, matvec work {}",
+        pairs.len(),
+        baseline.iterations,
+        baseline.matvec_rows
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut json = String::from("[\n");
+    let _ = writeln!(
+        json,
+        "  {{\"op\": \"per_edge_baseline\", \"threads\": 1, \"ns_per_set\": {:.1}, \
+         \"solves\": {}, \"iterations\": {}, \"matvec_rows\": {}}},",
+        baseline.ns_per_set,
+        pairs.len(),
+        baseline.iterations,
+        baseline.matvec_rows
+    );
+
+    // Engine path at each thread count: warm up, reset counters, then
+    // measure one steady-state set for stats and the timing loop for ns.
+    let mut max_rel_err = 0.0f64;
+    for threads in THREAD_SWEEP {
+        splpg_par::set_num_threads(threads);
+        let mut engine = SolverEngine::new(&g, ExactSparsifier::engine_options());
+        let mut out = Vec::with_capacity(pairs.len());
+        engine.edge_resistances_into(&pairs, &mut out).expect("engine solve");
+        for (i, (&r, &(u, v))) in out.iter().zip(&pairs).enumerate() {
+            let reference = baseline.resistances[i];
+            let rel = (r - reference).abs() / reference.abs().max(f64::MIN_POSITIVE);
+            max_rel_err = max_rel_err.max(rel);
+            if rel > MAX_REL_ERR {
+                failures.push(format!(
+                    "edge ({u},{v}) at {threads} threads: engine {r} vs reference \
+                     {reference} (rel err {rel:.3e})"
+                ));
+            }
+        }
+        engine.reset_stats();
+        engine.edge_resistances_into(&pairs, &mut out).expect("engine solve");
+        let stats = engine.stats();
+        if stats.workspace_allocs != 0 {
+            failures.push(format!(
+                "steady-state solves allocated {} time(s) at {threads} threads",
+                stats.workspace_allocs
+            ));
+        }
+        if stats.iterations > baseline.iterations {
+            failures.push(format!(
+                "PCG iterations {} exceed unpreconditioned baseline {} at {threads} threads",
+                stats.iterations, baseline.iterations
+            ));
+        }
+        let work_ratio = baseline.matvec_rows as f64 / stats.matvec_rows.max(1) as f64;
+        let m = timing::bench(&format!("engine_resistances_t{threads}"), || {
+            engine.edge_resistances_into(&pairs, &mut out).expect("engine solve");
+            out.len()
+        });
+        let steady = engine.stats().workspace_allocs;
+        if steady != 0 {
+            failures.push(format!(
+                "timed steady-state loop allocated {steady} time(s) at {threads} threads"
+            ));
+        }
+        if work_ratio < MIN_WORK_RATIO {
+            failures.push(format!(
+                "matvec work reduction {work_ratio:.2}x below required {MIN_WORK_RATIO:.0}x \
+                 at {threads} threads"
+            ));
+        }
+        println!(
+            "  t{threads}: {} solves, {} iterations, matvec work {} ({work_ratio:.2}x less), \
+             steady-state allocs {steady}",
+            stats.solves, stats.iterations, stats.matvec_rows
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"op\": \"engine_resistances\", \"threads\": {threads}, \"ns_per_set\": {:.1}, \
+             \"solves\": {}, \"iterations\": {}, \"matvec_rows\": {}, \
+             \"matvec_work_ratio\": {work_ratio:.2}, \"steady_state_allocs\": {steady}, \
+             \"max_rel_err\": {max_rel_err:.3e}}},",
+            m.ns_per_iter, stats.solves, stats.iterations, stats.matvec_rows
+        );
+    }
+    splpg_par::set_num_threads(0);
+
+    // Warm-start pair path (satellite): sorted edge list, consecutive
+    // right-hand sides share endpoints, savings are counted.
+    let (_, warm_stats) = effective_resistances_with_stats(&g, &pairs, CgOptions::default())
+        .expect("warm-start batch");
+    println!(
+        "warm-start pairs: {} solves, {} warm hits, ~{} iterations saved",
+        warm_stats.solves, warm_stats.warm_start_hits, warm_stats.warm_start_saved_iterations
+    );
+    let _ = writeln!(
+        json,
+        "  {{\"op\": \"warm_start_pairs\", \"threads\": 0, \"solves\": {}, \
+         \"iterations\": {}, \"warm_start_hits\": {}, \"warm_start_saved_iterations\": {}}}",
+        warm_stats.solves,
+        warm_stats.iterations,
+        warm_stats.warm_start_hits,
+        warm_stats.warm_start_saved_iterations
+    );
+    json.push_str("]\n");
+
+    let path = repo_root().join("BENCH_sparsify.json");
+    std::fs::write(&path, json).expect("write BENCH_sparsify.json");
+    println!("\nwrote {}", path.display());
+
+    if !failures.is_empty() {
+        eprintln!("\nsparsify_bench gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("sparsify_bench gate passed (max rel err {max_rel_err:.3e})");
+}
+
+/// Repo root: two levels above the bench crate when run via cargo,
+/// else the current directory.
+fn repo_root() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../.."),
+        Err(_) => std::path::PathBuf::from("."),
+    }
+}

@@ -7,7 +7,8 @@ use splpg_rng::{Rng, SeedableRng};
 use splpg_graph::{Edge, FeatureMatrix, Graph, NodeId};
 use splpg_partition::{MetisLike, Partition, Partitioner, RandomTma, SuperTma};
 use splpg_sparsify::{
-    DegreeSparsifier, SpanningForestSparsifier, SparsifyConfig, Sparsifier, UniformSparsifier,
+    DegreeSparsifier, ExactSparsifier, JlSparsifier, SpanningForestSparsifier, SparsifyConfig,
+    Sparsifier, UniformSparsifier,
 };
 
 use crate::{
@@ -29,6 +30,24 @@ pub enum SparsifierKind {
     Uniform,
     /// BFS spanning forest + uniform remainder (connectivity preserving).
     SpanningForest,
+    /// Exact effective resistances through the preconditioned multi-RHS
+    /// solver engine with per-node reuse (one solve per distinct edge
+    /// endpoint). Partition-local graphs are disconnected in the global
+    /// id space; the engine solves per component, so this works
+    /// unchanged here.
+    Exact,
+    /// Johnson–Lindenstrauss resistance sketch
+    /// ([`SparsifierKind::JL_PROJECTIONS`] blocked solves per partition)
+    /// — the middle ground between [`SparsifierKind::Exact`] and
+    /// [`SparsifierKind::Degree`] in the ablation.
+    Jl,
+}
+
+impl SparsifierKind {
+    /// Random projections used by [`SparsifierKind::Jl`]: enough for a
+    /// stable sampling distribution on the partition sizes the ablation
+    /// runs at, small enough to stay cheap.
+    pub const JL_PROJECTIONS: usize = 64;
 }
 
 /// One worker's training inputs.
@@ -165,6 +184,13 @@ impl ClusterSetup {
                         }
                         SparsifierKind::SpanningForest => {
                             SpanningForestSparsifier::new(config).sparsify(g, &mut part_rng)
+                        }
+                        SparsifierKind::Exact => {
+                            ExactSparsifier::new(config).sparsify(g, &mut part_rng)
+                        }
+                        SparsifierKind::Jl => {
+                            JlSparsifier::new(config, SparsifierKind::JL_PROJECTIONS)
+                                .sparsify(g, &mut part_rng)
                         }
                     }
                 })
@@ -344,6 +370,54 @@ mod tests {
             let mut va = wa.view.clone();
             let mut vb = wb.view.clone();
             assert_eq!(va.neighbors(remote), vb.neighbors(remote), "worker {}", wa.worker_id);
+        }
+    }
+
+    #[test]
+    fn solver_backed_sparsifiers_handle_partition_locals() {
+        // Partition-local graphs keep all global node ids, so they are
+        // disconnected by construction — the exact and JL kinds must
+        // sparsify them via per-component solves, deterministically
+        // across thread counts.
+        let (g, f) = fixture();
+        for kind in [SparsifierKind::Exact, SparsifierKind::Jl] {
+            let run = |threads: usize| {
+                splpg_par::set_num_threads(threads);
+                let s = ClusterSetup::build_with_sparsifier(
+                    &g,
+                    &f,
+                    Strategy::SpLpg.spec(),
+                    2,
+                    0.3,
+                    11,
+                    kind,
+                )
+                .unwrap();
+                splpg_par::set_num_threads(0);
+                s
+            };
+            let one = run(1);
+            let four = run(4);
+            // Remote sparsified copies exist and lost edges.
+            let mut w0 = one.workers[0].view.clone();
+            let remote_node = one.partition.part_nodes(1)[2];
+            assert!(
+                w0.neighbors(remote_node).len() <= g.degree(remote_node),
+                "{kind:?}: sparsified copy grew a node's degree"
+            );
+            // Thread-count invariance through the solver paths.
+            for (wa, wb) in one.workers.iter().zip(&four.workers) {
+                let other = (wa.worker_id + 1) % one.workers.len();
+                let remote = one.partition.part_nodes(other as u32)[0];
+                let mut va = wa.view.clone();
+                let mut vb = wb.view.clone();
+                assert_eq!(
+                    va.neighbors(remote),
+                    vb.neighbors(remote),
+                    "{kind:?}: worker {} diverged across thread counts",
+                    wa.worker_id
+                );
+            }
         }
     }
 

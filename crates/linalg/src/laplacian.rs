@@ -1,4 +1,5 @@
 use splpg_graph::{Graph, NodeId};
+use splpg_par::Pool;
 
 use crate::LinalgError;
 
@@ -27,6 +28,11 @@ pub struct LaplacianOperator<'g> {
     /// Weighted degree of each node.
     degrees: Vec<f64>,
 }
+
+/// Minimum estimated flops per chunk handed to a pool worker by
+/// [`LaplacianOperator::apply_block_into`] — the same amortization floor
+/// as `splpg-tensor`'s kernels.
+const MIN_CHUNK_FLOPS: usize = 500_000;
 
 impl<'g> LaplacianOperator<'g> {
     /// Wraps `graph` as a Laplacian operator.
@@ -63,8 +69,22 @@ impl<'g> LaplacianOperator<'g> {
     ///
     /// [`LinalgError::DimensionMismatch`] if `x.len() != dim()`.
     pub fn apply(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        self.check_dim(x)?;
         let mut y = vec![0.0; self.dim()];
+        self.apply_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `y = L x` into a caller-provided buffer — the
+    /// allocation-free matvec the CG hot loop runs on (every entry of
+    /// `y` is overwritten).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if either length differs from
+    /// `dim()`.
+    pub fn apply_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        self.check_dim(x)?;
+        self.check_dim(y)?;
         for v in 0..self.dim() {
             let nbrs = self.graph.neighbors(v as NodeId);
             let mut acc = self.degrees[v] * x[v];
@@ -82,7 +102,86 @@ impl<'g> LaplacianOperator<'g> {
             }
             y[v] = acc;
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// Multi-RHS matvec: computes `Y = L X` for a block of `k`
+    /// right-hand sides stored node-major (`x[v*k + j]` is column `j`'s
+    /// entry at node `v`), so one sweep over the CSR adjacency advances
+    /// all `k` vectors.
+    ///
+    /// Only columns with `active[j] == true` are computed; inactive
+    /// columns of `y` are zeroed. Output *rows* (nodes) are partitioned
+    /// into contiguous ranges across `pool` — the same deterministic
+    /// partitioning rule as `splpg-tensor`'s kernels — and each row's
+    /// accumulation runs over the node's neighbor list in CSR order
+    /// regardless of which thread owns it, so results are
+    /// **bit-identical** at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `x`/`y` are not `dim() * k`
+    /// long or `active.len() != k`.
+    pub fn apply_block_into(
+        &self,
+        x: &[f64],
+        k: usize,
+        active: &[bool],
+        y: &mut [f64],
+        pool: &Pool,
+    ) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if x.len() != n * k || y.len() != n * k {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n * k,
+                actual: if x.len() != n * k { x.len() } else { y.len() },
+            });
+        }
+        if active.len() != k {
+            return Err(LinalgError::DimensionMismatch { expected: k, actual: active.len() });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        // ~4 flops per (edge, column) + 2 per (node, column); spawn only
+        // when a chunk carries enough of them to amortize.
+        let per_row = 2 * k * (1 + 2 * self.graph.num_edges() / n.max(1));
+        let min_rows = (MIN_CHUNK_FLOPS / per_row.max(1)).max(1);
+        let graph = self.graph;
+        let degrees = &self.degrees;
+        pool.parallel_for_mut(y, k, min_rows, |row0, chunk| {
+            for (r, y_row) in chunk.chunks_mut(k).enumerate() {
+                let v = row0 + r;
+                let x_row = &x[v * k..(v + 1) * k];
+                for j in 0..k {
+                    y_row[j] = if active[j] { degrees[v] * x_row[j] } else { 0.0 };
+                }
+                let nbrs = graph.neighbors(v as NodeId);
+                match graph.neighbor_weights(v as NodeId) {
+                    Some(ws) => {
+                        for (&u, &w) in nbrs.iter().zip(ws) {
+                            let xu = &x[u as usize * k..(u as usize + 1) * k];
+                            for j in 0..k {
+                                if active[j] {
+                                    y_row[j] -= w as f64 * xu[j];
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for &u in nbrs {
+                            let xu = &x[u as usize * k..(u as usize + 1) * k];
+                            for j in 0..k {
+                                if active[j] {
+                                    y_row[j] -= xu[j];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        Ok(())
     }
 
     /// Computes `y = L_sym x` where `L_sym = D^{-1/2} L D^{-1/2}`.
@@ -196,6 +295,59 @@ mod tests {
         let lap = LaplacianOperator::new(&g);
         assert!(lap.apply(&[1.0]).is_err());
         assert!(quadratic_form(&g, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn apply_into_matches_apply_and_checks_dims() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        let x = vec![1.0, 2.0, 4.0];
+        let mut y = vec![f64::NAN; 3];
+        lap.apply_into(&x, &mut y).unwrap();
+        assert_eq!(y, lap.apply(&x).unwrap());
+        assert!(lap.apply_into(&x, &mut [0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn block_matvec_matches_columnwise_apply_bitwise() {
+        let mut b = GraphBuilder::new(5);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 2, 0.5).unwrap();
+        b.add_weighted_edge(2, 3, 3.0).unwrap();
+        b.add_weighted_edge(3, 4, 1.0).unwrap();
+        b.add_weighted_edge(4, 0, 1.5).unwrap();
+        let g = b.build();
+        let lap = LaplacianOperator::new(&g);
+        let (n, k) = (5usize, 3usize);
+        // Node-major block whose columns are distinct test vectors.
+        let x: Vec<f64> = (0..n * k).map(|i| (i as f64) * 0.37 - 1.0).collect();
+        let active = vec![true; k];
+        let mut y1 = vec![0.0; n * k];
+        let mut y4 = vec![0.0; n * k];
+        lap.apply_block_into(&x, k, &active, &mut y1, &Pool::new(1)).unwrap();
+        lap.apply_block_into(&x, k, &active, &mut y4, &Pool::new(4)).unwrap();
+        assert_eq!(y1, y4, "block matvec must be thread-invariant bitwise");
+        for j in 0..k {
+            let col: Vec<f64> = (0..n).map(|v| x[v * k + j]).collect();
+            let want = lap.apply(&col).unwrap();
+            for v in 0..n {
+                assert_eq!(y1[v * k + j], want[v], "column {j} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_matvec_masks_inactive_columns() {
+        let g = path3();
+        let lap = LaplacianOperator::new(&g);
+        let k = 2usize;
+        let x = vec![1.0; 3 * k];
+        let mut y = vec![f64::NAN; 3 * k];
+        lap.apply_block_into(&x, k, &[false, true], &mut y, &Pool::new(1)).unwrap();
+        for v in 0..3 {
+            assert_eq!(y[v * k], 0.0, "inactive column zeroed");
+        }
+        assert!(lap.apply_block_into(&x, 3, &[true; 2], &mut y, &Pool::new(1)).is_err());
     }
 
     #[test]

@@ -20,14 +20,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod jl;
 mod laplacian;
 mod solver;
 mod spectral;
 
+pub use engine::{CgWorkspace, EngineOptions, SolveStats, SolverEngine};
 pub use jl::ResistanceEstimator;
 pub use laplacian::{quadratic_form, LaplacianOperator};
-pub use solver::{effective_resistance, effective_resistances, solve_laplacian, CgOptions, CgOutcome};
+pub use solver::{
+    effective_resistance, effective_resistances, effective_resistances_with_stats,
+    solve_laplacian, CgOptions, CgOutcome,
+};
 pub use spectral::{lambda2_normalized, PowerIterOptions};
 
 /// Errors from linear-algebra routines.
@@ -50,6 +55,17 @@ pub enum LinalgError {
         /// Residual norm at exit.
         residual: f64,
     },
+    /// Conjugate gradient lost positive curvature (`p·Ap <= 0`): the
+    /// search direction collapsed numerically and further iterations
+    /// would produce garbage. Distinct from [`LinalgError::NoConvergence`]
+    /// — a breakdown means the *iteration itself* is invalid, not merely
+    /// slow.
+    Breakdown {
+        /// Iteration at which the breakdown was detected.
+        iteration: usize,
+        /// The offending curvature `p·Ap`.
+        curvature: f64,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -61,6 +77,9 @@ impl std::fmt::Display for LinalgError {
             LinalgError::Disconnected => write!(f, "graph must be connected for this operation"),
             LinalgError::NoConvergence { iterations, residual } => {
                 write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            }
+            LinalgError::Breakdown { iteration, curvature } => {
+                write!(f, "CG breakdown at iteration {iteration}: curvature p·Ap = {curvature:e} <= 0")
             }
         }
     }

@@ -1,5 +1,6 @@
 use splpg_graph::{connected_components, Graph, NodeId};
 
+use crate::engine::{CgWorkspace, EngineOptions, SolveStats, SolverContext};
 use crate::laplacian::LaplacianOperator;
 use crate::{axpy, dot, norm, remove_mean, LinalgError};
 
@@ -38,7 +39,11 @@ pub struct CgOutcome {
 /// * [`LinalgError::DimensionMismatch`] if `b.len() != graph.num_nodes()`;
 /// * [`LinalgError::Disconnected`] if the graph is not connected (the
 ///   pseudo-inverse solve is ill-defined per component otherwise);
-/// * [`LinalgError::NoConvergence`] if the iteration cap is reached.
+/// * [`LinalgError::NoConvergence`] if the iteration cap is reached;
+/// * [`LinalgError::Breakdown`] if a search direction loses positive
+///   curvature (`p·Ap <= 0`) — CG's invariants no longer hold and any
+///   further iterate would be garbage, so the solve aborts instead of
+///   silently clamping the denominator.
 pub fn solve_laplacian(
     graph: &Graph,
     b: &[f64],
@@ -68,13 +73,23 @@ pub fn solve_laplacian(
             return Ok(CgOutcome { solution: x, iterations: iter, residual: res });
         }
         let ap = op.apply(&p).expect("invariant: p.len() == n, checked at entry");
-        let alpha = rs_old / dot(&p, &ap).max(f64::MIN_POSITIVE);
+        let curvature = dot(&p, &ap);
+        if curvature <= 0.0 {
+            // The Laplacian is PSD on the mean-free subspace, so a
+            // non-positive p·Ap can only come from numerical collapse of
+            // the search direction. Clamping it (the old behavior) let
+            // the iteration continue producing garbage — fail loudly.
+            return Err(LinalgError::Breakdown { iteration: iter, curvature });
+        }
+        let alpha = rs_old / curvature;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         // Numerical drift can reintroduce a constant component; project.
         remove_mean(&mut r);
         let rs_new = dot(&r, &r);
-        let beta = rs_new / rs_old.max(f64::MIN_POSITIVE);
+        // rs_old > 0 here: the convergence check at the top of the loop
+        // already returned when rs_old.sqrt() / b_norm <= tolerance.
+        let beta = rs_new / rs_old;
         for (pi, ri) in p.iter_mut().zip(&r) {
             *pi = ri + beta * *pi;
         }
@@ -132,30 +147,119 @@ pub fn effective_resistance(
     Ok(out.solution[u as usize] - out.solution[v as usize])
 }
 
-/// Exact effective resistances for a batch of node pairs.
+/// Exact effective resistances for a batch of node pairs, through the
+/// Jacobi-preconditioned engine with **warm-started** solves.
 ///
-/// Each pair is an independent CG solve against the same read-only
-/// graph, so the batch fans out across the global [`splpg_par`] pool;
-/// results are returned in input order and are bit-identical to calling
-/// [`effective_resistance`] pair by pair (per-solve arithmetic is
-/// untouched by the parallelism).
+/// Pairs are grouped by first endpoint (sorted); within a group each
+/// solve seeds CG with the previous solution — the right-hand sides
+/// `e_u - e_v` differ only in the sink term, so the previous potential
+/// vector is an excellent initial guess. Groups fan out across the
+/// global [`splpg_par`] pool; each group is solved sequentially by one
+/// worker, so results are **bit-identical at every thread count**
+/// (though not bit-identical to the unpreconditioned
+/// [`effective_resistance`] reference — it is a different Krylov
+/// iteration converging to the same answer within tolerance).
 ///
-/// This is the per-edge-batch hot path of the exact sparsifier: O(|E|)
-/// solves per sparsification.
+/// Unlike [`solve_laplacian`], disconnected graphs are supported: each
+/// solve projects per connected component, and only a pair *spanning*
+/// two components is an error. This is what the distributed setup path
+/// needs — partition-local subgraphs keep all global node ids and are
+/// never connected.
+///
+/// For batches of *edges* prefer [`crate::SolverEngine::edge_resistances`],
+/// which additionally reuses one solve per distinct endpoint node.
 ///
 /// # Errors
 ///
-/// The first error in pair order, under the same conditions as
-/// [`effective_resistance`].
+/// [`LinalgError::DimensionMismatch`] for an out-of-range endpoint,
+/// [`LinalgError::Disconnected`] for a pair spanning two components
+/// (checked for all pairs before any solve runs), or a solver error
+/// ([`LinalgError::Breakdown`] / [`LinalgError::NoConvergence`]).
 pub fn effective_resistances(
     graph: &Graph,
     pairs: &[(NodeId, NodeId)],
     options: CgOptions,
 ) -> Result<Vec<f64>, LinalgError> {
-    splpg_par::global()
-        .parallel_map_chunks(pairs, 1, |_, &(u, v)| effective_resistance(graph, u, v, options))
-        .into_iter()
-        .collect()
+    effective_resistances_with_stats(graph, pairs, options).map(|(out, _)| out)
+}
+
+/// [`effective_resistances`] plus the engine's [`SolveStats`]: solve and
+/// iteration counts, matvec work, warm-start hits and estimated saved
+/// iterations, and workspace growth events (per-group workspaces start
+/// empty, so this counts one warm-up growth burst per group).
+///
+/// # Errors
+///
+/// As [`effective_resistances`].
+pub fn effective_resistances_with_stats(
+    graph: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    options: CgOptions,
+) -> Result<(Vec<f64>, SolveStats), LinalgError> {
+    let ctx = SolverContext::new(graph, EngineOptions::with_cg(options));
+    for &(u, v) in pairs {
+        ctx.check_pair(u, v)?;
+    }
+    // Sort pair indices so pairs sharing a first endpoint become
+    // adjacent; each run is one warm-start chain.
+    let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| pairs[i as usize]);
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    while start < order.len() {
+        let u = pairs[order[start] as usize].0;
+        let mut end = start + 1;
+        while end < order.len() && pairs[order[end] as usize].0 == u {
+            end += 1;
+        }
+        groups.push((start, end));
+        start = end;
+    }
+    let solved = splpg_par::global()
+        .parallel_map_chunks(&groups, 1, |_, &(s, e)| solve_group(&ctx, pairs, &order[s..e]));
+    let mut out = vec![0.0; pairs.len()];
+    let mut stats = SolveStats::default();
+    for group in solved {
+        let (values, group_stats) = group?;
+        for (idx, r) in values {
+            out[idx as usize] = r;
+        }
+        stats.merge(&group_stats);
+    }
+    Ok((out, stats))
+}
+
+/// Solves one warm-start chain: pairs sharing a first endpoint, in
+/// sorted order, each seeded with the previous solution. Returns
+/// `(original index, resistance)` per pair plus the chain's stats.
+fn solve_group(
+    ctx: &SolverContext<'_>,
+    pairs: &[(NodeId, NodeId)],
+    idxs: &[u32],
+) -> Result<(Vec<(u32, f64)>, SolveStats), LinalgError> {
+    let mut ws = CgWorkspace::new();
+    let mut stats = SolveStats::default();
+    let mut values = Vec::with_capacity(idxs.len());
+    let mut warm = false;
+    let mut cold_iters = 0usize;
+    for &idx in idxs {
+        let (u, v) = pairs[idx as usize];
+        if u == v {
+            values.push((idx, 0.0));
+            continue;
+        }
+        let (resistance, iters) = ctx.solve_pair(&mut ws, u, v, warm, &mut stats)?;
+        if warm {
+            stats.warm_start_hits += 1;
+            stats.warm_start_saved_iterations += cold_iters.saturating_sub(iters) as u64;
+        } else {
+            cold_iters = iters;
+            warm = true;
+        }
+        values.push((idx, resistance));
+    }
+    stats.workspace_allocs = ws.alloc_events();
+    Ok((values, stats))
 }
 
 #[cfg(test)]
@@ -240,7 +344,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_resistances_match_sequential_bitwise() {
+    fn batch_resistances_thread_invariant_and_match_reference() {
         let g = Graph::from_edges(
             6,
             &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)],
@@ -248,16 +352,19 @@ mod tests {
         .unwrap();
         let pairs: Vec<(NodeId, NodeId)> =
             g.edges().iter().map(|e| (e.src, e.dst)).collect();
-        let sequential: Vec<f64> = pairs
-            .iter()
-            .map(|&(u, v)| effective_resistance(&g, u, v, CgOptions::default()).unwrap())
-            .collect();
-        for threads in [1usize, 3, 8] {
+        splpg_par::set_num_threads(1);
+        let one = effective_resistances(&g, &pairs, CgOptions::default()).unwrap();
+        for threads in [3usize, 8] {
             splpg_par::set_num_threads(threads);
             let batch = effective_resistances(&g, &pairs, CgOptions::default()).unwrap();
-            assert_eq!(batch, sequential, "{threads} threads");
+            assert_eq!(batch, one, "bitwise thread invariance at {threads} threads");
         }
         splpg_par::set_num_threads(0);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let reference = effective_resistance(&g, u, v, CgOptions::default()).unwrap();
+            let rel = (one[i] - reference).abs() / reference;
+            assert!(rel < 1e-6, "pair ({u},{v}): engine {} vs reference {reference}", one[i]);
+        }
     }
 
     #[test]
@@ -265,6 +372,34 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let err = effective_resistances(&g, &[(0, 2)], CgOptions::default()).unwrap_err();
         assert_eq!(err, LinalgError::Disconnected);
+    }
+
+    #[test]
+    fn batch_allows_same_component_pairs_on_disconnected_graph() {
+        // Two disjoint single edges: each pair is valid within its own
+        // component (resistance 1), even though the graph as a whole is
+        // disconnected. This is the partition-local shape dist::setup
+        // produces.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let rs =
+            effective_resistances(&g, &[(0, 1), (2, 3)], CgOptions::default()).unwrap();
+        for r in rs {
+            assert!((r - 1.0).abs() < 1e-6, "single-edge resistance {r}");
+        }
+    }
+
+    #[test]
+    fn batch_stats_record_warm_starts() {
+        // Star around node 0: every pair shares the first endpoint, so
+        // all solves after the first warm start from its solution.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        let pairs = [(0u32, 1u32), (0, 2), (0, 3), (0, 4)];
+        let (rs, stats) =
+            effective_resistances_with_stats(&g, &pairs, CgOptions::default()).unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(stats.solves, 4);
+        assert_eq!(stats.warm_start_hits, 3, "three of four solves share endpoint 0");
+        assert!(stats.iterations > 0);
     }
 
     #[test]

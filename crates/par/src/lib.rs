@@ -77,6 +77,29 @@ pub fn set_num_threads(n: usize) {
     NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Threads the hardware can actually run concurrently
+/// ([`std::thread::available_parallelism`], min 1). Unlike
+/// [`num_threads`], this ignores `SPLPG_NUM_THREADS` and
+/// [`set_num_threads`]: it answers "how many chunks can make progress at
+/// once", not "how many the caller asked for".
+pub fn hardware_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Concurrency that fan-out can actually buy:
+/// `min(num_threads(), hardware_threads())`.
+///
+/// Dispatch heuristics should consult this instead of [`num_threads`]:
+/// an oversubscribed pool (e.g. `SPLPG_NUM_THREADS=8` inside a 1-CPU
+/// container) pays full fork-join overhead while its chunks run
+/// *serially*, so work that is only worth splitting across real cores
+/// should fall back to the scalar path. Results are unaffected either
+/// way — every kernel in the workspace is bit-identical at any thread
+/// count — only the spawn overhead is.
+pub fn effective_threads() -> usize {
+    num_threads().min(hardware_threads())
+}
+
 /// The global pool, sized per [`num_threads`] at each call.
 pub fn global() -> Pool {
     Pool::new(num_threads())
@@ -380,6 +403,16 @@ mod tests {
         assert_eq!(global().threads(), 3);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn hardware_and_effective_threads_are_sane() {
+        // No override mutation here: these run concurrently with the
+        // round-trip test, so only invariants that hold under any
+        // override value are asserted.
+        assert!(hardware_threads() >= 1);
+        assert!(effective_threads() >= 1);
+        assert!(effective_threads() <= hardware_threads().max(num_threads()));
     }
 
     #[test]

@@ -1,45 +1,60 @@
 use splpg_rng::Rng;
 use splpg_graph::{Graph, GraphBuilder};
-use splpg_linalg::{effective_resistances, CgOptions};
+use splpg_linalg::{CgOptions, EngineOptions, SolverEngine};
 
 use crate::sampling::AliasTable;
 use crate::{SparsifyConfig, SparsifyError, Sparsifier};
 
 /// Spielman–Srivastava sparsifier using *exact* effective resistances
-/// (Eq. (3) of the paper), computed per edge with conjugate gradient.
+/// (Eq. (3) of the paper), computed through the Jacobi-preconditioned
+/// multi-RHS solver engine with **per-node solve reuse**: one solve per
+/// distinct edge endpoint (`<= n`) instead of one per edge (`m`), each
+/// resistance recovered as `R(u,v) = x_u[u] - x_u[v] - x_v[u] + x_v[v]`.
 ///
-/// This is O(|E| · cg) and only practical on small graphs; it exists to
-/// validate [`crate::DegreeSparsifier`] (the ablation bench
+/// It exists to validate [`crate::DegreeSparsifier`] (the ablation bench
 /// `sparsify_exact_vs_approx` compares the two) and to demonstrate the
 /// spectral guarantee of Theorem 1 in tests.
 ///
-/// Requires a connected input graph.
+/// Disconnected inputs are fine (solves project per connected
+/// component; every edge's endpoints trivially share a component) — the
+/// shape `dist::setup` feeds it, since partition-local subgraphs keep
+/// all global node ids.
 #[derive(Debug, Clone, Default)]
 pub struct ExactSparsifier {
     config: SparsifyConfig,
 }
 
 impl ExactSparsifier {
+    /// CG tolerance for the exact path: 1e-8, matching the per-edge
+    /// reference's `CgOptions::default()` so the two paths are directly
+    /// comparable; the four-term per-node recovery still lands within
+    /// ~1e-8 relative error of that reference (see `sparsify_bench`).
+    const TOLERANCE: f64 = 1e-8;
+
     /// Creates an exact-resistance sparsifier.
     pub fn new(config: SparsifyConfig) -> Self {
         ExactSparsifier { config }
     }
 
+    /// Solver options the exact path uses (shared with the
+    /// `sparsify_bench` gate so it measures the same configuration).
+    pub fn engine_options() -> EngineOptions {
+        EngineOptions::with_cg(CgOptions { tolerance: Self::TOLERANCE, ..CgOptions::default() })
+    }
+
     /// Exact effective resistances for every canonical edge, in edge-list
-    /// order.
-    ///
-    /// The per-edge CG solves are independent, so they run batched
-    /// across the global [`splpg_par`] pool (see
-    /// [`effective_resistances`]); results are identical to solving
-    /// edge by edge.
+    /// order, via one blocked multi-RHS solve sweep per
+    /// [`EngineOptions::block_width`] distinct endpoints.
     ///
     /// # Errors
     ///
-    /// [`SparsifyError::Resistance`] if the graph is disconnected or CG
-    /// fails to converge.
+    /// [`SparsifyError::Resistance`] if CG fails to converge or breaks
+    /// down.
     pub fn resistances(graph: &Graph) -> Result<Vec<f64>, SparsifyError> {
         let pairs: Vec<_> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
-        effective_resistances(graph, &pairs, CgOptions::default())
+        let mut engine = SolverEngine::new(graph, Self::engine_options());
+        engine
+            .edge_resistances(&pairs)
             .map_err(|err| SparsifyError::Resistance(err.to_string()))
     }
 }
@@ -106,12 +121,15 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_rejected() {
+    fn disconnected_graph_supported() {
+        // Partition-local graphs are never connected; per-component
+        // solves make every edge's resistance well-defined anyway.
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        assert!(matches!(
-            ExactSparsifier::resistances(&g),
-            Err(SparsifyError::Resistance(_))
-        ));
+        let r = ExactSparsifier::resistances(&g).unwrap();
+        assert_eq!(r.len(), 2);
+        for ri in r {
+            assert!((ri - 1.0).abs() < 1e-6, "isolated edge resistance {ri}");
+        }
     }
 
     #[test]

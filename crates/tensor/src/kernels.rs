@@ -33,6 +33,26 @@ fn min_rows_per_chunk(k: usize, m: usize) -> usize {
     (MIN_CHUNK_FLOPS / (2 * k * m).max(1)).max(1)
 }
 
+/// Dispatch gate shared by [`Tensor`](crate::Tensor)'s matmul paths:
+/// go parallel only when the product clears [`PAR_FLOP_THRESHOLD`],
+/// more than one worker can *actually* run concurrently
+/// ([`splpg_par::effective_threads`], which clamps the configured pool
+/// width by the hardware — an oversubscribed pool on a 1-CPU container
+/// pays fork-join overhead serially for zero overlap), and the output
+/// is tall enough to give every worker at least a minimum-rows chunk.
+/// The scalar and parallel kernels are bit-identical, so this gate
+/// affects time only, never results.
+pub fn par_dispatch(rows: usize, k: usize, m: usize) -> bool {
+    par_dispatch_with(splpg_par::effective_threads(), rows, k, m)
+}
+
+/// [`par_dispatch`] with an explicit worker count (unit-testable).
+fn par_dispatch_with(threads: usize, rows: usize, k: usize, m: usize) -> bool {
+    2 * rows * k * m >= PAR_FLOP_THRESHOLD
+        && threads > 1
+        && rows >= threads * min_rows_per_chunk(k, m)
+}
+
 /// `a[n,k] @ b[k,m]`, row-major, into a fresh `[n,m]` buffer.
 ///
 /// Row-partitioned over `pool`; j/k-tiled. Accumulation per output
@@ -188,4 +208,32 @@ pub fn matmul_nt_into(
             }
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_requires_real_concurrency_and_tall_output() {
+        // Big product, healthy pool: parallel.
+        assert!(par_dispatch_with(4, 4096, 256, 256));
+        // One effective worker (oversubscribed 1-CPU container after the
+        // hardware clamp): scalar, no matter how big the product is.
+        assert!(!par_dispatch_with(1, 4096, 256, 256));
+        // Below the flop threshold: scalar.
+        assert!(!par_dispatch_with(4, 16, 16, 16));
+        // Wide-but-flat product whose rows cannot feed every worker a
+        // minimum-rows chunk: scalar.
+        let rows = min_rows_per_chunk(256, 256) * 4 - 1;
+        assert!(!par_dispatch_with(4, rows, 256, 256));
+    }
+
+    #[test]
+    fn dispatch_matches_effective_threads() {
+        assert_eq!(
+            par_dispatch(4096, 256, 256),
+            par_dispatch_with(splpg_par::effective_threads(), 4096, 256, 256)
+        );
+    }
 }

@@ -156,10 +156,13 @@ impl Tensor {
 
     /// Matrix product `self @ other` (`[n,k] x [k,m] -> [n,m]`).
     ///
-    /// Large products (above [`crate::kernels::PAR_FLOP_THRESHOLD`]
-    /// flops) run on the cache-blocked kernel row-partitioned across the
-    /// global [`splpg_par`] pool; the result is bit-identical to
-    /// [`Tensor::matmul_scalar`] at every thread count.
+    /// Products that pass [`crate::kernels::par_dispatch`] (enough
+    /// flops, more than one *hardware-backed* worker, enough output rows
+    /// to feed each of them) run on the cache-blocked kernel
+    /// row-partitioned across the global [`splpg_par`] pool; everything
+    /// else — including an oversubscribed pool on a 1-CPU machine —
+    /// stays on the scalar kernel. The result is bit-identical to
+    /// [`Tensor::matmul_scalar`] either way, at every thread count.
     ///
     /// # Panics
     ///
@@ -180,10 +183,10 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            nn_scalar_into(&self.data, &other.data, n, k, m, out);
-        } else {
+        if crate::kernels::par_dispatch(n, k, m) {
             crate::kernels::matmul_nn_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
+        } else {
+            nn_scalar_into(&self.data, &other.data, n, k, m, out);
         }
     }
 
@@ -227,10 +230,10 @@ impl Tensor {
     pub(crate) fn matmul_tn_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.rows, other.rows, "matmul_tn row dims");
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            tn_scalar_into(&self.data, &other.data, k, n, m, out);
-        } else {
+        if crate::kernels::par_dispatch(n, k, m) {
             crate::kernels::matmul_tn_into(&self.data, &other.data, k, n, m, &splpg_par::global(), out);
+        } else {
+            tn_scalar_into(&self.data, &other.data, k, n, m, out);
         }
     }
 
@@ -268,10 +271,10 @@ impl Tensor {
     pub(crate) fn matmul_nt_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.cols, other.cols, "matmul_nt col dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        if 2 * n * k * m < crate::kernels::PAR_FLOP_THRESHOLD || splpg_par::num_threads() <= 1 {
-            nt_scalar_into(&self.data, &other.data, n, k, m, out);
-        } else {
+        if crate::kernels::par_dispatch(n, k, m) {
             crate::kernels::matmul_nt_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
+        } else {
+            nt_scalar_into(&self.data, &other.data, n, k, m, out);
         }
     }
 

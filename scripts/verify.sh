@@ -30,6 +30,12 @@ echo "== train-step bench smoke (zero-realloc arena) =="
 # Exits nonzero if any steady-state step allocates arena buffers.
 SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin train_step
 
+echo "== sparsify bench smoke (solver engine gate) =="
+# Exits nonzero if steady-state solves allocate, PCG iterations exceed
+# the unpreconditioned baseline, matvec work drops < 5x, or resistances
+# drift > 1e-6 from the per-edge reference.
+SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin sparsify_bench
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
