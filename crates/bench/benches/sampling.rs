@@ -23,16 +23,16 @@ fn bench_neighbor_sampler() {
         let sampler = NeighborSampler::paper_sage();
         let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
         timing::bench("fanout_25_10_5", || {
-            let mut access = FullGraphAccess::new(&g);
-            sampler.sample(&mut access, &seeds, &mut rng)
+            let access = FullGraphAccess::new(&g);
+            sampler.sample(&access, &seeds, &mut rng)
         });
     }
     {
         let sampler = NeighborSampler::full(3);
         let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(9);
         timing::bench("full_3layer", || {
-            let mut access = FullGraphAccess::new(&g);
-            sampler.sample(&mut access, &seeds, &mut rng)
+            let access = FullGraphAccess::new(&g);
+            sampler.sample(&access, &seeds, &mut rng)
         });
     }
 }
@@ -44,8 +44,8 @@ fn bench_negative_sampling() {
     let sampler = PerSourceNegativeSampler::global(g.num_nodes());
     let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(10);
     timing::bench("per_source_negatives_1024", || {
-        let mut access = FullGraphAccess::new(&g);
-        sampler.sample_for_edges(&mut access, &positives, &mut rng).expect("sample")
+        let access = FullGraphAccess::new(&g);
+        sampler.sample_for_edges(&access, &positives, &mut rng).expect("sample")
     });
 }
 

@@ -16,7 +16,7 @@ use std::time::Instant;
 use splpg_rng::SeedableRng;
 use splpg_datasets::{generate_community_graph, CommunityGraphParams};
 use splpg_gnn::trainer::{batch_grads, ModelKind, TrainConfig};
-use splpg_gnn::{FullFeatureAccess, FullGraphAccess, PerSourceNegativeSampler};
+use splpg_gnn::{FullFeatureAccess, FullGraphAccess, PerSourceNegativeSampler, SamplerScratch};
 use splpg_graph::{Edge, FeatureMatrix, Graph};
 use splpg_nn::{Adam, Optimizer, ParamSet};
 use splpg_tensor::Tape;
@@ -56,12 +56,13 @@ fn measured_steps() -> usize {
     }
 }
 
-/// Runs `steps` training steps on `tape` (resetting, not rebuilding) and
-/// returns total wall nanoseconds.
+/// Runs `steps` training steps on `tape` and `scratch` (resetting, not
+/// rebuilding) and returns total wall nanoseconds.
 #[allow(clippy::too_many_arguments)]
 fn run_steps(
     steps: usize,
     tape: &mut Tape,
+    scratch: &mut SamplerScratch,
     config: &TrainConfig,
     model: &splpg_gnn::LinkPredictor,
     params: &mut ParamSet,
@@ -78,18 +79,19 @@ fn run_steps(
         // step touches tensors of identical shapes — the steady state the
         // arena targets (and the regime the zero-alloc claim is about).
         let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1_000);
-        let mut ga = FullGraphAccess::new(graph);
+        let ga = FullGraphAccess::new(graph);
         let mut fa = FullFeatureAccess::new(features);
         let (_, grads) = batch_grads(
             model,
             params,
-            &mut ga,
+            &ga,
             &mut fa,
             &sampler,
             &negative_sampler,
             batch,
             &mut rng,
             tape,
+            scratch,
         )
         .expect("training step");
         opt.step(params, &grads);
@@ -122,25 +124,29 @@ fn bench_mode(
 
     let steps = measured_steps();
     let mut tape = Tape::new();
+    let mut scratch = SamplerScratch::new();
     let (elapsed, allocs, peak) = if mode == "reused" {
         run_steps(
-            WARMUP_STEPS, &mut tape, &config, &model, &mut params, &mut opt, graph, features,
-            &batch,
+            WARMUP_STEPS, &mut tape, &mut scratch, &config, &model, &mut params, &mut opt,
+            graph, features, &batch,
         );
         let warm = tape.arena_stats().allocations();
         let elapsed = run_steps(
-            steps, &mut tape, &config, &model, &mut params, &mut opt, graph, features, &batch,
+            steps, &mut tape, &mut scratch, &config, &model, &mut params, &mut opt, graph,
+            features, &batch,
         );
         (elapsed, tape.arena_stats().allocations() - warm, tape.backing_bytes())
     } else {
-        // Cold start: a fresh tape every step, the pattern the arena (and
-        // the tape-in-loop lint) exists to eliminate.
+        // Cold start: a fresh tape + scratch every step, the pattern the
+        // arena (and the tape-in-loop lint) exists to eliminate.
         let mut elapsed = 0u128;
         let mut peak = 0usize;
         for _ in 0..steps {
             let mut cold = Tape::new();
+            let mut cold_scratch = SamplerScratch::new();
             elapsed += run_steps(
-                1, &mut cold, &config, &model, &mut params, &mut opt, graph, features, &batch,
+                1, &mut cold, &mut cold_scratch, &config, &model, &mut params, &mut opt,
+                graph, features, &batch,
             );
             peak = peak.max(cold.backing_bytes());
         }

@@ -25,7 +25,7 @@
 //! [`DistTrainer::run_reference`]: crate::DistTrainer::run_reference
 
 use splpg_gnn::trainer::batch_grads;
-use splpg_gnn::{LinkPredictor, NeighborSampler, PerSourceNegativeSampler};
+use splpg_gnn::{LinkPredictor, NeighborSampler, PerSourceNegativeSampler, SamplerScratch};
 use splpg_net::{
     FetchLedger, MasterHub, MsgId, NetError, Request, Response, RetryPolicy, WorkerPort,
 };
@@ -128,6 +128,8 @@ pub(crate) struct Replica {
     /// Long-lived autodiff tape: its arena is recycled across every batch
     /// this replica ever computes, so steady-state steps allocate nothing.
     tape: Tape,
+    /// Long-lived sampler scratch, reused for the same reason.
+    scratch: SamplerScratch,
 }
 
 impl Replica {
@@ -159,6 +161,7 @@ impl Replica {
             shuffled_epoch: None,
             reported: FetchLedger::default(),
             tape: Tape::new(),
+            scratch: SamplerScratch::new(),
         }
     }
 
@@ -186,19 +189,20 @@ impl Replica {
         let mut batches = 0u64;
         // Both views are clones of the same worker view and share its
         // per-epoch feature-row cache; cloned once per epoch, not per batch.
-        let mut view = self.data.view.clone();
+        let view = self.data.view.clone();
         let mut feat_view = self.data.view.clone();
         for chunk in positives.chunks(self.batch_size) {
             let (loss, grads) = batch_grads(
                 &self.model,
                 &self.params,
-                &mut view,
+                &view,
                 &mut feat_view,
                 &self.sampler,
                 &self.negative_sampler,
                 chunk,
                 &mut self.rng,
                 &mut self.tape,
+                &mut self.scratch,
             )
             .map_err(|e| e.to_string())?;
             self.opt.step(&mut self.params, &grads);
@@ -239,18 +243,19 @@ impl Replica {
             return Ok(None);
         }
         let end = (start + self.batch_size).min(self.positives.len());
-        let mut view = self.data.view.clone();
+        let view = self.data.view.clone();
         let mut feat_view = self.data.view.clone();
         let (loss, grads) = batch_grads(
             &self.model,
             &self.params,
-            &mut view,
+            &view,
             &mut feat_view,
             &self.sampler,
             &self.negative_sampler,
             &self.positives[start..end],
             &mut self.rng,
             &mut self.tape,
+            &mut self.scratch,
         )
         .map_err(|e| e.to_string())?;
         let flat = flatten_grads(&grads);

@@ -307,7 +307,7 @@ mod tests {
         let setup =
             ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 2, 0.15, 1).unwrap();
         for w in &setup.workers {
-            let mut view = w.view.clone();
+            let view = w.view.clone();
             for &v in setup.partition.part_nodes(w.worker_id as u32).iter() {
                 assert_eq!(
                     view.neighbors(v).len(),
@@ -338,7 +338,7 @@ mod tests {
         let setup =
             ClusterSetup::build(&g, &f, Strategy::SpLpg.spec(), 2, 0.15, 1).unwrap();
         // Fetch a remote node's neighbors; sparsified copy must be small.
-        let mut w0 = setup.workers[0].view.clone();
+        let w0 = setup.workers[0].view.clone();
         let remote_node = setup.partition.part_nodes(1)[3];
         let sparse_deg = w0.neighbors(remote_node).len();
         assert!(
@@ -367,8 +367,8 @@ mod tests {
             // by another worker through both views.
             let other = (wa.worker_id + 1) % one.workers.len();
             let remote = one.partition.part_nodes(other as u32)[0];
-            let mut va = wa.view.clone();
-            let mut vb = wb.view.clone();
+            let va = wa.view.clone();
+            let vb = wb.view.clone();
             assert_eq!(va.neighbors(remote), vb.neighbors(remote), "worker {}", wa.worker_id);
         }
     }
@@ -399,7 +399,7 @@ mod tests {
             let one = run(1);
             let four = run(4);
             // Remote sparsified copies exist and lost edges.
-            let mut w0 = one.workers[0].view.clone();
+            let w0 = one.workers[0].view.clone();
             let remote_node = one.partition.part_nodes(1)[2];
             assert!(
                 w0.neighbors(remote_node).len() <= g.degree(remote_node),
@@ -409,8 +409,8 @@ mod tests {
             for (wa, wb) in one.workers.iter().zip(&four.workers) {
                 let other = (wa.worker_id + 1) % one.workers.len();
                 let remote = one.partition.part_nodes(other as u32)[0];
-                let mut va = wa.view.clone();
-                let mut vb = wb.view.clone();
+                let va = wa.view.clone();
+                let vb = wb.view.clone();
                 assert_eq!(
                     va.neighbors(remote),
                     vb.neighbors(remote),

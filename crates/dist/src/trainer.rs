@@ -10,7 +10,7 @@ use splpg_gnn::trainer::{
 };
 use splpg_graph::Graph;
 use splpg_gnn::{
-    FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler,
+    FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler, SamplerScratch,
 };
 use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy};
 use splpg_nn::{Adam, Optimizer, ParamSet};
@@ -384,6 +384,8 @@ impl DistTrainer {
         // the periodic evaluations reuse one arena each across epochs.
         let mut correction_tape = Tape::new();
         let mut eval_tape = Tape::new();
+        let mut correction_scratch = SamplerScratch::new();
+        let mut eval_scratch = SamplerScratch::new();
 
         let mut global_flat = master_params.to_flat();
         let mut epochs = Vec::with_capacity(self.train.epochs);
@@ -438,20 +440,21 @@ impl DistTrainer {
                     let mut batch = data.split.train.clone();
                     batch.shuffle(&mut correction_rng);
                     batch.truncate(self.train.batch_size.min(batch.len()));
-                    let mut ga = FullGraphAccess::new(train_graph);
+                    let ga = FullGraphAccess::new(train_graph);
                     let mut fa = FullFeatureAccess::new(&data.features);
                     let negative_sampler =
                         PerSourceNegativeSampler::global(data.graph.num_nodes());
                     let (_, grads) = batch_grads(
                         &master_model,
                         &master_params,
-                        &mut ga,
+                        &ga,
                         &mut fa,
                         &sampler,
                         &negative_sampler,
                         &batch,
                         &mut correction_rng,
                         &mut correction_tape,
+                        &mut correction_scratch,
                     )
                     .map_err(|e| DistError::Worker(e.to_string()))?;
                     correction_opt.step(&mut master_params, &grads);
@@ -470,12 +473,12 @@ impl DistTrainer {
                     master_params
                         .load_flat(&global_flat)
                         .map_err(|e| DistError::Worker(e.to_string()))?;
-                    let mut ga = FullGraphAccess::new(train_graph);
+                    let ga = FullGraphAccess::new(train_graph);
                     let mut fa = FullFeatureAccess::new(&data.features);
                     let hits = evaluate_hits(
                         &master_model,
                         &master_params,
-                        &mut ga,
+                        &ga,
                         &mut fa,
                         &eval_sampler,
                         &data.split.valid,
@@ -483,6 +486,7 @@ impl DistTrainer {
                         self.train.hits_k,
                         &mut master_rng,
                         &mut eval_tape,
+                        &mut eval_scratch,
                     )
                     .map_err(|e| DistError::Eval(e.to_string()))?;
                     if hits > best.0 {
@@ -500,12 +504,12 @@ impl DistTrainer {
         loop_result?;
 
         master_params.load_flat(&best.1).map_err(|e| DistError::Worker(e.to_string()))?;
-        let mut ga = FullGraphAccess::new(train_graph);
+        let ga = FullGraphAccess::new(train_graph);
         let mut fa = FullFeatureAccess::new(&data.features);
         let test_hits = evaluate_hits(
             &master_model,
             &master_params,
-            &mut ga,
+            &ga,
             &mut fa,
             &eval_sampler,
             &data.split.test,
@@ -513,6 +517,7 @@ impl DistTrainer {
             self.train.hits_k,
             &mut master_rng,
             &mut eval_tape,
+            &mut eval_scratch,
         )
         .map_err(|e| DistError::Eval(e.to_string()))?;
 

@@ -139,26 +139,28 @@ impl WorkerView {
         self.feature_local[v as usize]
     }
 
-    fn remote_neighbors(&self, v: NodeId) -> Vec<(NodeId, f32)> {
-        let list = match &self.remote {
-            RemoteMode::None => return Vec::new(),
-            RemoteMode::Full { graph } => neighbor_list(graph, v),
+    /// Appends `v`'s remote neighbor list to `out` and meters the
+    /// transfer: the requested node id plus one edge record per returned
+    /// neighbor — identical pricing to the pre-`neighbors_into` fetch
+    /// path, so the wire-traffic ledger reconciles exactly.
+    fn remote_neighbors_into(&self, v: NodeId, out: &mut Vec<(NodeId, f32)>) {
+        let before = out.len();
+        match &self.remote {
+            RemoteMode::None => return,
+            RemoteMode::Full { graph } => neighbor_list_into(graph, v, out),
             RemoteMode::Sparsified { parts, owner } => {
-                neighbor_list(&parts[owner[v as usize] as usize], v)
+                neighbor_list_into(&parts[owner[v as usize] as usize], v, out)
             }
-        };
-        // Price the transfer: the requested node id plus one edge record
-        // per returned neighbor.
-        self.tracker.add_structure(list.len() as u64, 1);
-        list
+        }
+        self.tracker.add_structure((out.len() - before) as u64, 1);
     }
 }
 
-fn neighbor_list(graph: &Graph, v: NodeId) -> Vec<(NodeId, f32)> {
+fn neighbor_list_into(graph: &Graph, v: NodeId, out: &mut Vec<(NodeId, f32)>) {
     let ids = graph.neighbors(v);
     match graph.neighbor_weights(v) {
-        Some(ws) => ids.iter().copied().zip(ws.iter().copied()).collect(),
-        None => ids.iter().map(|&u| (u, 1.0)).collect(),
+        Some(ws) => out.extend(ids.iter().copied().zip(ws.iter().copied())),
+        None => out.extend(ids.iter().map(|&u| (u, 1.0))),
     }
 }
 
@@ -167,7 +169,7 @@ impl GraphAccess for WorkerView {
         self.local.num_nodes()
     }
 
-    fn degree(&mut self, v: NodeId) -> usize {
+    fn degree(&self, v: NodeId) -> usize {
         if self.structure_local[v as usize] {
             self.local.degree(v)
         } else {
@@ -183,15 +185,15 @@ impl GraphAccess for WorkerView {
         }
     }
 
-    fn neighbors(&mut self, v: NodeId) -> Vec<(NodeId, f32)> {
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<(NodeId, f32)>) {
         if self.structure_local[v as usize] {
-            neighbor_list(&self.local, v)
+            neighbor_list_into(&self.local, v, out);
         } else {
-            self.remote_neighbors(v)
+            self.remote_neighbors_into(v, out);
         }
     }
 
-    fn has_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         if self.local.has_edge(u, v) {
             return true;
         }
@@ -273,7 +275,7 @@ mod tests {
 
     #[test]
     fn remote_none_hides_outside_world() {
-        let (mut v, _) = fixture(RemoteMode::None);
+        let (v, _) = fixture(RemoteMode::None);
         assert!(v.neighbors(3).is_empty());
         assert_eq!(v.degree(3), 0);
         assert!(!v.has_edge(2, 3));
@@ -282,7 +284,7 @@ mod tests {
     #[test]
     fn full_sharing_meters_structure() {
         let dummy = Graph::empty(1);
-        let (mut v, t) =
+        let (v, t) =
             fixture(RemoteMode::Full { graph: Arc::new(dummy) });
         let nbrs = v.neighbors(3);
         assert_eq!(nbrs.len(), 2); // 2 and 4
@@ -314,7 +316,7 @@ mod tests {
         let features =
             FeatureMatrix::from_rows((0..5).map(|i| vec![i as f32]).collect()).unwrap();
         let tracker = CommTracker::new();
-        let mut view = WorkerView::new(
+        let view = WorkerView::new(
             Arc::new(full),
             Arc::new(vec![true, true, true, false, false]),
             Arc::new(vec![true, true, true, false, false]),
@@ -369,7 +371,7 @@ mod tests {
     #[test]
     fn has_edge_unmetered() {
         let dummy = Graph::empty(1);
-        let (mut v, t) = fixture(RemoteMode::Full { graph: Arc::new(dummy) });
+        let (v, t) = fixture(RemoteMode::Full { graph: Arc::new(dummy) });
         assert!(v.has_edge(3, 4));
         assert_eq!(t.total_bytes(), 0);
     }

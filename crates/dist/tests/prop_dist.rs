@@ -52,8 +52,8 @@ fn local_only_strategies_never_transfer() {
         // Sample from every worker's core nodes: no byte may be metered.
         for w in &s.workers {
             let core = s.partition.part_nodes(w.worker_id as u32);
-            let mut view = w.view.clone();
-            let _ = sampler.sample(&mut view, &core[..core.len().min(4)], &mut r);
+            let view = w.view.clone();
+            let _ = sampler.sample(&view, &core[..core.len().min(4)], &mut r);
         }
         assert_eq!(s.tracker.total_bytes(), 0, "case {case}");
     }
@@ -68,7 +68,7 @@ fn halo_makes_core_one_hop_free() {
         let (n, edges) = rand_graph(&mut r);
         let s = setup(n, &edges, TrainingStrategy::SpLpg, 2, case);
         for w in &s.workers {
-            let mut view = w.view.clone();
+            let view = w.view.clone();
             for &v in s.partition.part_nodes(w.worker_id as u32).iter().take(6) {
                 let before = s.tracker.total_bytes();
                 let _ = view.neighbors(v);
@@ -126,7 +126,7 @@ fn remote_fetch_prices_match_payload() {
         let g = Graph::from_edges(n, &edges).unwrap();
         // Fetch a node owned by worker 1 from worker 0's view.
         let remote = s.partition.part_nodes(1)[0];
-        let mut view = s.workers[0].view.clone();
+        let view = s.workers[0].view.clone();
         if view.is_structure_local(remote) {
             // Halo node: free by design.
             continue;

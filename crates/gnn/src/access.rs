@@ -5,31 +5,43 @@ use splpg_tensor::Tensor;
 
 /// Access to graph structure during sampling.
 ///
-/// Methods take `&mut self` so implementations can *meter* what they serve:
-/// the distributed engine's accessors count every byte of structure that a
-/// worker pulls from the master's shared memory, which is exactly the
-/// communication-cost metric of the paper (cumulative data transferred per
-/// epoch). Local in-memory adapters simply ignore the mutability.
-pub trait GraphAccess {
+/// Methods take `&self` and the trait requires `Sync` so the parallel
+/// sampler can fetch neighbor lists from several pool workers at once.
+/// Implementations still *meter* what they serve — the distributed
+/// engine's accessors count every byte of structure a worker pulls from
+/// the master's shared memory, exactly the communication-cost metric of
+/// the paper — but do so through interior mutability (atomic counters, a
+/// mutex-guarded cache), which is what makes shared-reference access
+/// sound.
+pub trait GraphAccess: Sync {
     /// Number of nodes in the accessible universe (global id space).
     fn num_nodes(&self) -> usize;
 
     /// Degree of `v` in the accessible graph.
-    fn degree(&mut self, v: NodeId) -> usize;
+    fn degree(&self, v: NodeId) -> usize;
 
     /// Full weighted neighbor list of `v`.
-    fn neighbors(&mut self, v: NodeId) -> Vec<(NodeId, f32)>;
+    fn neighbors(&self, v: NodeId) -> Vec<(NodeId, f32)> {
+        let mut out = Vec::new();
+        self.neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Appends the full weighted neighbor list of `v` to `out` — the
+    /// allocation-free primitive the sampler's per-worker scratch uses
+    /// (implementations meter here exactly as for [`Self::neighbors`]).
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<(NodeId, f32)>);
 
     /// Whether edge `(u, v)` exists in the accessible graph (used for
     /// negative-sample rejection).
-    fn has_edge(&mut self, u: NodeId, v: NodeId) -> bool;
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
 
     /// Samples up to `fanout` neighbors of `v` without replacement
     /// (`None` = full neighborhood). Implementations that fetch remotely
     /// should meter only the sampled neighbors — DGL's samplers likewise
     /// perform remote sampling server-side and ship only the result.
     fn sample_neighbors<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         v: NodeId,
         fanout: Option<usize>,
         rng: &mut R,
@@ -93,19 +105,19 @@ impl GraphAccess for FullGraphAccess<'_> {
         self.graph.num_nodes()
     }
 
-    fn degree(&mut self, v: NodeId) -> usize {
+    fn degree(&self, v: NodeId) -> usize {
         self.graph.degree(v)
     }
 
-    fn neighbors(&mut self, v: NodeId) -> Vec<(NodeId, f32)> {
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<(NodeId, f32)>) {
         let ids = self.graph.neighbors(v);
         match self.graph.neighbor_weights(v) {
-            Some(ws) => ids.iter().copied().zip(ws.iter().copied()).collect(),
-            None => ids.iter().map(|&u| (u, 1.0)).collect(),
+            Some(ws) => out.extend(ids.iter().copied().zip(ws.iter().copied())),
+            None => out.extend(ids.iter().map(|&u| (u, 1.0))),
         }
     }
 
-    fn has_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.graph.has_edge(u, v)
     }
 }
@@ -145,7 +157,7 @@ mod tests {
     #[test]
     fn full_access_mirrors_graph() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         assert_eq!(a.num_nodes(), 5);
         assert_eq!(a.degree(0), 4);
         assert_eq!(a.neighbors(1), vec![(0, 1.0), (2, 1.0)]);
@@ -156,7 +168,7 @@ mod tests {
     #[test]
     fn sample_neighbors_respects_fanout() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(0);
         let s = a.sample_neighbors(0, Some(2), &mut rng);
         assert_eq!(s.len(), 2);
@@ -169,7 +181,7 @@ mod tests {
     #[test]
     fn sampled_neighbors_distinct() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         let mut rng = splpg_rng::rngs::StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let s = a.sample_neighbors(0, Some(3), &mut rng);
@@ -196,7 +208,7 @@ mod tests {
         let mut b = splpg_graph::GraphBuilder::new(3);
         b.add_weighted_edge(0, 1, 2.5).unwrap();
         let g = b.build();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         assert_eq!(a.neighbors(0), vec![(1, 2.5)]);
     }
 }

@@ -172,19 +172,21 @@ mod tests {
 
         let fast = score_edges_full_graph(&model, &params, &g, &feature_tensor(&f), &edges);
 
-        let mut ga = FullGraphAccess::new(&g);
+        let ga = FullGraphAccess::new(&g);
         let mut fa = FullFeatureAccess::new(&f);
         let mut r = splpg_rng::rngs::StdRng::seed_from_u64(1);
         let mut tape = Tape::new();
+        let mut scratch = crate::SamplerScratch::new();
         let slow = crate::trainer::score_edges(
             &model,
             &params,
-            &mut ga,
+            &ga,
             &mut fa,
             &NeighborSampler::full(2),
             &edges,
             &mut r,
             &mut tape,
+            &mut scratch,
         );
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-4, "full-graph {a} vs sampled {b}");

@@ -41,7 +41,7 @@ pub use block::{Block, MiniBatch};
 pub use models::{Gat, GatV2, Gcn, Gin, GnnModel, GraphSage};
 pub use negative::{global_uniform_negatives, PerSourceNegativeSampler};
 pub use predictor::{edges_to_pairs, EdgePredictor, LinkPredictor};
-pub use sampler::NeighborSampler;
+pub use sampler::{NeighborSampler, SampleStats, SamplerScratch};
 
 use splpg_graph::NodeId;
 

@@ -51,7 +51,7 @@ impl PerSourceNegativeSampler {
     /// space).
     pub fn sample_destination<A: GraphAccess, R: Rng + ?Sized>(
         &self,
-        access: &mut A,
+        access: &A,
         source: NodeId,
         rng: &mut R,
     ) -> Result<NodeId, GnnError> {
@@ -76,7 +76,7 @@ impl PerSourceNegativeSampler {
     /// Propagates [`GnnError::NegativeSampling`] from any draw.
     pub fn sample_for_edges<A: GraphAccess, R: Rng + ?Sized>(
         &self,
-        access: &mut A,
+        access: &A,
         positives: &[Edge],
         rng: &mut R,
     ) -> Result<Vec<Edge>, GnnError> {
@@ -100,7 +100,7 @@ impl PerSourceNegativeSampler {
 ///
 /// [`GnnError::NegativeSampling`] if the attempt budget is exhausted.
 pub fn global_uniform_negatives<A: GraphAccess, R: Rng + ?Sized>(
-    access: &mut A,
+    access: &A,
     count: usize,
     rng: &mut R,
 ) -> Result<Vec<Edge>, GnnError> {
@@ -146,11 +146,11 @@ mod tests {
     #[test]
     fn destinations_avoid_neighbors_and_self() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         let s = PerSourceNegativeSampler::global(8);
         let mut r = rng();
         for _ in 0..100 {
-            let d = s.sample_destination(&mut a, 1, &mut r).unwrap();
+            let d = s.sample_destination(&a, 1, &mut r).unwrap();
             assert_ne!(d, 1);
             assert!(!g.has_edge(1, d), "destination {d} is a neighbor");
         }
@@ -159,12 +159,12 @@ mod tests {
     #[test]
     fn restricted_space_respected() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         // Local space = partition {4..8}.
         let s = PerSourceNegativeSampler::new(vec![4, 5, 6, 7]);
         let mut r = rng();
         for _ in 0..50 {
-            let d = s.sample_destination(&mut a, 4, &mut r).unwrap();
+            let d = s.sample_destination(&a, 4, &mut r).unwrap();
             assert!((4..8).contains(&d));
             assert!(!g.has_edge(4, d));
         }
@@ -175,10 +175,10 @@ mod tests {
         // Node 0 in a triangle with space {0,1,2}: all non-self nodes are
         // neighbors.
         let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         let s = PerSourceNegativeSampler::new(vec![0, 1, 2]);
         assert!(matches!(
-            s.sample_destination(&mut a, 0, &mut rng()),
+            s.sample_destination(&a, 0, &mut rng()),
             Err(GnnError::NegativeSampling(_))
         ));
     }
@@ -186,10 +186,10 @@ mod tests {
     #[test]
     fn per_edge_sampling_preserves_sources() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
+        let a = FullGraphAccess::new(&g);
         let s = PerSourceNegativeSampler::global(8);
         let positives = g.edges().to_vec();
-        let negs = s.sample_for_edges(&mut a, &positives, &mut rng()).unwrap();
+        let negs = s.sample_for_edges(&a, &positives, &mut rng()).unwrap();
         assert_eq!(negs.len(), positives.len());
         for (p, n) in positives.iter().zip(&negs) {
             assert!(n.src == p.src || n.dst == p.src, "negative must share the source");
@@ -200,8 +200,8 @@ mod tests {
     #[test]
     fn global_uniform_rejects_edges() {
         let g = graph();
-        let mut a = FullGraphAccess::new(&g);
-        let negs = global_uniform_negatives(&mut a, 30, &mut rng()).unwrap();
+        let a = FullGraphAccess::new(&g);
+        let negs = global_uniform_negatives(&a, 30, &mut rng()).unwrap();
         assert_eq!(negs.len(), 30);
         for e in &negs {
             assert!(!g.has_edge(e.src, e.dst));
@@ -212,8 +212,8 @@ mod tests {
     #[test]
     fn global_uniform_tiny_graph_errors() {
         let g = Graph::empty(1);
-        let mut a = FullGraphAccess::new(&g);
-        assert!(global_uniform_negatives(&mut a, 1, &mut rng()).is_err());
+        let a = FullGraphAccess::new(&g);
+        assert!(global_uniform_negatives(&a, 1, &mut rng()).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use splpg_tensor::{Tape, Tensor};
 use crate::{
     edges_to_pairs, metrics, EdgePredictor, FeatureAccess, FullFeatureAccess, FullGraphAccess,
     Gat, GatV2, Gcn, Gin, GnnError, GraphAccess, GraphSage, LinkPredictor, NeighborSampler,
-    PerSourceNegativeSampler,
+    PerSourceNegativeSampler, SamplerScratch,
 };
 
 /// Which GNN architecture to instantiate.
@@ -146,8 +146,9 @@ impl TrainConfig {
 /// 20–28): draws per-source negatives, samples blocks, runs
 /// forward/backward.
 ///
-/// `tape` is reset and reused: a trainer holds one tape across steps so the
-/// steady-state step draws every buffer from the tape's arena instead of
+/// `tape` and `scratch` are reset and reused: a trainer holds one tape and
+/// one sampler scratch across steps so the steady-state step draws every
+/// buffer from the tape's arena and the sampler's worker scratch instead of
 /// the allocator. Recycle the returned gradients back into the tape
 /// ([`Tape::recycle`]) once the optimizer has consumed them.
 ///
@@ -158,13 +159,14 @@ impl TrainConfig {
 pub fn batch_grads<G, F>(
     model: &LinkPredictor,
     params: &ParamSet,
-    graph_access: &mut G,
+    graph_access: &G,
     feature_access: &mut F,
     sampler: &NeighborSampler,
     negative_sampler: &PerSourceNegativeSampler,
     positives: &[Edge],
     rng: &mut StdRng,
     tape: &mut Tape,
+    scratch: &mut SamplerScratch,
 ) -> Result<(f32, Vec<Tensor>), GnnError>
 where
     G: GraphAccess,
@@ -172,7 +174,7 @@ where
 {
     let negatives = negative_sampler.sample_for_edges(graph_access, positives, rng)?;
     let (seeds, pairs, labels) = edges_to_pairs(positives, &negatives);
-    let batch = sampler.sample(graph_access, &seeds, rng);
+    let batch = sampler.sample_with(graph_access, &seeds, rng, scratch);
 
     tape.reset();
     let binding = params.bind(tape);
@@ -191,17 +193,19 @@ where
 }
 
 /// Scores a list of edges under the current parameters (no gradients,
-/// full-precision eval pass). Resets and reuses `tape` per chunk.
+/// full-precision eval pass). Resets and reuses `tape` and `scratch` per
+/// chunk.
 #[allow(clippy::too_many_arguments)]
 pub fn score_edges<G, F>(
     model: &LinkPredictor,
     params: &ParamSet,
-    graph_access: &mut G,
+    graph_access: &G,
     feature_access: &mut F,
     sampler: &NeighborSampler,
     edges: &[Edge],
     rng: &mut StdRng,
     tape: &mut Tape,
+    scratch: &mut SamplerScratch,
 ) -> Vec<f32>
 where
     G: GraphAccess,
@@ -212,7 +216,7 @@ where
     // the chunk working set warm instead of reallocating it per chunk.
     for chunk in edges.chunks(1024) {
         let (seeds, pairs, _) = edges_to_pairs(chunk, &[]);
-        let batch = sampler.sample(graph_access, &seeds, rng);
+        let batch = sampler.sample_with(graph_access, &seeds, rng, scratch);
         tape.reset();
         let binding = params.bind(tape);
         let input_nodes = batch.input_nodes();
@@ -234,7 +238,7 @@ where
 pub fn evaluate_hits<G, F>(
     model: &LinkPredictor,
     params: &ParamSet,
-    graph_access: &mut G,
+    graph_access: &G,
     feature_access: &mut F,
     sampler: &NeighborSampler,
     positives: &[Edge],
@@ -242,15 +246,18 @@ pub fn evaluate_hits<G, F>(
     k: usize,
     rng: &mut StdRng,
     tape: &mut Tape,
+    scratch: &mut SamplerScratch,
 ) -> Result<f64, GnnError>
 where
     G: GraphAccess,
     F: FeatureAccess,
 {
-    let pos =
-        score_edges(model, params, graph_access, feature_access, sampler, positives, rng, tape);
-    let neg =
-        score_edges(model, params, graph_access, feature_access, sampler, negatives, rng, tape);
+    let pos = score_edges(
+        model, params, graph_access, feature_access, sampler, positives, rng, tape, scratch,
+    );
+    let neg = score_edges(
+        model, params, graph_access, feature_access, sampler, negatives, rng, tape, scratch,
+    );
     metrics::hits_at_k(&pos, &neg, k)
 }
 
@@ -316,27 +323,31 @@ pub fn train_centralized(
     let mut history = TrainHistory::default();
     let mut best = (f64::NEG_INFINITY, params.to_flat());
     let mut train_edges = split.train.clone();
-    // One tape per loop: train batches and eval chunks have different
-    // shapes, so separate tapes keep each arena at its own fixed point.
+    // One tape + sampler scratch per loop: train batches and eval chunks
+    // have different shapes, so separate instances keep each arena at its
+    // own fixed point.
     let mut tape = Tape::new();
     let mut eval_tape = Tape::new();
+    let mut scratch = SamplerScratch::new();
+    let mut eval_scratch = SamplerScratch::new();
     for _epoch in 0..config.epochs {
         train_edges.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in train_edges.chunks(config.batch_size) {
-            let mut ga = FullGraphAccess::new(&train_graph);
+            let ga = FullGraphAccess::new(&train_graph);
             let mut fa = FullFeatureAccess::new(features);
             let (loss, grads) = batch_grads(
                 &model,
                 &params,
-                &mut ga,
+                &ga,
                 &mut fa,
                 &sampler,
                 &negative_sampler,
                 chunk,
                 &mut rng,
                 &mut tape,
+                &mut scratch,
             )?;
             opt.step(&mut params, &grads);
             for g in grads {
@@ -347,12 +358,12 @@ pub fn train_centralized(
         }
         history.losses.push((epoch_loss / batches.max(1) as f64) as f32);
 
-        let mut ga = FullGraphAccess::new(&train_graph);
+        let ga = FullGraphAccess::new(&train_graph);
         let mut fa = FullFeatureAccess::new(features);
         let hits = evaluate_hits(
             &model,
             &params,
-            &mut ga,
+            &ga,
             &mut fa,
             &eval_sampler,
             &split.valid,
@@ -360,6 +371,7 @@ pub fn train_centralized(
             config.hits_k,
             &mut rng,
             &mut eval_tape,
+            &mut eval_scratch,
         )?;
         history.valid_hits.push(hits);
         if hits > best.0 {
@@ -367,12 +379,12 @@ pub fn train_centralized(
         }
     }
     params.load_flat(&best.1).expect("same parameter structure");
-    let mut ga = FullGraphAccess::new(&train_graph);
+    let ga = FullGraphAccess::new(&train_graph);
     let mut fa = FullFeatureAccess::new(features);
     let test_hits = evaluate_hits(
         &model,
         &params,
-        &mut ga,
+        &ga,
         &mut fa,
         &eval_sampler,
         &split.test,
@@ -380,6 +392,7 @@ pub fn train_centralized(
         config.hits_k,
         &mut rng,
         &mut eval_tape,
+        &mut eval_scratch,
     )?;
     Ok(TrainedModel { model, params, history, test_hits })
 }
@@ -490,11 +503,15 @@ mod tests {
         let model = config.build_model(ModelKind::Gcn, f.dim(), &mut params, &mut rng);
         let sampler = NeighborSampler::full(config.layers);
         let run = || {
-            let mut ga = FullGraphAccess::new(&g);
+            let ga = FullGraphAccess::new(&g);
             let mut fa = FullFeatureAccess::new(&f);
             let mut r = StdRng::seed_from_u64(9);
             let mut tape = Tape::new();
-            score_edges(&model, &params, &mut ga, &mut fa, &sampler, &split.test, &mut r, &mut tape)
+            let mut scratch = SamplerScratch::new();
+            score_edges(
+                &model, &params, &ga, &mut fa, &sampler, &split.test, &mut r, &mut tape,
+                &mut scratch,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -41,8 +41,8 @@ fn sampled_batches_always_validate() {
         let fanout = if r.gen_bool(0.5) { Some(r.gen_range(1usize..6)) } else { None };
         let seeds: Vec<NodeId> = (0..4).map(|i| (i * 7 % n) as NodeId).collect();
         let sampler = NeighborSampler::new(vec![fanout; layers]);
-        let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut r);
+        let access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&access, &seeds, &mut r);
         batch.validate().unwrap();
         assert_eq!(batch.blocks.len(), layers, "case {case}");
     }
@@ -57,8 +57,8 @@ fn fanout_limits_per_destination_edges() {
         let fanout = r.gen_range(1usize..5);
         let seeds: Vec<NodeId> = (0..n.min(6)).map(|i| i as NodeId).collect();
         let sampler = NeighborSampler::new(vec![Some(fanout)]);
-        let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut r);
+        let access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&access, &seeds, &mut r);
         let block = &batch.blocks[0];
         let mut per_dst = vec![0usize; block.num_dst];
         for &d in &block.edge_dst {
@@ -76,8 +76,8 @@ fn block_edges_exist_in_graph() {
         let n = g.num_nodes();
         let seeds: Vec<NodeId> = vec![0, (n / 2) as NodeId];
         let sampler = NeighborSampler::full(2);
-        let mut access = FullGraphAccess::new(&g);
-        let batch = sampler.sample(&mut access, &seeds, &mut r);
+        let access = FullGraphAccess::new(&g);
+        let batch = sampler.sample(&access, &seeds, &mut r);
         for block in &batch.blocks {
             for (&s, &d) in block.edge_src.iter().zip(&block.edge_dst) {
                 let gs = block.src_ids[s as usize];
@@ -98,13 +98,13 @@ fn negatives_never_collide_with_edges() {
             continue;
         }
         let sampler = PerSourceNegativeSampler::global(n);
-        let mut access = FullGraphAccess::new(&g);
+        let access = FullGraphAccess::new(&g);
         for v in 0..(n as NodeId).min(8) {
             // Skip sources connected to everything.
             if g.degree(v) + 1 >= n {
                 continue;
             }
-            if let Ok(d) = sampler.sample_destination(&mut access, v, &mut r) {
+            if let Ok(d) = sampler.sample_destination(&access, v, &mut r) {
                 assert!(!g.has_edge(v, d), "case {case}");
                 assert_ne!(d, v, "case {case}");
             }

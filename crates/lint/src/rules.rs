@@ -39,6 +39,7 @@ pub const RULE_NAMES: &[&str] = &[
     RULE_FORBID_UNSAFE,
     RULE_PRINT_MACRO,
     RULE_TAPE_IN_LOOP,
+    RULE_ALLOC_IN_HOT_LOOP,
 ];
 
 pub const RULE_HASH_ITER: &str = "hash-iter";
@@ -48,6 +49,11 @@ pub const RULE_UNWRAP: &str = "unwrap-expect";
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_PRINT_MACRO: &str = "print-macro";
 pub const RULE_TAPE_IN_LOOP: &str = "tape-in-loop";
+pub const RULE_ALLOC_IN_HOT_LOOP: &str = "alloc-in-hot-loop";
+
+/// Files whose loop bodies are sampling/training hot paths: fresh `Vec`s
+/// per iteration there defeat the reusable-scratch design.
+pub const HOT_LOOP_FILES: &[&str] = &["crates/gnn/src/sampler.rs"];
 
 /// One-line description per rule (for `splpg-lint rules`).
 pub fn describe(rule: &str) -> &'static str {
@@ -86,6 +92,13 @@ pub fn describe(rule: &str) -> &'static str {
              every step — hoist one Tape out of the loop and let reset() \
              recycle its arena (allow with a reason where a cold-start \
              tape per iteration is the point)"
+        }
+        RULE_ALLOC_IN_HOT_LOOP => {
+            "no Vec::new()/vec![…] inside loop bodies of sampling hot \
+             paths (crates/gnn/src/sampler.rs): per-iteration empty Vecs \
+             reallocate from cold every hop — reuse SamplerScratch \
+             buffers, or Vec::with_capacity for output-owned arrays sized \
+             once before the loop"
         }
         _ => "unknown rule",
     }
@@ -146,6 +159,7 @@ pub fn check(path: &str, file: &SourceFile) -> Vec<Diagnostic> {
 
     forbid_unsafe(path, &scope, file, &allows, &mut out);
     tape_in_loop(path, &scope, file, &allows, &mut out);
+    alloc_in_hot_loop(path, file, &allows, &mut out);
     out
 }
 
@@ -307,30 +321,23 @@ enum LoopEv {
     LoopKw,
     /// `impl` keyword; cancels a following `for` (trait impls, not loops).
     ImplKw,
-    /// A `Tape::new` occurrence.
-    TapeNew,
+    /// A flagged token occurrence (index into the scanner's token list).
+    Hit(usize),
 }
 
-/// Flags `Tape::new()` inside loop bodies of non-test library code: a
-/// fresh tape per iteration defeats the arena — its buffers are rebuilt
-/// from cold every step instead of being recycled by `Tape::reset()`.
+/// Scans non-test library code for occurrences of `tokens` inside loop
+/// bodies, invoking `report(line_idx, token_idx)` for each.
 ///
 /// Loop bodies are tracked by brace matching on the masked code: a `{`
 /// preceded (in the same statement) by a `for`/`while`/`loop` keyword
 /// opens a loop scope. `impl … for … {` and higher-ranked `for<…>` bounds
-/// are recognized and do not open loop scopes.
-fn tape_in_loop(
-    path: &str,
-    scope: &FileScope,
+/// are recognized and do not open loop scopes. A token entry ending in
+/// `!` matches the bare word immediately followed by `!` (macro calls).
+fn scan_loop_bodies(
     file: &SourceFile,
-    allows: &[Vec<String>],
-    out: &mut Vec<Diagnostic>,
+    tokens: &[&str],
+    mut report: impl FnMut(usize, usize),
 ) {
-    if scope.is_binary {
-        // Binaries may build throwaway tapes (e.g. a bench's cold-start
-        // baseline measures exactly that cost).
-        return;
-    }
     let mut stack: Vec<bool> = Vec::new();
     let mut pending_loop = false;
     let mut pending_impl = false;
@@ -358,8 +365,18 @@ fn tape_in_loop(
         for at in find_word(code, "impl") {
             events.push((at, LoopEv::ImplKw));
         }
-        for at in find_word(code, "Tape::new") {
-            events.push((at, LoopEv::TapeNew));
+        for (ti, token) in tokens.iter().enumerate() {
+            if let Some(bare) = token.strip_suffix('!') {
+                for at in find_word(code, bare) {
+                    if code[at + bare.len()..].starts_with('!') {
+                        events.push((at, LoopEv::Hit(ti)));
+                    }
+                }
+            } else {
+                for at in find_word(code, token) {
+                    events.push((at, LoopEv::Hit(ti)));
+                }
+            }
         }
         events.sort_by_key(|&(at, _)| at);
         for (_, ev) in events {
@@ -378,25 +395,75 @@ fn tape_in_loop(
                 }
                 LoopEv::LoopKw => pending_loop = true,
                 LoopEv::ImplKw => pending_impl = true,
-                LoopEv::TapeNew => {
-                    if !line.in_test
-                        && stack.iter().any(|&is_loop| is_loop)
-                        && !allowed(allows, file, idx, RULE_TAPE_IN_LOOP)
-                    {
-                        out.push(Diagnostic {
-                            path: path.to_string(),
-                            line: idx + 1,
-                            rule: RULE_TAPE_IN_LOOP,
-                            message: "Tape::new() inside a loop body: hoist the tape out \
-                                      of the loop and call reset() per iteration so its \
-                                      arena is recycled instead of reallocated"
-                                .to_string(),
-                        });
+                LoopEv::Hit(ti) => {
+                    if !line.in_test && stack.iter().any(|&is_loop| is_loop) {
+                        report(idx, ti);
                     }
                 }
             }
         }
     }
+}
+
+/// Flags `Tape::new()` inside loop bodies of non-test library code: a
+/// fresh tape per iteration defeats the arena — its buffers are rebuilt
+/// from cold every step instead of being recycled by `Tape::reset()`.
+fn tape_in_loop(
+    path: &str,
+    scope: &FileScope,
+    file: &SourceFile,
+    allows: &[Vec<String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    if scope.is_binary {
+        // Binaries may build throwaway tapes (e.g. a bench's cold-start
+        // baseline measures exactly that cost).
+        return;
+    }
+    scan_loop_bodies(file, &["Tape::new"], |idx, _| {
+        if !allowed(allows, file, idx, RULE_TAPE_IN_LOOP) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: RULE_TAPE_IN_LOOP,
+                message: "Tape::new() inside a loop body: hoist the tape out \
+                          of the loop and call reset() per iteration so its \
+                          arena is recycled instead of reallocated"
+                    .to_string(),
+            });
+        }
+    });
+}
+
+/// Flags `Vec::new()` / `vec![…]` inside loop bodies of sampling hot
+/// paths ([`HOT_LOOP_FILES`]): a fresh empty Vec per frontier node or hop
+/// regrows from zero capacity every iteration — exactly the allocation
+/// churn the per-worker [`SamplerScratch`] buffers exist to absorb.
+/// `Vec::with_capacity` (sized once from known totals) is allowed.
+fn alloc_in_hot_loop(
+    path: &str,
+    file: &SourceFile,
+    allows: &[Vec<String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !HOT_LOOP_FILES.iter().any(|f| path.ends_with(f)) {
+        return;
+    }
+    scan_loop_bodies(file, &["Vec::new", "vec!"], |idx, ti| {
+        if !allowed(allows, file, idx, RULE_ALLOC_IN_HOT_LOOP) {
+            let token = if ti == 0 { "Vec::new()" } else { "vec![…]" };
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: RULE_ALLOC_IN_HOT_LOOP,
+                message: format!(
+                    "{token} inside a sampling hot-loop body: reuse a \
+                     SamplerScratch buffer or hoist a with_capacity \
+                     allocation out of the loop"
+                ),
+            });
+        }
+    });
 }
 
 /// Parses `splpg-lint: allow(rule-a, rule-b)` pragmas out of each line's
@@ -520,6 +587,42 @@ mod tests {
     fn tape_in_loop_pragma_suppresses() {
         let src = "#![forbid(unsafe_code)]\nfn f() {\n    for i in 0..3 {\n        // splpg-lint: allow(tape-in-loop) — cold-start cost is the measurement\n        let t = Tape::new();\n    }\n}\n";
         assert!(diags("crates/gnn/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_fires_for_vec_new_and_vec_macro() {
+        for alloc in ["let mut buf = Vec::new();", "let zs = vec![0.0; n];"] {
+            let src = format!(
+                "#![forbid(unsafe_code)]\nfn f() {{\n    for v in frontier {{\n        {alloc}\n    }}\n}}\n"
+            );
+            let d = diags("crates/gnn/src/sampler.rs", &src);
+            assert_eq!(d.len(), 1, "{alloc}: {d:?}");
+            assert_eq!(d[0].rule, RULE_ALLOC_IN_HOT_LOOP);
+            assert_eq!(d[0].line, 4);
+        }
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_scoped_to_hot_files_and_loops() {
+        // Outside a loop body: with_capacity-style hoisting is the point,
+        // but even a bare Vec::new at fn scope is once-per-call, not per-hop.
+        let outside = "#![forbid(unsafe_code)]\nfn f() {\n    let mut buf = Vec::new();\n    for v in frontier {\n        buf.clear();\n    }\n}\n";
+        assert!(diags("crates/gnn/src/sampler.rs", outside).is_empty());
+        // Same pattern in a non-hot file is not this rule's business.
+        let in_loop = "#![forbid(unsafe_code)]\nfn f() {\n    for v in frontier {\n        let mut buf = Vec::new();\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", in_loop).is_empty());
+        // Test modules may allocate freely.
+        let in_test = "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n    fn t() {\n        for i in 0..3 {\n            let v = vec![i];\n        }\n    }\n}\n";
+        assert!(diags("crates/gnn/src/sampler.rs", in_test).is_empty());
+        // `Vec::with_capacity` never matches the `Vec::new` token.
+        let with_cap = "#![forbid(unsafe_code)]\nfn f() {\n    for v in frontier {\n        let mut buf = Vec::with_capacity(n);\n    }\n}\n";
+        assert!(diags("crates/gnn/src/sampler.rs", with_cap).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_pragma_suppresses() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {\n    for v in frontier {\n        // splpg-lint: allow(alloc-in-hot-loop) — sized exactly once, moved into the batch\n        let buf = Vec::new();\n    }\n}\n";
+        assert!(diags("crates/gnn/src/sampler.rs", src).is_empty());
     }
 
     #[test]

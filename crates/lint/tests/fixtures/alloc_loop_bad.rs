@@ -1,0 +1,20 @@
+// Fixture: fresh empty Vecs inside sampling hot loops regrow from zero
+// capacity every hop/frontier node.
+pub fn expand(frontier: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(frontier.len());
+    for &v in frontier {
+        let mut nbrs = Vec::new();
+        fetch(v, &mut nbrs);
+        out.push(nbrs);
+    }
+    out
+}
+
+pub fn hops(depth: usize) {
+    let mut hop = 0;
+    while hop < depth {
+        let scratch = vec![0u32; 64];
+        consume(&scratch);
+        hop += 1;
+    }
+}

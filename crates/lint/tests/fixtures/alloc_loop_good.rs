@@ -1,0 +1,23 @@
+// Fixture: scratch buffers are hoisted out of the loop and cleared per
+// iteration; with_capacity outputs are sized once before the loop. A
+// reasoned pragma keeps an intentional per-iteration allocation.
+pub fn expand(frontier: &[u32]) -> Vec<u32> {
+    let mut nbrs = Vec::with_capacity(frontier.len() * 8);
+    let mut scratch = Vec::new();
+    for &v in frontier {
+        scratch.clear();
+        fetch(v, &mut scratch);
+        nbrs.extend_from_slice(&scratch);
+    }
+    nbrs
+}
+
+pub fn blocks(seeds: &[u32], parts: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(parts);
+    for range in partition(seeds.len(), parts) {
+        // splpg-lint: allow(alloc-in-hot-loop) — one owned batch per block, moved to the caller
+        let block = Vec::new();
+        out.push(build(range, block));
+    }
+    out
+}

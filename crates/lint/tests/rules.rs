@@ -174,6 +174,31 @@ fn tape_in_loop_passes_good_fixture_and_binaries() {
 }
 
 #[test]
+fn alloc_in_hot_loop_fires_on_bad_fixture() {
+    let d = check_source(
+        "crates/gnn/src/sampler.rs",
+        include_str!("fixtures/alloc_loop_bad.rs"),
+    );
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "alloc-in-hot-loop").collect();
+    assert_eq!(hits.len(), 2, "Vec::new and vec![…] sites: {hits:?}");
+}
+
+#[test]
+fn alloc_in_hot_loop_passes_good_fixture_and_other_files() {
+    let good = fired_content(
+        "crates/gnn/src/sampler.rs",
+        include_str!("fixtures/alloc_loop_good.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+    // Only the sampling hot-path files are in scope.
+    let elsewhere = fired_content(
+        "crates/gnn/src/trainer.rs",
+        include_str!("fixtures/alloc_loop_bad.rs"),
+    );
+    assert!(elsewhere.is_empty(), "non-hot files may allocate in loops: {elsewhere:?}");
+}
+
+#[test]
 fn pragma_reasons_survive_extra_rules_listed() {
     // One pragma can name several rules.
     let src = "#![forbid(unsafe_code)]\n\

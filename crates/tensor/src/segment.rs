@@ -29,9 +29,107 @@ fn min_rows(per_row: usize) -> usize {
     (MIN_CHUNK_FLOPS / per_row.max(1)).max(1)
 }
 
-/// Whether `work` estimated flops justify fan-out on `pool`.
+/// f32 lanes per register block in the row microkernels below: one
+/// 8-lane vector. The blocked loops have compile-time trip counts over
+/// `chunks_exact` slices, the shape LLVM auto-vectorizes without
+/// `unsafe`.
+const LANES: usize = 8;
+
+/// Whether `work` estimated flops justify fan-out on `pool`. Clamps the
+/// configured pool width by [`splpg_par::hardware_threads`]: an
+/// oversubscribed pool (e.g. `SPLPG_NUM_THREADS=8` on a 1-CPU
+/// container) pays fork-join overhead serially for zero overlap, so it
+/// stays on the inline path. Bit-identical either way — only time is
+/// affected.
 fn par(work: usize, pool: &Pool) -> bool {
-    work >= PAR_FLOP_THRESHOLD && pool.threads() > 1
+    work >= PAR_FLOP_THRESHOLD && pool.threads().min(splpg_par::hardware_threads()) > 1
+}
+
+/// Gate for the scatter kernels ([`gather_rows_grad`], [`segment_sum`]):
+/// every worker scans the whole index array to find the rows it owns, an
+/// `O(n)` overhead per chunk, so fan-out only pays when the `m`-wide
+/// accumulate dominates the scan. Narrow rows stay inline.
+fn par_scatter(n: usize, m: usize, pool: &Pool) -> bool {
+    m >= LANES && par(2 * n * m, pool)
+}
+
+/// `o[j] += x[j]` over one row: fixed-width `LANES` blocks plus a scalar
+/// tail. Each element still receives exactly one add, so the blocked
+/// form is bit-identical to the plain zip loop it replaces.
+#[inline]
+fn row_add(o: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(o.len(), x.len(), "row_add shape");
+    let blocks = o.len() / LANES * LANES;
+    let (oh, ot) = o.split_at_mut(blocks);
+    for (ob, xb) in oh.chunks_exact_mut(LANES).zip(x[..blocks].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            ob[j] += xb[j];
+        }
+    }
+    for (ov, &xv) in ot.iter_mut().zip(&x[blocks..]) {
+        *ov += xv;
+    }
+}
+
+/// `o[j] = x[j] * f` over one row, lane-blocked like [`row_add`].
+#[inline]
+fn row_scale_one(o: &mut [f32], x: &[f32], f: f32) {
+    debug_assert_eq!(o.len(), x.len(), "row_scale shape");
+    let blocks = o.len() / LANES * LANES;
+    let (oh, ot) = o.split_at_mut(blocks);
+    for (ob, xb) in oh.chunks_exact_mut(LANES).zip(x[..blocks].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            ob[j] = xb[j] * f;
+        }
+    }
+    for (ov, &xv) in ot.iter_mut().zip(&x[blocks..]) {
+        *ov = xv * f;
+    }
+}
+
+/// Dot product with `LANES` independent accumulators, reduced in a fixed
+/// lane order, plus a scalar tail. Deterministic and identical on the
+/// inline and fan-out paths (both call this), though its rounding
+/// differs from a single left-to-right chain — acceptable here because
+/// [`row_dot`] *is* the reference for itself at every thread count.
+#[inline]
+fn row_dot_one(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "row_dot shape");
+    let blocks = a.len() / LANES * LANES;
+    let mut lanes = [0.0f32; LANES];
+    for (ab, bb) in a[..blocks].chunks_exact(LANES).zip(b[..blocks].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            lanes[j] += ab[j] * bb[j];
+        }
+    }
+    let mut acc = 0.0f32;
+    for &l in &lanes {
+        acc += l;
+    }
+    for (&x, &y) in a[blocks..].iter().zip(&b[blocks..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Row sum with `LANES` accumulators, mirroring [`row_dot_one`].
+#[inline]
+fn row_sum_one(a: &[f32]) -> f32 {
+    let blocks = a.len() / LANES * LANES;
+    let mut lanes = [0.0f32; LANES];
+    for ab in a[..blocks].chunks_exact(LANES) {
+        for j in 0..LANES {
+            lanes[j] += ab[j];
+        }
+    }
+    let mut acc = 0.0f32;
+    for &l in &lanes {
+        acc += l;
+    }
+    for &x in &a[blocks..] {
+        acc += x;
+    }
+    acc
 }
 
 /// Row gather: `out` row `i` is `a`'s row `idx[i]` (`m` columns).
@@ -86,14 +184,14 @@ pub fn gather_rows_grad(grad: &[f32], m: usize, idx: &[u32], da: &mut [f32], poo
         for (i, &src) in idx.iter().enumerate() {
             let src = src as usize;
             if src >= row0 && src < row0 + rows {
-                let o_row = &mut chunk[(src - row0) * m..(src - row0 + 1) * m];
-                for (o, &g) in o_row.iter_mut().zip(&grad[i * m..(i + 1) * m]) {
-                    *o += g;
-                }
+                row_add(
+                    &mut chunk[(src - row0) * m..(src - row0 + 1) * m],
+                    &grad[i * m..(i + 1) * m],
+                );
             }
         }
     };
-    if par(2 * idx.len() * m, pool) {
+    if par_scatter(idx.len(), m, pool) {
         pool.parallel_for_mut(da, m, min_rows(2 * m), run);
     } else {
         run(0, da);
@@ -129,14 +227,11 @@ pub fn segment_sum(a: &[f32], m: usize, seg: &[u32], out: &mut [f32], pool: &Poo
         for (i, &s) in seg.iter().enumerate() {
             let s = s as usize;
             if s >= seg0 && s < seg0 + segs {
-                let o_row = &mut chunk[(s - seg0) * m..(s - seg0 + 1) * m];
-                for (o, &x) in o_row.iter_mut().zip(&a[i * m..(i + 1) * m]) {
-                    *o += x;
-                }
+                row_add(&mut chunk[(s - seg0) * m..(s - seg0 + 1) * m], &a[i * m..(i + 1) * m]);
             }
         }
     };
-    if par(2 * seg.len() * m, pool) {
+    if par_scatter(seg.len(), m, pool) {
         pool.parallel_for_mut(out, m, min_rows(2 * m), run);
     } else {
         run(0, out);
@@ -172,9 +267,11 @@ pub fn segment_sum_grad(grad: &[f32], m: usize, seg: &[u32], da: &mut [f32], poo
 ///
 /// `max` (init `f32::NEG_INFINITY`) and `denom` (init `0.0`) are
 /// caller-provided per-segment scratch of length `num_segments`. The
-/// per-segment passes partition the *segment* arrays (each thread scans
-/// `seg` ascending for its own segments) and the per-row passes partition
-/// `out`; both orders match the scalar reference element for element.
+/// per-row passes (exp, normalize) partition `out` across the pool; the
+/// 1-wide per-segment scans (max, denominator) always run inline, in
+/// ascending row order, matching the scalar reference element for
+/// element. Segments no row maps to keep their initial scratch values
+/// (`-inf` max, `0.0` denominator) and produce no output rows.
 ///
 /// # Panics
 ///
@@ -199,19 +296,12 @@ pub fn segment_softmax(
         return;
     }
     let wide = par(8 * n, pool);
-    // Pass 1: per-segment max.
-    let max_run = |seg0: usize, chunk: &mut [f32]| {
-        for (i, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            if s >= seg0 && s < seg0 + chunk.len() {
-                chunk[s - seg0] = chunk[s - seg0].max(x[i]);
-            }
-        }
-    };
-    if wide {
-        pool.parallel_for_mut(max, 1, 1, max_run);
-    } else {
-        max_run(0, max);
+    // Pass 1: per-segment max. Always inline: a fan-out worker would
+    // re-scan all of `seg` (the whole cost of this 1-wide pass) just to
+    // find its own segments, so parallelism cannot win here.
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        max[s] = max[s].max(x[i]);
     }
     // Pass 2: exponentials, shifted by the segment max.
     let maxes = &*max;
@@ -226,20 +316,10 @@ pub fn segment_softmax(
         exp_run(0, out);
     }
     // Pass 3: per-segment denominators, accumulated in ascending row
-    // order exactly like the scalar reference.
-    let exp = &*out;
-    let denom_run = |seg0: usize, chunk: &mut [f32]| {
-        for (i, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            if s >= seg0 && s < seg0 + chunk.len() {
-                chunk[s - seg0] += exp[i];
-            }
-        }
-    };
-    if wide {
-        pool.parallel_for_mut(denom, 1, 1, denom_run);
-    } else {
-        denom_run(0, denom);
+    // order exactly like the scalar reference. Inline for the same
+    // reason as pass 1: the scan is the whole cost of a 1-wide pass.
+    for (i, &s) in seg.iter().enumerate() {
+        denom[s as usize] += out[i];
     }
     // Pass 4: normalize.
     let div_run = |i0: usize, chunk: &mut [f32]| {
@@ -258,8 +338,8 @@ pub fn segment_softmax(
 /// `da_i = y_i (g_i - sum_{j in segment(i)} y_j g_j)`.
 ///
 /// `seg_dot` (init `0.0`) is caller-provided per-segment scratch; the
-/// dot pass partitions segments (ascending scan), the output pass
-/// partitions rows.
+/// dot pass runs inline (ascending scan), the output pass partitions
+/// rows across the pool.
 ///
 /// # Panics
 ///
@@ -284,18 +364,10 @@ pub fn segment_softmax_grad(
         return;
     }
     let wide = par(6 * n, pool);
-    let dot_run = |seg0: usize, chunk: &mut [f32]| {
-        for (i, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            if s >= seg0 && s < seg0 + chunk.len() {
-                chunk[s - seg0] += y[i] * g[i];
-            }
-        }
-    };
-    if wide {
-        pool.parallel_for_mut(seg_dot, 1, 1, dot_run);
-    } else {
-        dot_run(0, seg_dot);
+    // Per-segment dots stay inline (1-wide scan pass; see
+    // [`segment_softmax`] pass 1).
+    for (i, &s) in seg.iter().enumerate() {
+        seg_dot[s as usize] += y[i] * g[i];
     }
     let dots = &*seg_dot;
     let out_run = |i0: usize, chunk: &mut [f32]| {
@@ -371,10 +443,7 @@ pub fn row_scale(a: &[f32], m: usize, factors: &[f32], out: &mut [f32], pool: &P
     assert_eq!(a.len(), factors.len() * m, "one factor per row");
     let run = |row0: usize, chunk: &mut [f32]| {
         for (r, o_row) in chunk.chunks_mut(m).enumerate() {
-            let f = factors[row0 + r];
-            for (o, &x) in o_row.iter_mut().zip(&a[(row0 + r) * m..(row0 + r + 1) * m]) {
-                *o = x * f;
-            }
+            row_scale_one(o_row, &a[(row0 + r) * m..(row0 + r + 1) * m], factors[row0 + r]);
         }
     };
     if par(2 * a.len(), pool) {
@@ -402,11 +471,7 @@ pub fn row_dot(a: &[f32], b: &[f32], m: usize, out: &mut [f32], pool: &Pool) {
     let run = |row0: usize, chunk: &mut [f32]| {
         for (r, o) in chunk.iter_mut().enumerate() {
             let at = (row0 + r) * m;
-            let mut acc = 0.0f32;
-            for (&x, &y) in a[at..at + m].iter().zip(&b[at..at + m]) {
-                acc += x * y;
-            }
-            *o = acc;
+            *o = row_dot_one(&a[at..at + m], &b[at..at + m]);
         }
     };
     if par(2 * a.len(), pool) {
@@ -481,7 +546,7 @@ pub fn row_sums(a: &[f32], m: usize, out: &mut [f32], pool: &Pool) {
     let run = |row0: usize, chunk: &mut [f32]| {
         for (r, o) in chunk.iter_mut().enumerate() {
             let at = (row0 + r) * m;
-            *o = a[at..at + m].iter().sum();
+            *o = row_sum_one(&a[at..at + m]);
         }
     };
     if par(a.len(), pool) {
@@ -711,6 +776,92 @@ mod tests {
         for (i, &src) in idx.iter().enumerate() {
             assert_eq!(&out[i * 2..(i + 1) * 2], &a[src as usize * 2..(src as usize + 1) * 2]);
         }
+    }
+
+    #[test]
+    fn segment_sum_empty_segments_stay_zero_forward_and_backward() {
+        // 4 segments, rows mapping only to segments 1 and 3: segments 0
+        // and 2 are empty and must keep their zero-initialized rows.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0];
+        let seg = vec![1u32, 3, 1];
+        let mut out = vec![0.0; 4 * 2];
+        segment_sum(&a, 2, &seg, &mut out, &Pool::new(4));
+        assert_eq!(out, vec![0.0, 0.0, 11.0, 22.0, 0.0, 0.0, 3.0, 4.0]);
+        // Backward: da row i is grad row seg[i]; empty segments simply
+        // never appear.
+        let grad = vec![0.5, 0.5, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let mut da = vec![0.0; 3 * 2];
+        segment_sum_grad(&grad, 2, &seg, &mut da, &Pool::new(4));
+        assert_eq!(da, vec![1.0, 1.0, 3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_sum_with_no_rows_leaves_output_zero() {
+        let a: Vec<f32> = Vec::new();
+        let seg: Vec<u32> = Vec::new();
+        let mut out = vec![0.0; 3 * 2];
+        segment_sum(&a, 2, &seg, &mut out, &Pool::new(2));
+        assert!(out.iter().all(|&v| v == 0.0));
+        let mut da: Vec<f32> = Vec::new();
+        segment_sum_grad(&[0.0; 6], 2, &seg, &mut da, &Pool::new(2));
+        assert!(da.is_empty());
+    }
+
+    #[test]
+    fn segment_softmax_single_row_segment_forward_and_backward() {
+        // Segment 0 has one row (softmax == 1.0), segment 1 has two,
+        // segment 2 is empty.
+        let x = vec![3.0, 0.0, 0.0];
+        let seg = vec![0u32, 1, 1];
+        let mut max = vec![f32::NEG_INFINITY; 3];
+        let mut denom = vec![0.0; 3];
+        let mut out = vec![0.0; 3];
+        segment_softmax(&x, &seg, &mut max, &mut denom, &mut out, &Pool::new(4));
+        assert_eq!(out[0], 1.0, "single-row segment normalizes to 1");
+        assert!((out[1] - 0.5).abs() < 1e-6 && (out[2] - 0.5).abs() < 1e-6);
+        // The empty segment keeps its init scratch and contributes no rows.
+        assert_eq!(max[2], f32::NEG_INFINITY);
+        assert_eq!(denom[2], 0.0);
+        // Backward: a single-row segment's softmax is constant, so its
+        // gradient must vanish exactly.
+        let g = vec![0.7, 1.0, -1.0];
+        let mut seg_dot = vec![0.0; 3];
+        let mut da = vec![0.0; 3];
+        segment_softmax_grad(&out, &g, &seg, &mut seg_dot, &mut da, &Pool::new(4));
+        assert_eq!(da[0], 0.0, "constant output => zero gradient");
+        assert!((da[1] - 0.5).abs() < 1e-6 && (da[2] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_empty_input_is_a_no_op() {
+        let mut max = vec![f32::NEG_INFINITY; 2];
+        let mut denom = vec![0.0; 2];
+        let mut out: Vec<f32> = Vec::new();
+        segment_softmax(&[], &[], &mut max, &mut denom, &mut out, &Pool::new(4));
+        assert_eq!(max, vec![f32::NEG_INFINITY; 2]);
+        assert_eq!(denom, vec![0.0; 2]);
+        let mut seg_dot = vec![0.0; 2];
+        let mut da: Vec<f32> = Vec::new();
+        segment_softmax_grad(&[], &[], &[], &mut seg_dot, &mut da, &Pool::new(4));
+        assert_eq!(seg_dot, vec![0.0; 2]);
+    }
+
+    #[test]
+    fn single_row_input_round_trips_all_segment_kernels() {
+        let a = vec![2.0, -1.0];
+        let seg = vec![0u32];
+        let mut out = vec![0.0; 2];
+        segment_sum(&a, 2, &seg, &mut out, &Pool::new(8));
+        assert_eq!(out, a);
+        let mut da = vec![0.0; 2];
+        segment_sum_grad(&out, 2, &seg, &mut da, &Pool::new(8));
+        assert_eq!(da, a);
+        let mut max = vec![f32::NEG_INFINITY];
+        let mut denom = vec![0.0];
+        let mut soft = vec![0.0];
+        segment_softmax(&[5.0], &seg, &mut max, &mut denom, &mut soft, &Pool::new(8));
+        assert_eq!(soft, vec![1.0]);
+        assert_eq!(max, vec![5.0]);
     }
 
     #[test]

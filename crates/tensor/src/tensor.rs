@@ -156,13 +156,16 @@ impl Tensor {
 
     /// Matrix product `self @ other` (`[n,k] x [k,m] -> [n,m]`).
     ///
-    /// Products that pass [`crate::kernels::par_dispatch`] (enough
-    /// flops, more than one *hardware-backed* worker, enough output rows
-    /// to feed each of them) run on the cache-blocked kernel
-    /// row-partitioned across the global [`splpg_par`] pool; everything
-    /// else — including an oversubscribed pool on a 1-CPU machine —
-    /// stays on the scalar kernel. The result is bit-identical to
-    /// [`Tensor::matmul_scalar`] either way, at every thread count.
+    /// [`crate::kernels::par_parts`] picks the worker count: products
+    /// with enough flops, more than one *hardware-backed* worker, and
+    /// enough output rows to feed each of them run on the
+    /// register-blocked microkernel row-partitioned across that many
+    /// workers; single-worker products above
+    /// [`crate::kernels::MICRO_FLOP_THRESHOLD`] still run the
+    /// microkernel inline (it beats the scalar loop even on one
+    /// thread); only tiny products stay scalar. The result is
+    /// bit-identical to [`Tensor::matmul_scalar`] on every path, at
+    /// every thread count.
     ///
     /// # Panics
     ///
@@ -183,8 +186,11 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        if crate::kernels::par_dispatch(n, k, m) {
-            crate::kernels::matmul_nn_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
+        let parts = crate::kernels::par_parts(n, k, m);
+        if parts > 1 {
+            crate::kernels::matmul_nn_into(&self.data, &other.data, n, k, m, &splpg_par::Pool::new(parts), out);
+        } else if 2 * n * k * m >= crate::kernels::MICRO_FLOP_THRESHOLD {
+            crate::kernels::matmul_nn_into(&self.data, &other.data, n, k, m, &splpg_par::Pool::new(1), out);
         } else {
             nn_scalar_into(&self.data, &other.data, n, k, m, out);
         }
@@ -230,8 +236,11 @@ impl Tensor {
     pub(crate) fn matmul_tn_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.rows, other.rows, "matmul_tn row dims");
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        if crate::kernels::par_dispatch(n, k, m) {
-            crate::kernels::matmul_tn_into(&self.data, &other.data, k, n, m, &splpg_par::global(), out);
+        let parts = crate::kernels::par_parts(n, k, m);
+        if parts > 1 {
+            crate::kernels::matmul_tn_into(&self.data, &other.data, k, n, m, &splpg_par::Pool::new(parts), out);
+        } else if 2 * n * k * m >= crate::kernels::MICRO_FLOP_THRESHOLD {
+            crate::kernels::matmul_tn_into(&self.data, &other.data, k, n, m, &splpg_par::Pool::new(1), out);
         } else {
             tn_scalar_into(&self.data, &other.data, k, n, m, out);
         }
@@ -271,8 +280,11 @@ impl Tensor {
     pub(crate) fn matmul_nt_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.cols, other.cols, "matmul_nt col dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        if crate::kernels::par_dispatch(n, k, m) {
-            crate::kernels::matmul_nt_into(&self.data, &other.data, n, k, m, &splpg_par::global(), out);
+        let parts = crate::kernels::par_parts(n, k, m);
+        if parts > 1 {
+            crate::kernels::matmul_nt_into(&self.data, &other.data, n, k, m, &splpg_par::Pool::new(parts), out);
+        } else if 2 * n * k * m >= crate::kernels::MICRO_FLOP_THRESHOLD {
+            crate::kernels::matmul_nt_into(&self.data, &other.data, n, k, m, &splpg_par::Pool::new(1), out);
         } else {
             nt_scalar_into(&self.data, &other.data, n, k, m, out);
         }

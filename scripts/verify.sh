@@ -36,6 +36,14 @@ echo "== sparsify bench smoke (solver engine gate) =="
 # drift > 1e-6 from the per-edge reference.
 SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin sparsify_bench
 
+if [ "${SPLPG_BENCH_ASSERT:-0}" = "1" ]; then
+    echo "== kernel bench speedup assertion =="
+    # Fails if multi-threaded matmul/sampling lose to scalar, or the
+    # cooperative batch build stops deduplicating frontier expansions.
+    # Skips itself (exit 0) on single-core hosts.
+    SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin kernel_bench -- --assert-speedup
+fi
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -170,9 +170,9 @@ fn det_fingerprint() -> u64 {
 
     // Sampled blocks: node order within blocks must match across processes.
     let sampler = NeighborSampler::new(vec![Some(5), Some(5)]);
-    let mut access = FullGraphAccess::new(&data.graph);
+    let access = FullGraphAccess::new(&data.graph);
     let seeds: Vec<NodeId> = (0..32).map(|i| (i * 3) % data.graph.num_nodes() as NodeId).collect();
-    let batch = sampler.sample(&mut access, &seeds, &mut rng);
+    let batch = sampler.sample(&access, &seeds, &mut rng);
     for block in &batch.blocks {
         fp.write(block.num_dst as u64);
         for &s in &block.src_ids {

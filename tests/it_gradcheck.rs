@@ -107,9 +107,9 @@ fn gradcheck_model(kind: ModelKind, seed: u64) -> Vec<(String, f64)> {
     let positives = vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(5, 6), Edge::new(8, 9)];
     let negatives = vec![Edge::new(0, 7), Edge::new(2, 11), Edge::new(5, 9), Edge::new(1, 8)];
     let (seeds, pairs, labels) = edges_to_pairs(&positives, &negatives);
-    let mut access = FullGraphAccess::new(&graph);
+    let access = FullGraphAccess::new(&graph);
     let mut batch_rng = StdRng::seed_from_u64(seed ^ 0xB00C);
-    let batch = NeighborSampler::full(cfg.layers).sample(&mut access, &seeds, &mut batch_rng);
+    let batch = NeighborSampler::full(cfg.layers).sample(&access, &seeds, &mut batch_rng);
     let input = FullFeatureAccess::new(&features).gather(batch.input_nodes());
 
     // One tape serves the analytic pass and every finite-difference
@@ -290,9 +290,9 @@ fn edge_predictor_gradients_flow_to_the_mlp_head() {
     let positives = vec![Edge::new(0, 1), Edge::new(4, 5), Edge::new(8, 9)];
     let negatives = vec![Edge::new(0, 9)];
     let (seeds, pairs, labels) = edges_to_pairs(&positives, &negatives);
-    let mut access = FullGraphAccess::new(&graph);
+    let access = FullGraphAccess::new(&graph);
     let mut batch_rng = StdRng::seed_from_u64(7);
-    let batch = NeighborSampler::full(cfg.layers).sample(&mut access, &seeds, &mut batch_rng);
+    let batch = NeighborSampler::full(cfg.layers).sample(&access, &seeds, &mut batch_rng);
     let input = FullFeatureAccess::new(&features).gather(batch.input_nodes());
 
     let mut tape = splpg::tensor::Tape::new();
