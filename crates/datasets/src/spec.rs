@@ -1,5 +1,3 @@
-use splpg_rng::rngs::StdRng;
-use splpg_rng::SeedableRng;
 use splpg_graph::{EdgeSplit, FeatureMatrix, Graph, SplitFractions};
 
 use crate::generator::{generate_community_graph, CommunityGraphParams};
@@ -172,7 +170,7 @@ impl DatasetSpec {
             // are visible (see EXPERIMENTS.md).
             feature_signal: 0.5,
         };
-        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name));
+        let mut rng = splpg_rng::derive_stream(seed, fxhash(self.name));
         let (graph, features, communities) = generate_community_graph(&params, &mut rng)?;
         let split =
             EdgeSplit::random(&graph, SplitFractions::paper_default(), 3, &mut rng)

@@ -262,7 +262,7 @@ impl DistTrainer {
                     model,
                     params,
                     Adam::new(self.train.learning_rate),
-                    StdRng::seed_from_u64(self.train.seed ^ (w.worker_id as u64 + 1) << 32),
+                    splpg_rng::derive_stream(self.train.seed, w.worker_id as u64 + 1),
                     w.clone(),
                     setup.tracker.worker(w.worker_id).clone(),
                     self.train.sampler(),
@@ -379,7 +379,7 @@ impl DistTrainer {
         let eval_sampler = NeighborSampler::full(self.train.layers);
         let mut master_opt = Adam::new(self.train.learning_rate);
         let mut correction_opt = Adam::new(self.train.learning_rate);
-        let mut correction_rng = StdRng::seed_from_u64(self.train.seed ^ 0xC0FFEE);
+        let mut correction_rng = splpg_rng::derive_stream(self.train.seed, 0xC0FFEE);
         // Master-side tapes, reset per use: the LLCG correction step and
         // the periodic evaluations reuse one arena each across epochs.
         let mut correction_tape = Tape::new();

@@ -317,7 +317,8 @@ impl NeighborSampler {
             let SamplerScratch { workers, node_pos, node_stamp, .. } = &mut *scratch;
             for (i, &v) in frontier.iter().enumerate() {
                 node_stamp[v as usize] = epoch;
-                node_pos[v as usize] = i as u32;
+                node_pos[v as usize] =
+                    u32::try_from(i).expect("invariant: frontier size fits u32 (node ids are u32)");
             }
             let mut dst_idx = 0u32;
             for ws in &workers[..ranges.len()] {
@@ -327,7 +328,8 @@ impl NeighborSampler {
                         let src_idx = if node_stamp[at] == epoch {
                             node_pos[at]
                         } else {
-                            let idx = src_ids.len() as u32;
+                            let idx = u32::try_from(src_ids.len())
+                                .expect("invariant: batch node count fits u32 (node ids are u32)");
                             node_stamp[at] = epoch;
                             node_pos[at] = idx;
                             src_ids.push(nbr);
@@ -364,7 +366,8 @@ fn dedup_seeds(seeds: &[NodeId], scratch: &mut SamplerScratch, num_nodes: usize)
         let at = s as usize;
         if scratch.node_stamp[at] != epoch {
             scratch.node_stamp[at] = epoch;
-            scratch.node_pos[at] = unique.len() as u32;
+            scratch.node_pos[at] = u32::try_from(unique.len())
+                .expect("invariant: unique seed count fits u32 (node ids are u32)");
             unique.push(s);
         }
     }

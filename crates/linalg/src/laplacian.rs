@@ -163,6 +163,7 @@ impl<'g> LaplacianOperator<'g> {
                             let xu = &x[u as usize * k..(u as usize + 1) * k];
                             for j in 0..k {
                                 if active[j] {
+                                    // splpg-lint: allow(float-accum-in-par) — y_row is chunk-owned (rows are range-partitioned) and neighbors accumulate in fixed CSR order; pinned bit-identical by the it_solver thread-sweep tests
                                     y_row[j] -= w as f64 * xu[j];
                                 }
                             }
@@ -173,6 +174,7 @@ impl<'g> LaplacianOperator<'g> {
                             let xu = &x[u as usize * k..(u as usize + 1) * k];
                             for j in 0..k {
                                 if active[j] {
+                                    // splpg-lint: allow(float-accum-in-par) — same chunk-owned row, fixed CSR neighbor order as the weighted branch above
                                     y_row[j] -= xu[j];
                                 }
                             }

@@ -5,52 +5,90 @@
 //! link-prediction quality — is only checkable in this repo because
 //! training is bit-deterministic across thread counts and across
 //! processes. That property is easy to break silently: one stray
-//! `HashMap` iteration, one thread-id-seeded RNG, one wall-clock read in
-//! a library crate. This crate machine-checks those conventions as named
-//! rules over every `crates/*/src` file and is wired into
-//! `scripts/verify.sh` as a standing gate.
+//! `HashMap` iteration, one hand-mixed RNG seed, one float reduction
+//! whose order follows the thread count. This crate machine-checks those
+//! conventions as named rules over every `crates/*/src` file and is
+//! wired into `scripts/verify.sh` as a standing gate.
 //!
-//! The scanner is dependency-free: a comment/string-aware lexer
-//! ([`lexer::SourceFile`]) masks out comments and string-literal contents
-//! so rules only ever fire on code, and a small rule engine
-//! ([`rules::check`]) applies path-scoped rules line by line. A line can
-//! opt out with a reasoned pragma:
+//! The analyzer is dependency-free and runs as a pass pipeline:
+//!
+//! 1. **lex** ([`lexer::SourceFile`]) — masks comments and string
+//!    contents so later passes only ever see code;
+//! 2. **parse** ([`tree::TokenTree`]) — tokenizes the masked code,
+//!    matches `{}`/`()`/`[]`, and annotates every token with loop depth
+//!    and enclosing fn/closure scope;
+//! 3. **symbols** ([`symbols::parallel_marks`]) — a workspace-wide
+//!    fixpoint marking every token reachable from a `splpg-par` dispatch
+//!    (inline closures, `let`-bound closures passed by name, and
+//!    same-crate/`splpg_x::` direct calls);
+//! 4. **rules** ([`rules::RULES`]) — independent named checkers over the
+//!    analyzed files, plus a final `stale-pragma` pass.
+//!
+//! A diagnostic can be suppressed with a reasoned pragma:
 //!
 //! ```text
 //! // splpg-lint: allow(hash-iter) — lookup table, never iterated
 //! ```
 //!
-//! on the offending line or alone on the line above it. Run with:
+//! on the offending line or alone on the line above it;
+//! `allow-file(rule)` covers the whole file. Pragmas that suppress
+//! nothing are themselves flagged (`stale-pragma`). Run with:
 //!
 //! ```text
-//! cargo run -p splpg-lint -- check
+//! cargo run -p splpg-lint -- check [--format=json] [--timings]
 //! ```
+
+// splpg-lint: allow-file(wallclock) — the analyzer times its own passes for `--timings`/`--budget-ms`; timing output never feeds back into diagnostics
 
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod tree;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub use lexer::SourceFile;
-pub use rules::{describe, Diagnostic, RULE_NAMES};
+pub use rules::{check_analysis, describe, Diagnostic, FileAnalysis, RULE_NAMES};
 
 /// Checks one source string under a workspace-relative virtual path.
 ///
 /// The path drives rule scoping (crate name, binary target, crate root),
 /// so fixtures can exercise any scope without touching the filesystem.
+/// The parallel-region mask is computed from this file alone; workspace
+/// scans ([`check_workspace`]) resolve dispatch across files too.
 pub fn check_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    rules::check(path, &SourceFile::analyze(source))
+    check_analysis(&FileAnalysis::single(path, source))
+}
+
+/// Wall-clock cost of one analyzer phase (a pass, or one rule's sweep
+/// over every file).
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase name: `lex+parse`, `symbols`, or a rule name.
+    pub phase: String,
+    /// Elapsed microseconds.
+    pub micros: u128,
 }
 
 /// Outcome of a workspace scan.
 #[derive(Debug)]
 pub struct Report {
-    /// All diagnostics, sorted by path then line.
+    /// All diagnostics, sorted by path, line, then rule.
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-phase timings; empty unless the scan was run timed.
+    pub timings: Vec<PhaseTiming>,
+}
+
+impl Report {
+    /// Total scan time in microseconds (0 when not timed).
+    pub fn total_micros(&self) -> u128 {
+        self.timings.iter().map(|t| t.micros).sum()
+    }
 }
 
 /// Scans every `crates/*/src/**/*.rs` file under `root`.
@@ -63,6 +101,90 @@ pub struct Report {
 ///
 /// Returns the underlying [`io::Error`] if `root/crates` cannot be read.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    check_workspace_timed(root, false)
+}
+
+/// [`check_workspace`], optionally timing each pass and rule.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] if `root/crates` cannot be read.
+pub fn check_workspace_timed(root: &Path, timed: bool) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut timings = Vec::new();
+    let mut clock = Clock::start(timed);
+
+    // Pass 1+2: lex and parse every file.
+    struct Parsed {
+        rel: String,
+        scope: rules::FileScope,
+        file: SourceFile,
+        tree: tree::TokenTree,
+        pragmas: rules::Pragmas,
+    }
+    let mut parsed = Vec::with_capacity(files.len());
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = relative_path(root, path);
+        let file = SourceFile::analyze(&source);
+        let tree = tree::TokenTree::build(&file);
+        let scope = rules::FileScope::of(&rel);
+        let pragmas = rules::Pragmas::collect(&file);
+        parsed.push(Parsed { rel, scope, file, tree, pragmas });
+    }
+    clock.lap("lex+parse", &mut timings);
+
+    // Pass 3: workspace-wide parallel-region marks.
+    let marks = {
+        let units: Vec<symbols::FileUnit<'_>> = parsed
+            .iter()
+            .map(|p| symbols::FileUnit {
+                path: &p.rel,
+                crate_name: p.scope.crate_name.as_deref(),
+                file: &p.file,
+                tree: &p.tree,
+            })
+            .collect();
+        symbols::parallel_marks(&units)
+    };
+    clock.lap("symbols", &mut timings);
+
+    let analyses: Vec<FileAnalysis> = parsed
+        .into_iter()
+        .zip(marks)
+        .map(|(p, in_par)| FileAnalysis {
+            path: p.rel,
+            scope: p.scope,
+            file: p.file,
+            tree: p.tree,
+            pragmas: p.pragmas,
+            in_par,
+        })
+        .collect();
+
+    // Pass 4: every rule over every file, one rule at a time so each
+    // rule's cost is attributable; stale-pragma last (it reads the
+    // pragma usage the other rules record).
+    let mut diagnostics = Vec::new();
+    for rule in rules::RULES {
+        for a in &analyses {
+            (rule.run)(a, &mut diagnostics);
+        }
+        clock.lap(rule.name, &mut timings);
+    }
+    for a in &analyses {
+        rules::stale_pragmas(a, &mut diagnostics);
+    }
+    clock.lap(rules::RULE_STALE_PRAGMA, &mut timings);
+
+    diagnostics.sort_by(|a, b| {
+        a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.cmp(b.rule))
+    });
+    Ok(Report { diagnostics, files_scanned: analyses.len(), timings })
+}
+
+/// Every `crates/*/src/**/*.rs` path under `root`, sorted.
+fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -78,16 +200,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
         }
     }
     files.sort();
-
-    let mut diagnostics = Vec::new();
-    let files_scanned = files.len();
-    for file in &files {
-        let source = fs::read_to_string(file)?;
-        let rel = relative_path(root, file);
-        diagnostics.extend(check_source(&rel, &source));
-    }
-    diagnostics.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(Report { diagnostics, files_scanned })
+    Ok(files)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -113,6 +226,90 @@ fn relative_path(root: &Path, file: &Path) -> String {
         .join("/")
 }
 
+/// Lap timer for `--timings`; a no-op when not timed.
+struct Clock {
+    t0: Option<Instant>,
+}
+
+impl Clock {
+    fn start(timed: bool) -> Clock {
+        Clock { t0: timed.then(Instant::now) }
+    }
+
+    fn lap(&mut self, phase: &str, out: &mut Vec<PhaseTiming>) {
+        if let Some(t0) = self.t0.as_mut() {
+            let now = Instant::now();
+            out.push(PhaseTiming { phase: phase.to_string(), micros: now.duration_since(*t0).as_micros() });
+            *t0 = now;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON output (`--format=json`): hand-rolled, zero dependencies.
+// ---------------------------------------------------------------------
+
+/// Escapes `s` for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON array form of a diagnostic list: one object per line, in the
+/// given (already stable) order.
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let rows: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.path),
+                d.line,
+                json_escape(d.rule),
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The full machine-readable report for `--format=json`.
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"violations\": {},\n", report.diagnostics.len()));
+    out.push_str(&format!("  \"diagnostics\": {}", diagnostics_json(&report.diagnostics)));
+    if !report.timings.is_empty() {
+        let rows: Vec<String> = report
+            .timings
+            .iter()
+            .map(|t| format!("    {{\"phase\":\"{}\",\"micros\":{}}}", json_escape(&t.phase), t.micros))
+            .collect();
+        out.push_str(&format!(
+            ",\n  \"timings\": [\n{}\n  ],\n  \"total_micros\": {}",
+            rows.join(",\n"),
+            report.total_micros()
+        ));
+    }
+    out.push_str("\n}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +326,20 @@ mod tests {
         let d = check_source("crates/graph/src/lib.rs", "fn f() {}\n");
         assert_eq!(d.len(), 1, "missing forbid(unsafe_code) must fire: {d:?}");
         assert_eq!(d[0].rule, rules::RULE_FORBID_UNSAFE);
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_json_is_stable() {
+        let report = Report { diagnostics: Vec::new(), files_scanned: 3, timings: Vec::new() };
+        assert_eq!(
+            report_json(&report),
+            "{\n  \"files_scanned\": 3,\n  \"violations\": 0,\n  \"diagnostics\": []\n}"
+        );
     }
 }

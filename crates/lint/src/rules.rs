@@ -2,10 +2,17 @@
 //!
 //! Every rule has a stable kebab-case name (used in diagnostics and in
 //! `// splpg-lint: allow(<rule>) — <reason>` pragmas), a scope over the
-//! workspace, and a line matcher that runs on comment/string-masked code.
-//! See DESIGN.md § "Correctness tooling" for the rationale behind each.
+//! workspace, and a runner over a fully analyzed file
+//! ([`FileAnalysis`]: masked lines + token tree + parallel-region mask).
+//! Line rules still match masked text; the determinism dataflow rules
+//! (`float-accum-in-par`, `rng-not-derived`) and the loop rules read the
+//! token tree and the symbol pass's parallel marks. See DESIGN.md
+//! § "Correctness tooling" for the rationale behind each rule.
 
 use crate::lexer::{find_word, Line, SourceFile};
+use crate::symbols;
+use crate::tree::{TokenKind, TokenTree};
+use std::cell::Cell;
 
 /// A single violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +47,11 @@ pub const RULE_NAMES: &[&str] = &[
     RULE_PRINT_MACRO,
     RULE_TAPE_IN_LOOP,
     RULE_ALLOC_IN_HOT_LOOP,
+    RULE_FLOAT_ACCUM_IN_PAR,
+    RULE_RNG_NOT_DERIVED,
+    RULE_NET_CALL_NO_TIMEOUT,
+    RULE_AS_CAST_TRUNCATION,
+    RULE_STALE_PRAGMA,
 ];
 
 pub const RULE_HASH_ITER: &str = "hash-iter";
@@ -50,10 +62,44 @@ pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_PRINT_MACRO: &str = "print-macro";
 pub const RULE_TAPE_IN_LOOP: &str = "tape-in-loop";
 pub const RULE_ALLOC_IN_HOT_LOOP: &str = "alloc-in-hot-loop";
+pub const RULE_FLOAT_ACCUM_IN_PAR: &str = "float-accum-in-par";
+pub const RULE_RNG_NOT_DERIVED: &str = "rng-not-derived";
+pub const RULE_NET_CALL_NO_TIMEOUT: &str = "net-call-no-timeout";
+pub const RULE_AS_CAST_TRUNCATION: &str = "as-cast-truncation";
+pub const RULE_STALE_PRAGMA: &str = "stale-pragma";
 
-/// Files whose loop bodies are sampling/training hot paths: fresh `Vec`s
+/// Files whose loop bodies are sampling/kernel hot paths: fresh `Vec`s
 /// per iteration there defeat the reusable-scratch design.
-pub const HOT_LOOP_FILES: &[&str] = &["crates/gnn/src/sampler.rs"];
+pub const HOT_LOOP_FILES: &[&str] = &[
+    "crates/gnn/src/sampler.rs",
+    "crates/tensor/src/kernels.rs",
+    "crates/tensor/src/segment.rs",
+];
+
+/// The sanctioned deterministic-reduction helpers: these files implement
+/// the fixed-order parallel accumulation the rest of the workspace is
+/// told to call instead of rolling its own (`float-accum-in-par`).
+/// Their per-chunk accumulators are row-owned with a deterministic merge,
+/// pinned by the thread-count-invariance tests.
+pub const SANCTIONED_REDUCTION_FILES: &[&str] =
+    &["crates/tensor/src/kernels.rs", "crates/tensor/src/segment.rs"];
+
+/// The timeout/retry wrapper layer around `Transport`: the only files in
+/// `dist`/`net` allowed to touch raw `send`/`recv` (`net-call-no-timeout`).
+pub const NET_WRAPPER_FILES: &[&str] = &[
+    "crates/net/src/transport.rs",
+    "crates/net/src/cluster.rs",
+    "crates/net/src/fault.rs",
+    "crates/dist/src/runtime.rs",
+];
+
+/// Hot indexing paths where a silent narrowing `as` cast can corrupt
+/// node/edge ids on large graphs (`as-cast-truncation`).
+pub const CAST_HOT_FILES: &[&str] = &[
+    "crates/tensor/src/kernels.rs",
+    "crates/tensor/src/segment.rs",
+    "crates/gnn/src/sampler.rs",
+];
 
 /// One-line description per rule (for `splpg-lint rules`).
 pub fn describe(rule: &str) -> &'static str {
@@ -94,11 +140,45 @@ pub fn describe(rule: &str) -> &'static str {
              tape per iteration is the point)"
         }
         RULE_ALLOC_IN_HOT_LOOP => {
-            "no Vec::new()/vec![…] inside loop bodies of sampling hot \
-             paths (crates/gnn/src/sampler.rs): per-iteration empty Vecs \
-             reallocate from cold every hop — reuse SamplerScratch \
-             buffers, or Vec::with_capacity for output-owned arrays sized \
-             once before the loop"
+            "no Vec::new()/vec![…] inside loop bodies of sampling/kernel hot \
+             paths (gnn/sampler.rs, tensor/kernels.rs, tensor/segment.rs): \
+             per-iteration empty Vecs reallocate from cold every hop — reuse \
+             scratch buffers, or Vec::with_capacity for output-owned arrays \
+             sized once before the loop"
+        }
+        RULE_FLOAT_ACCUM_IN_PAR => {
+            "no order-sensitive `+=`/`-=` into indexed or deref targets \
+             inside parallel regions (closures reachable from the splpg-par \
+             entry points): float addition is non-associative, so reduction \
+             order varies with thread count and breaks bit-determinism — \
+             accumulate into chunk-owned rows merged in fixed order, or call \
+             the sanctioned reduction kernels in tensor::kernels/segment"
+        }
+        RULE_RNG_NOT_DERIVED => {
+            "no RNG construction (seed_from_u64, SplitMix64::new) inside \
+             loops or parallel regions, and no manual seed mixing \
+             (`^`/`<<`/wrapping_*) anywhere in library code: per-item \
+             streams must come from splpg_rng::derive_stream(seed, stream), \
+             which is order- and thread-count-independent by construction"
+        }
+        RULE_NET_CALL_NO_TIMEOUT => {
+            "no raw Transport send/recv/recv_timeout in dist/net outside the \
+             timeout/retry wrapper layer (net/transport.rs, net/cluster.rs, \
+             net/fault.rs, dist/runtime.rs): a bare recv deadlocks the \
+             quorum protocol on a dropped frame — go through the wrappers' \
+             retry ladder"
+        }
+        RULE_AS_CAST_TRUNCATION => {
+            "no narrowing `as` casts (as u8/u16/u32/i8/i16/i32) in kernel \
+             and sampler hot paths: an oversized node/edge id silently \
+             wraps — use try_from with a documented invariant, or widen \
+             the type"
+        }
+        RULE_STALE_PRAGMA => {
+            "every `splpg-lint: allow(…)` pragma must suppress at least one \
+             diagnostic: stale pragmas hide the absence of a problem and rot \
+             into misleading documentation — delete them when the code they \
+             excused is gone"
         }
         _ => "unknown rule",
     }
@@ -133,373 +213,642 @@ impl FileScope {
     }
 }
 
-/// Runs every rule over an analyzed file. `path` must be the
-/// workspace-relative `/`-separated path (it drives rule scoping).
-pub fn check(path: &str, file: &SourceFile) -> Vec<Diagnostic> {
-    let scope = FileScope::of(path);
-    let allows = collect_allows(file);
-    let mut out = Vec::new();
+/// One `allow`/`allow-file` pragma occurrence, with usage tracking for
+/// the `stale-pragma` rule.
+#[derive(Debug)]
+pub struct PragmaEntry {
+    /// 0-based line the pragma comment sits on.
+    pub line: usize,
+    /// The rule name it names.
+    pub rule: String,
+    /// `allow-file(…)`: suppresses on every line of the file.
+    pub file_wide: bool,
+    used: Cell<bool>,
+}
 
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let mut push = |rule: &'static str, message: String| {
-            if !allowed(&allows, file, idx, rule) {
-                out.push(Diagnostic { path: path.to_string(), line: lineno, rule, message });
+/// All pragmas of one file.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// Entries in source order (one per rule name named in a pragma).
+    pub entries: Vec<PragmaEntry>,
+}
+
+impl Pragmas {
+    /// Parses `splpg-lint: allow(rule-a, rule-b)` and
+    /// `splpg-lint: allow-file(rule)` pragmas out of each line's comment
+    /// text.
+    pub fn collect(file: &SourceFile) -> Pragmas {
+        let mut entries = Vec::new();
+        for (idx, line) in file.lines.iter().enumerate() {
+            // Doc comments never carry pragmas: they *describe* the
+            // pragma syntax (this crate's own docs included) without
+            // enacting it.
+            let head = line.raw.trim_start();
+            if head.starts_with("///") || head.starts_with("//!") {
+                continue;
             }
-        };
-
-        if !line.in_test {
-            hash_iter(&scope, line, &mut push);
-            thread_spawn(&scope, line, &mut push);
-            wallclock(&scope, line, &mut push);
-            unwrap_expect(path, &scope, line, &mut push);
-            print_macro(&scope, line, &mut push);
-        }
-    }
-
-    forbid_unsafe(path, &scope, file, &allows, &mut out);
-    tape_in_loop(path, &scope, file, &allows, &mut out);
-    alloc_in_hot_loop(path, file, &allows, &mut out);
-    out
-}
-
-fn hash_iter(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
-    let applies = scope
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
-    if !applies {
-        return;
-    }
-    for token in ["HashMap", "HashSet"] {
-        if !find_word(&line.code, token).is_empty() {
-            push(
-                RULE_HASH_ITER,
-                format!(
-                    "{token} in a deterministic crate: hash iteration order is \
-                     randomized per process; use BTreeMap/BTreeSet or an index \
-                     vector (or allow with a determinism argument)"
-                ),
-            );
-        }
-    }
-}
-
-fn thread_spawn(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
-    // par hosts the fork-join pool; net hosts the long-lived cluster
-    // actors. All other crates must route threads through one of the two.
-    if scope.in_crate("par") || scope.in_crate("net") {
-        return;
-    }
-    for token in ["thread::spawn", "thread::scope"] {
-        if line.code.contains(token) {
-            push(
-                RULE_THREAD_SPAWN,
-                format!(
-                    "{token} outside splpg-par/splpg-net: route parallel work \
-                     through the global pool (or cluster actors through \
-                     splpg-net) so thread-count invariance holds"
-                ),
-            );
-            return;
-        }
-    }
-}
-
-fn wallclock(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
-    if scope.in_crate("bench") {
-        return;
-    }
-    for token in ["Instant", "SystemTime"] {
-        if !find_word(&line.code, token).is_empty() {
-            push(
-                RULE_WALLCLOCK,
-                format!(
-                    "std::time::{token} outside crates/bench: wall-clock reads \
-                     make library output timing-dependent"
-                ),
-            );
-            return;
-        }
-    }
-}
-
-fn unwrap_expect(
-    path: &str,
-    scope: &FileScope,
-    line: &Line,
-    push: &mut impl FnMut(&'static str, String),
-) {
-    let applies = path.ends_with("crates/graph/src/io.rs")
-        || scope.in_crate("linalg")
-        || scope.in_crate("datasets");
-    if !applies {
-        return;
-    }
-    if line.code.contains(".unwrap()") {
-        push(
-            RULE_UNWRAP,
-            ".unwrap() in I/O/solver-facing library code: propagate a Result \
-             or document the invariant with .expect(\"invariant: …\")"
-                .to_string(),
-        );
-    }
-    // .expect(…) must carry a message starting with "invariant:". The
-    // literal contents live in `line.strings`; find the string opening
-    // right after the call's parenthesis.
-    let mut from = 0usize;
-    while let Some(pos) = line.code[from..].find(".expect(") {
-        let open = from + pos + ".expect(".len();
-        // Char column of the first non-space character after the paren.
-        let col = line.code[..open].chars().count()
-            + line.code[open..].chars().take_while(|c| *c == ' ').count();
-        let msg = line
-            .strings
-            .iter()
-            .find(|(c, _)| *c == col)
-            .map(|(_, s)| s.trim_start());
-        let ok = msg.is_some_and(|m| m.starts_with("invariant:"));
-        if !ok {
-            push(
-                RULE_UNWRAP,
-                ".expect(…) without an \"invariant: …\" message in I/O/solver-\
-                 facing library code: state the invariant or propagate a Result"
-                    .to_string(),
-            );
-        }
-        from = open;
-    }
-}
-
-fn print_macro(scope: &FileScope, line: &Line, push: &mut impl FnMut(&'static str, String)) {
-    if scope.in_crate("bench") || scope.is_binary {
-        return;
-    }
-    for token in ["println!", "eprintln!", "print!", "eprint!"] {
-        let bare = &token[..token.len() - 1];
-        if find_word(&line.code, bare)
-            .into_iter()
-            .any(|at| line.code[at + bare.len()..].starts_with('!'))
-        {
-            push(
-                RULE_PRINT_MACRO,
-                format!("{token} in library code: return data to the caller; only bench and bin targets print"),
-            );
-            return;
-        }
-    }
-}
-
-fn forbid_unsafe(
-    path: &str,
-    scope: &FileScope,
-    file: &SourceFile,
-    allows: &[Vec<String>],
-    out: &mut Vec<Diagnostic>,
-) {
-    if !scope.is_crate_root {
-        return;
-    }
-    let has = file.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
-    if !has && !allowed(allows, file, 0, RULE_FORBID_UNSAFE) {
-        out.push(Diagnostic {
-            path: path.to_string(),
-            line: 1,
-            rule: RULE_FORBID_UNSAFE,
-            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
-        });
-    }
-}
-
-/// What a scanned token means to the loop tracker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LoopEv {
-    Open,
-    Close,
-    Semi,
-    /// `for` / `while` / `loop` keyword; the next `{` opens a loop body.
-    LoopKw,
-    /// `impl` keyword; cancels a following `for` (trait impls, not loops).
-    ImplKw,
-    /// A flagged token occurrence (index into the scanner's token list).
-    Hit(usize),
-}
-
-/// Scans non-test library code for occurrences of `tokens` inside loop
-/// bodies, invoking `report(line_idx, token_idx)` for each.
-///
-/// Loop bodies are tracked by brace matching on the masked code: a `{`
-/// preceded (in the same statement) by a `for`/`while`/`loop` keyword
-/// opens a loop scope. `impl … for … {` and higher-ranked `for<…>` bounds
-/// are recognized and do not open loop scopes. A token entry ending in
-/// `!` matches the bare word immediately followed by `!` (macro calls).
-fn scan_loop_bodies(
-    file: &SourceFile,
-    tokens: &[&str],
-    mut report: impl FnMut(usize, usize),
-) {
-    let mut stack: Vec<bool> = Vec::new();
-    let mut pending_loop = false;
-    let mut pending_impl = false;
-    for (idx, line) in file.lines.iter().enumerate() {
-        let code = &line.code;
-        let mut events: Vec<(usize, LoopEv)> = Vec::new();
-        for (at, ch) in code.char_indices() {
-            match ch {
-                '{' => events.push((at, LoopEv::Open)),
-                '}' => events.push((at, LoopEv::Close)),
-                ';' => events.push((at, LoopEv::Semi)),
-                _ => {}
-            }
-        }
-        for kw in ["for", "while", "loop"] {
-            for at in find_word(code, kw) {
-                // `for<'a> Fn(…)` is a higher-ranked bound, not a loop.
-                let rest = code[at + kw.len()..].trim_start();
-                if kw == "for" && rest.starts_with('<') {
-                    continue;
-                }
-                events.push((at, LoopEv::LoopKw));
-            }
-        }
-        for at in find_word(code, "impl") {
-            events.push((at, LoopEv::ImplKw));
-        }
-        for (ti, token) in tokens.iter().enumerate() {
-            if let Some(bare) = token.strip_suffix('!') {
-                for at in find_word(code, bare) {
-                    if code[at + bare.len()..].starts_with('!') {
-                        events.push((at, LoopEv::Hit(ti)));
-                    }
-                }
-            } else {
-                for at in find_word(code, token) {
-                    events.push((at, LoopEv::Hit(ti)));
-                }
-            }
-        }
-        events.sort_by_key(|&(at, _)| at);
-        for (_, ev) in events {
-            match ev {
-                LoopEv::Open => {
-                    stack.push(pending_loop && !pending_impl);
-                    pending_loop = false;
-                    pending_impl = false;
-                }
-                LoopEv::Close => {
-                    stack.pop();
-                }
-                LoopEv::Semi => {
-                    pending_loop = false;
-                    pending_impl = false;
-                }
-                LoopEv::LoopKw => pending_loop = true,
-                LoopEv::ImplKw => pending_impl = true,
-                LoopEv::Hit(ti) => {
-                    if !line.in_test && stack.iter().any(|&is_loop| is_loop) {
-                        report(idx, ti);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Flags `Tape::new()` inside loop bodies of non-test library code: a
-/// fresh tape per iteration defeats the arena — its buffers are rebuilt
-/// from cold every step instead of being recycled by `Tape::reset()`.
-fn tape_in_loop(
-    path: &str,
-    scope: &FileScope,
-    file: &SourceFile,
-    allows: &[Vec<String>],
-    out: &mut Vec<Diagnostic>,
-) {
-    if scope.is_binary {
-        // Binaries may build throwaway tapes (e.g. a bench's cold-start
-        // baseline measures exactly that cost).
-        return;
-    }
-    scan_loop_bodies(file, &["Tape::new"], |idx, _| {
-        if !allowed(allows, file, idx, RULE_TAPE_IN_LOOP) {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: RULE_TAPE_IN_LOOP,
-                message: "Tape::new() inside a loop body: hoist the tape out \
-                          of the loop and call reset() per iteration so its \
-                          arena is recycled instead of reallocated"
-                    .to_string(),
-            });
-        }
-    });
-}
-
-/// Flags `Vec::new()` / `vec![…]` inside loop bodies of sampling hot
-/// paths ([`HOT_LOOP_FILES`]): a fresh empty Vec per frontier node or hop
-/// regrows from zero capacity every iteration — exactly the allocation
-/// churn the per-worker [`SamplerScratch`] buffers exist to absorb.
-/// `Vec::with_capacity` (sized once from known totals) is allowed.
-fn alloc_in_hot_loop(
-    path: &str,
-    file: &SourceFile,
-    allows: &[Vec<String>],
-    out: &mut Vec<Diagnostic>,
-) {
-    if !HOT_LOOP_FILES.iter().any(|f| path.ends_with(f)) {
-        return;
-    }
-    scan_loop_bodies(file, &["Vec::new", "vec!"], |idx, ti| {
-        if !allowed(allows, file, idx, RULE_ALLOC_IN_HOT_LOOP) {
-            let token = if ti == 0 { "Vec::new()" } else { "vec![…]" };
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: RULE_ALLOC_IN_HOT_LOOP,
-                message: format!(
-                    "{token} inside a sampling hot-loop body: reuse a \
-                     SamplerScratch buffer or hoist a with_capacity \
-                     allocation out of the loop"
-                ),
-            });
-        }
-    });
-}
-
-/// Parses `splpg-lint: allow(rule-a, rule-b)` pragmas out of each line's
-/// comment text. Returns one allow-list per line.
-fn collect_allows(file: &SourceFile) -> Vec<Vec<String>> {
-    file.lines
-        .iter()
-        .map(|line| {
-            let mut allows = Vec::new();
             let mut rest = line.comment.as_str();
             while let Some(at) = rest.find("splpg-lint:") {
                 rest = &rest[at + "splpg-lint:".len()..];
                 let trimmed = rest.trim_start();
-                if let Some(args) = trimmed.strip_prefix("allow(") {
+                let (file_wide, args_after) = if let Some(a) = trimmed.strip_prefix("allow-file(") {
+                    (true, Some(a))
+                } else if let Some(a) = trimmed.strip_prefix("allow(") {
+                    (false, Some(a))
+                } else {
+                    (false, None)
+                };
+                if let Some(args) = args_after {
                     if let Some(close) = args.find(')') {
                         for name in args[..close].split(',') {
-                            allows.push(name.trim().to_string());
+                            entries.push(PragmaEntry {
+                                line: idx,
+                                rule: name.trim().to_string(),
+                                file_wide,
+                                used: Cell::new(false),
+                            });
                         }
                         rest = &args[close..];
+                        continue;
                     }
                 }
+                rest = trimmed;
             }
-            allows
-        })
-        .collect()
+        }
+        Pragmas { entries }
+    }
+
+    /// Whether a diagnostic for `rule` on line `idx` is suppressed.
+    ///
+    /// Scoping is deliberately narrow: a pragma covers its own line, or
+    /// the line directly below when the pragma stands alone on a
+    /// comment-only line, or the whole file for `allow-file`. Matching
+    /// entries are marked used (feeding `stale-pragma`).
+    pub fn allowed(&self, file: &SourceFile, idx: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for e in &self.entries {
+            if e.rule != rule {
+                continue;
+            }
+            let applies = e.file_wide
+                || e.line == idx
+                || (e.line + 1 == idx && file.lines[e.line].code.trim().is_empty());
+            if applies {
+                e.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
 }
 
-/// A diagnostic on line `idx` is suppressed by a pragma on the same line,
-/// or by a pragma on the immediately preceding line when that line holds
-/// no code of its own (a standalone `// splpg-lint: allow(...) — reason`).
-fn allowed(allows: &[Vec<String>], file: &SourceFile, idx: usize, rule: &str) -> bool {
-    let hit = |i: usize| allows[i].iter().any(|a| a == rule);
-    if hit(idx) {
-        return true;
+/// A fully analyzed file: every pass's output, ready for the rules.
+pub struct FileAnalysis {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// Path-derived scope facts.
+    pub scope: FileScope,
+    /// Masked lines.
+    pub file: SourceFile,
+    /// Token tree with scope annotations.
+    pub tree: TokenTree,
+    /// Pragmas, with usage tracking.
+    pub pragmas: Pragmas,
+    /// Per-token "inside a parallel region" mask (symbol pass output),
+    /// aligned with `tree.tokens`.
+    pub in_par: Vec<bool>,
+}
+
+impl FileAnalysis {
+    /// Analyzes one file in isolation: the parallel-region mask is
+    /// computed from this file alone (workspace scans use the cross-file
+    /// symbol pass in `lib.rs` instead).
+    pub fn single(path: &str, source: &str) -> FileAnalysis {
+        let file = SourceFile::analyze(source);
+        let tree = TokenTree::build(&file);
+        let scope = FileScope::of(path);
+        let in_par = {
+            let unit = symbols::FileUnit {
+                path,
+                crate_name: scope.crate_name.as_deref(),
+                file: &file,
+                tree: &tree,
+            };
+            symbols::parallel_marks(std::slice::from_ref(&unit)).pop().unwrap_or_default()
+        };
+        let pragmas = Pragmas::collect(&file);
+        FileAnalysis { path: path.to_string(), scope, file, tree, pragmas, in_par }
     }
-    idx > 0 && hit(idx - 1) && file.lines[idx - 1].code.trim().is_empty()
+
+    /// Pushes a diagnostic on 0-based line `idx` unless a pragma covers it.
+    fn push(&self, out: &mut Vec<Diagnostic>, idx: usize, rule: &'static str, message: String) {
+        if !self.pragmas.allowed(&self.file, idx, rule) {
+            out.push(Diagnostic { path: self.path.clone(), line: idx + 1, rule, message });
+        }
+    }
+
+    /// Token text at `i`, or `""` past the end.
+    fn tok(&self, i: usize) -> &str {
+        self.tree.tokens.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    /// Whether tokens at `i..` match `seq` exactly.
+    fn seq(&self, i: usize, seq: &[&str]) -> bool {
+        seq.iter().enumerate().all(|(k, s)| self.tok(i + k) == *s)
+    }
+}
+
+/// A named rule and its runner. Runners are independent so the CLI can
+/// time each rule separately (`--timings`).
+pub struct Rule {
+    /// Stable kebab-case name.
+    pub name: &'static str,
+    /// The checker.
+    pub run: fn(&FileAnalysis, &mut Vec<Diagnostic>),
+}
+
+/// Every rule except `stale-pragma`, which must run after all others
+/// (it reads the pragma usage the other rules record).
+pub const RULES: &[Rule] = &[
+    Rule { name: RULE_HASH_ITER, run: hash_iter },
+    Rule { name: RULE_THREAD_SPAWN, run: thread_spawn },
+    Rule { name: RULE_WALLCLOCK, run: wallclock },
+    Rule { name: RULE_UNWRAP, run: unwrap_expect },
+    Rule { name: RULE_FORBID_UNSAFE, run: forbid_unsafe },
+    Rule { name: RULE_PRINT_MACRO, run: print_macro },
+    Rule { name: RULE_TAPE_IN_LOOP, run: tape_in_loop },
+    Rule { name: RULE_ALLOC_IN_HOT_LOOP, run: alloc_in_hot_loop },
+    Rule { name: RULE_FLOAT_ACCUM_IN_PAR, run: float_accum_in_par },
+    Rule { name: RULE_RNG_NOT_DERIVED, run: rng_not_derived },
+    Rule { name: RULE_NET_CALL_NO_TIMEOUT, run: net_call_no_timeout },
+    Rule { name: RULE_AS_CAST_TRUNCATION, run: as_cast_truncation },
+];
+
+/// Runs every rule (then the stale-pragma pass) over one analyzed file.
+pub fn check_analysis(a: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in RULES {
+        (rule.run)(a, &mut out);
+    }
+    stale_pragmas(a, &mut out);
+    out.sort_by(|x, y| x.line.cmp(&y.line).then_with(|| x.rule.cmp(y.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Line rules (masked-text matching).
+// ---------------------------------------------------------------------
+
+fn each_library_line(a: &FileAnalysis) -> impl Iterator<Item = (usize, &Line)> {
+    a.file.lines.iter().enumerate().filter(|(_, l)| !l.in_test)
+}
+
+fn hash_iter(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    let applies =
+        a.scope.crate_name.as_deref().is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    if !applies {
+        return;
+    }
+    for (idx, line) in each_library_line(a) {
+        for token in ["HashMap", "HashSet"] {
+            if !find_word(&line.code, token).is_empty() {
+                a.push(
+                    out,
+                    idx,
+                    RULE_HASH_ITER,
+                    format!(
+                        "{token} in a deterministic crate: hash iteration order is \
+                         randomized per process; use BTreeMap/BTreeSet or an index \
+                         vector (or allow with a determinism argument)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn thread_spawn(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    // par hosts the fork-join pool; net hosts the long-lived cluster
+    // actors. All other crates must route threads through one of the two.
+    if a.scope.in_crate("par") || a.scope.in_crate("net") {
+        return;
+    }
+    for (idx, line) in each_library_line(a) {
+        for token in ["thread::spawn", "thread::scope"] {
+            if line.code.contains(token) {
+                a.push(
+                    out,
+                    idx,
+                    RULE_THREAD_SPAWN,
+                    format!(
+                        "{token} outside splpg-par/splpg-net: route parallel work \
+                         through the global pool (or cluster actors through \
+                         splpg-net) so thread-count invariance holds"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn wallclock(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if a.scope.in_crate("bench") {
+        return;
+    }
+    for (idx, line) in each_library_line(a) {
+        for token in ["Instant", "SystemTime"] {
+            if !find_word(&line.code, token).is_empty() {
+                a.push(
+                    out,
+                    idx,
+                    RULE_WALLCLOCK,
+                    format!(
+                        "std::time::{token} outside crates/bench: wall-clock reads \
+                         make library output timing-dependent"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn unwrap_expect(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    let applies = a.path.ends_with("crates/graph/src/io.rs")
+        || a.scope.in_crate("linalg")
+        || a.scope.in_crate("datasets");
+    if !applies {
+        return;
+    }
+    for (idx, line) in each_library_line(a) {
+        if line.code.contains(".unwrap()") {
+            a.push(
+                out,
+                idx,
+                RULE_UNWRAP,
+                ".unwrap() in I/O/solver-facing library code: propagate a Result \
+                 or document the invariant with .expect(\"invariant: …\")"
+                    .to_string(),
+            );
+        }
+        // .expect(…) must carry a message starting with "invariant:". The
+        // literal contents live in `line.strings`; find the string opening
+        // right after the call's parenthesis.
+        let mut from = 0usize;
+        while let Some(pos) = line.code[from..].find(".expect(") {
+            let open = from + pos + ".expect(".len();
+            let col = line.code[..open].chars().count()
+                + line.code[open..].chars().take_while(|c| *c == ' ').count();
+            let msg = line
+                .strings
+                .iter()
+                .find(|(c, _)| *c == col)
+                .map(|(_, s)| s.trim_start());
+            let ok = msg.is_some_and(|m| m.starts_with("invariant:"));
+            if !ok {
+                a.push(
+                    out,
+                    idx,
+                    RULE_UNWRAP,
+                    ".expect(…) without an \"invariant: …\" message in I/O/solver-\
+                     facing library code: state the invariant or propagate a Result"
+                        .to_string(),
+                );
+            }
+            from = open;
+        }
+    }
+}
+
+fn print_macro(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if a.scope.in_crate("bench") || a.scope.is_binary {
+        return;
+    }
+    for (idx, line) in each_library_line(a) {
+        for token in ["println!", "eprintln!", "print!", "eprint!"] {
+            let bare = &token[..token.len() - 1];
+            if find_word(&line.code, bare)
+                .into_iter()
+                .any(|at| line.code[at + bare.len()..].starts_with('!'))
+            {
+                a.push(
+                    out,
+                    idx,
+                    RULE_PRINT_MACRO,
+                    format!("{token} in library code: return data to the caller; only bench and bin targets print"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn forbid_unsafe(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if !a.scope.is_crate_root {
+        return;
+    }
+    let has = a.file.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !has {
+        a.push(
+            out,
+            0,
+            RULE_FORBID_UNSAFE,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree rules (token-tree scope matching).
+// ---------------------------------------------------------------------
+
+/// Flags `Tape::new()` inside loop bodies of non-test library code: a
+/// fresh tape per iteration defeats the arena — its buffers are rebuilt
+/// from cold every step instead of being recycled by `Tape::reset()`.
+fn tape_in_loop(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if a.scope.is_binary {
+        // Binaries may build throwaway tapes (e.g. a bench's cold-start
+        // baseline measures exactly that cost).
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        if a.seq(i, &["Tape", "::", "new"])
+            && a.tree.ctx[i].loop_depth > 0
+            && !a.tree.in_test(&a.file, i)
+        {
+            a.push(
+                out,
+                a.tree.tokens[i].line,
+                RULE_TAPE_IN_LOOP,
+                "Tape::new() inside a loop body: hoist the tape out \
+                 of the loop and call reset() per iteration so its \
+                 arena is recycled instead of reallocated"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Flags `Vec::new()` / `vec![…]` inside loop bodies of the sampling and
+/// kernel hot paths ([`HOT_LOOP_FILES`]): a fresh empty Vec per frontier
+/// node or row block regrows from zero capacity every iteration — exactly
+/// the allocation churn the reusable scratch buffers exist to absorb.
+/// `Vec::with_capacity` (sized once from known totals) is allowed.
+fn alloc_in_hot_loop(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if !HOT_LOOP_FILES.iter().any(|f| a.path.ends_with(f)) {
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        let hit = if a.seq(i, &["Vec", "::", "new"]) {
+            Some("Vec::new()")
+        } else if a.seq(i, &["vec", "!"]) {
+            Some("vec![…]")
+        } else {
+            None
+        };
+        let Some(token) = hit else { continue };
+        if a.tree.ctx[i].loop_depth > 0 && !a.tree.in_test(&a.file, i) {
+            a.push(
+                out,
+                a.tree.tokens[i].line,
+                RULE_ALLOC_IN_HOT_LOOP,
+                format!(
+                    "{token} inside a hot-loop body: reuse a scratch \
+                     buffer or hoist a with_capacity allocation out of \
+                     the loop"
+                ),
+            );
+        }
+    }
+}
+
+/// Flags order-sensitive `+=`/`-=` accumulation inside parallel regions.
+///
+/// Fires when the target is an indexed (`buf[i] += …`) or dereferenced
+/// (`*slot += …`) place — the shapes shared output takes — and skips
+/// plain-variable and field targets (chunk-local accumulators) and
+/// bare integer-literal increments (counters, associative regardless of
+/// order). The sanctioned reduction files are exempt wholesale: they
+/// *are* the deterministic implementation everyone else is told to call.
+fn float_accum_in_par(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if SANCTIONED_REDUCTION_FILES.iter().any(|f| a.path.ends_with(f)) {
+        return;
+    }
+    if a.scope.is_binary || a.scope.in_crate("bench") {
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        let t = &a.tree.tokens[i];
+        if !(t.text == "+=" || t.text == "-=") || !a.in_par[i] || a.tree.in_test(&a.file, i) {
+            continue;
+        }
+        // `count += 1` style: integer-literal RHS is order-insensitive.
+        let rhs_int_literal = a
+            .tree
+            .tokens
+            .get(i + 1)
+            .is_some_and(|r| r.kind == TokenKind::Number && !r.text.contains('.'))
+            && matches!(a.tok(i + 2), ";" | "}" | "");
+        if rhs_int_literal {
+            continue;
+        }
+        if accum_target_is_shared(a, i) {
+            a.push(
+                out,
+                t.line,
+                RULE_FLOAT_ACCUM_IN_PAR,
+                format!(
+                    "`{}` into an indexed/deref target inside a parallel region: \
+                     float reduction order varies with thread count and breaks \
+                     bit-determinism — accumulate into chunk-owned buffers merged \
+                     in fixed order, or use the tensor::kernels/segment reduction \
+                     helpers",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Walks the assignment target left of the `+=`/`-=` at `i`: true when
+/// it indexes (`…[…]`) or starts with a deref (`*…`).
+fn accum_target_is_shared(a: &FileAnalysis, i: usize) -> bool {
+    let toks = &a.tree.tokens;
+    let mut has_index = false;
+    let mut start = i;
+    let mut j = i;
+    while let Some(p) = j.checked_sub(1) {
+        let t = &toks[p];
+        match t.text.as_str() {
+            "]" => match a.tree.partner[p] {
+                Some(open) => {
+                    has_index = true;
+                    start = open;
+                    j = open;
+                }
+                None => break,
+            },
+            "." | "::" | "*" => {
+                start = p;
+                j = p;
+            }
+            _ if t.kind == TokenKind::Ident || t.kind == TokenKind::Number => {
+                start = p;
+                j = p;
+            }
+            _ => break,
+        }
+    }
+    has_index || toks[start].text == "*"
+}
+
+/// Flags RNG construction in the wrong place or by the wrong means.
+///
+/// Per-item randomness must come from `derive_stream(seed, stream)`
+/// (order- and thread-count-independent by construction); building a
+/// generator inside a loop or parallel region, or hand-mixing a seed
+/// with `^`/`<<`/`wrapping_*`, reinvents stream derivation ad hoc —
+/// exactly how two call sites end up with correlated or order-dependent
+/// streams. `splpg-rng` itself (where `derive_stream` lives) and bench
+/// code are exempt.
+fn rng_not_derived(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if a.scope.in_crate("rng") || a.scope.in_crate("bench") || a.scope.is_binary {
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        let (what, open) = if a.tok(i) == "seed_from_u64" && a.tok(i + 1) == "(" {
+            ("seed_from_u64", i + 1)
+        } else if a.seq(i, &["SplitMix64", "::", "new", "("]) {
+            ("SplitMix64::new", i + 3)
+        } else {
+            continue;
+        };
+        if a.tree.in_test(&a.file, i) {
+            continue;
+        }
+        let in_loop = a.tree.ctx[i].loop_depth > 0;
+        let in_par = a.in_par[i];
+        let mixed = a.tree.partner[open].is_some_and(|close| {
+            a.tree.tokens[open + 1..close].iter().any(|t| {
+                t.text == "^" || t.text == "<<" || t.text.starts_with("wrapping_")
+            })
+        });
+        if in_loop || in_par || mixed {
+            let where_ = if in_par {
+                "inside a parallel region"
+            } else if in_loop {
+                "inside a loop body"
+            } else {
+                "from a hand-mixed seed"
+            };
+            a.push(
+                out,
+                a.tree.tokens[i].line,
+                RULE_RNG_NOT_DERIVED,
+                format!(
+                    "{what} {where_}: derive per-item streams with \
+                     splpg_rng::derive_stream(seed, stream) instead of \
+                     reconstructing or hand-mixing generators — derived \
+                     streams are order- and thread-count-independent"
+                ),
+            );
+        }
+    }
+}
+
+/// Flags raw `Transport` traffic outside the wrapper layer.
+///
+/// In `dist`/`net`, every `.send(…)`/`.recv(…)`/`.recv_timeout(…)` must
+/// go through the timeout/retry wrappers ([`NET_WRAPPER_FILES`]): a bare
+/// `recv` hangs the quorum protocol forever on the first dropped frame
+/// the fault injector (or a real network) produces.
+fn net_call_no_timeout(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if !(a.scope.in_crate("dist") || a.scope.in_crate("net")) {
+        return;
+    }
+    if NET_WRAPPER_FILES.iter().any(|f| a.path.ends_with(f)) {
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        let name = a.tok(i);
+        if !matches!(name, "send" | "recv" | "recv_timeout") {
+            continue;
+        }
+        let prev_dot = i.checked_sub(1).is_some_and(|p| a.tok(p) == ".");
+        if prev_dot && a.tok(i + 1) == "(" && !a.tree.in_test(&a.file, i) {
+            a.push(
+                out,
+                a.tree.tokens[i].line,
+                RULE_NET_CALL_NO_TIMEOUT,
+                format!(
+                    ".{name}(…) outside the transport wrapper layer: raw \
+                     sends/receives bypass the timeout/retry ladder and \
+                     deadlock on the first dropped frame — route through \
+                     net::cluster / dist::runtime"
+                ),
+            );
+        }
+    }
+}
+
+/// Flags narrowing `as` casts in the kernel/sampler hot paths
+/// ([`CAST_HOT_FILES`]): `idx as u32` silently wraps past 2^32 — on the
+/// OGB-scale graphs the paper targets that is a real id, not a bug that
+/// announces itself. `try_from` + documented invariant, or a wider type.
+fn as_cast_truncation(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    if !CAST_HOT_FILES.iter().any(|f| a.path.ends_with(f)) {
+        return;
+    }
+    for i in 0..a.tree.tokens.len() {
+        if a.tok(i) != "as" || a.tree.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let target = a.tok(i + 1);
+        if NARROW.contains(&target) && !a.tree.in_test(&a.file, i) {
+            a.push(
+                out,
+                a.tree.tokens[i].line,
+                RULE_AS_CAST_TRUNCATION,
+                format!(
+                    "narrowing `as {target}` cast in a hot indexing path \
+                     silently truncates oversized ids: use \
+                     {target}::try_from(…) with a documented invariant, or \
+                     widen the type"
+                ),
+            );
+        }
+    }
+}
+
+/// Reports pragmas that suppressed nothing. Runs after every other rule
+/// (their [`Pragmas::allowed`] calls record usage). A pragma naming
+/// `stale-pragma` is never itself reported stale, and test code may keep
+/// illustrative pragmas.
+pub fn stale_pragmas(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    for e in &a.pragmas.entries {
+        if e.rule == RULE_STALE_PRAGMA || e.used.get() {
+            continue;
+        }
+        if a.file.lines.get(e.line).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        if a.pragmas.allowed(&a.file, e.line, RULE_STALE_PRAGMA) {
+            continue;
+        }
+        let kind = if e.file_wide { "allow-file" } else { "allow" };
+        out.push(Diagnostic {
+            path: a.path.clone(),
+            line: e.line + 1,
+            rule: RULE_STALE_PRAGMA,
+            message: format!(
+                "{kind}({}) suppresses nothing: the code it excused is gone \
+                 (or the rule name is misspelled) — delete the pragma",
+                e.rule
+            ),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -507,7 +856,7 @@ mod tests {
     use super::*;
 
     fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
-        check(path, &SourceFile::analyze(src))
+        check_analysis(&FileAnalysis::single(path, src))
     }
 
     #[test]
@@ -530,6 +879,38 @@ mod tests {
     fn preceding_line_pragma_suppresses() {
         let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow(hash-iter) — lookup only\nuse std::collections::HashMap;\n";
         assert!(diags("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_two_lines_above_does_not_suppress() {
+        let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow(hash-iter) — too far away\nfn pad() {}\nuse std::collections::HashMap;\n";
+        let d = diags("crates/graph/src/lib.rs", src);
+        assert!(d.iter().any(|d| d.rule == RULE_HASH_ITER), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == RULE_STALE_PRAGMA), "{d:?}");
+    }
+
+    #[test]
+    fn allow_file_pragma_covers_whole_file() {
+        let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow-file(hash-iter) — id interner, lookup only\nuse std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        assert!(diags("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_pragma_fires_when_nothing_suppressed() {
+        let src = "#![forbid(unsafe_code)]\n// splpg-lint: allow(wallclock) — removed long ago\nfn f() {}\n";
+        let d = diags("crates/graph/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_STALE_PRAGMA);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn stale_pragma_fires_on_misspelled_rule() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap; // splpg-lint: allow(hash-itre) — typo\n";
+        let d = diags("crates/graph/src/lib.rs", src);
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RULE_HASH_ITER), "{d:?}");
+        assert!(rules.contains(&RULE_STALE_PRAGMA), "{d:?}");
     }
 
     #[test]
@@ -584,6 +965,14 @@ mod tests {
     }
 
     #[test]
+    fn tape_in_loop_sees_nested_fn_boundary() {
+        // A fn defined inside a loop body resets loop context: its body
+        // is not "in the loop" (brace counting got this wrong).
+        let src = "#![forbid(unsafe_code)]\nfn f() {\n    for i in 0..3 {\n        fn helper() -> Tape {\n            Tape::new()\n        }\n    }\n}\n";
+        assert!(diags("crates/gnn/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
     fn tape_in_loop_pragma_suppresses() {
         let src = "#![forbid(unsafe_code)]\nfn f() {\n    for i in 0..3 {\n        // splpg-lint: allow(tape-in-loop) — cold-start cost is the measurement\n        let t = Tape::new();\n    }\n}\n";
         assert!(diags("crates/gnn/src/trainer.rs", src).is_empty());
@@ -595,10 +984,12 @@ mod tests {
             let src = format!(
                 "#![forbid(unsafe_code)]\nfn f() {{\n    for v in frontier {{\n        {alloc}\n    }}\n}}\n"
             );
-            let d = diags("crates/gnn/src/sampler.rs", &src);
-            assert_eq!(d.len(), 1, "{alloc}: {d:?}");
-            assert_eq!(d[0].rule, RULE_ALLOC_IN_HOT_LOOP);
-            assert_eq!(d[0].line, 4);
+            for path in HOT_LOOP_FILES {
+                let d = diags(path, &src);
+                assert_eq!(d.len(), 1, "{alloc} in {path}: {d:?}");
+                assert_eq!(d[0].rule, RULE_ALLOC_IN_HOT_LOOP);
+                assert_eq!(d[0].line, 4);
+            }
         }
     }
 
@@ -626,10 +1017,102 @@ mod tests {
     }
 
     #[test]
+    fn float_accum_fires_in_inline_parallel_closure() {
+        let src = "#![forbid(unsafe_code)]\nfn f(pool: &Pool) {\n    pool.parallel_for(n, 1, |i| {\n        out[i % 4] += x[i];\n    });\n}\n";
+        let d = diags("crates/linalg/src/laplacian.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_FLOAT_ACCUM_IN_PAR);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn float_accum_skips_chunk_local_and_counters() {
+        // Plain-variable and field targets are chunk-local accumulators;
+        // integer-literal increments are order-insensitive counters.
+        let src = "#![forbid(unsafe_code)]\nfn f(pool: &Pool) {\n    pool.parallel_for(n, 1, |i| {\n        acc += x[i];\n        stats.count += 1;\n    });\n}\n";
+        assert!(diags("crates/linalg/src/laplacian.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_accum_exempts_sanctioned_reduction_files() {
+        let src = "#![forbid(unsafe_code)]\nfn f(pool: &Pool) {\n    pool.parallel_for(n, 1, |i| {\n        out[i] += x[i];\n    });\n}\n";
+        for path in SANCTIONED_REDUCTION_FILES {
+            assert!(diags(path, src).is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn float_accum_outside_parallel_region_is_fine() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {\n    for i in 0..n {\n        out[i] += x[i];\n    }\n}\n";
+        assert!(diags("crates/linalg/src/laplacian.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_fires_in_loop_and_on_mixed_seed() {
+        let in_loop = "#![forbid(unsafe_code)]\nfn f(seed: u64) {\n    for i in 0..n {\n        let mut rng = Xoshiro256pp::seed_from_u64(seed);\n    }\n}\n";
+        let d = diags("crates/gnn/src/negative.rs", in_loop);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_RNG_NOT_DERIVED);
+        let mixed = "#![forbid(unsafe_code)]\nfn f(seed: u64, w: u64) {\n    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ w << 32);\n}\n";
+        let d = diags("crates/dist/src/trainer.rs", mixed);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_RNG_NOT_DERIVED);
+    }
+
+    #[test]
+    fn rng_plain_top_level_seed_is_fine() {
+        let src = "#![forbid(unsafe_code)]\nfn f(seed: u64) {\n    let mut rng = Xoshiro256pp::seed_from_u64(seed);\n}\n";
+        assert!(diags("crates/dist/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_exempts_rng_crate_itself() {
+        let src = "#![forbid(unsafe_code)]\nfn derive_stream(seed: u64, s: u64) {\n    for i in 0..4 {\n        let mut mix = SplitMix64::new(seed ^ s.wrapping_mul(K));\n    }\n}\n";
+        assert!(diags("crates/rng/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_call_fires_outside_wrapper_files() {
+        let src = "#![forbid(unsafe_code)]\nfn f(port: &mut WorkerPort) {\n    let frame = port.recv().expect(\"frame\");\n    port.send(frame).expect(\"send\");\n}\n";
+        let d = diags("crates/dist/src/strategies.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_NET_CALL_NO_TIMEOUT));
+    }
+
+    #[test]
+    fn net_call_allowed_in_wrapper_layer_and_other_crates() {
+        let src = "#![forbid(unsafe_code)]\nfn f(port: &mut WorkerPort) {\n    let frame = port.recv();\n}\n";
+        for path in NET_WRAPPER_FILES {
+            assert!(diags(path, src).is_empty(), "{path}");
+        }
+        // mpsc channels in par are not transport traffic.
+        assert!(diags("crates/par/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn as_cast_fires_in_hot_files_only() {
+        let src = "#![forbid(unsafe_code)]\nfn f(i: usize) -> u32 {\n    i as u32\n}\n";
+        for path in CAST_HOT_FILES {
+            let d = diags(path, src);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
+            assert_eq!(d[0].rule, RULE_AS_CAST_TRUNCATION);
+        }
+        assert!(diags("crates/graph/src/csr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn as_cast_widening_is_fine() {
+        let src = "#![forbid(unsafe_code)]\nfn f(i: u32) {\n    let a = i as usize;\n    let b = i as u64;\n    let c = i as f32;\n}\n";
+        assert!(diags("crates/gnn/src/sampler.rs", src).is_empty());
+    }
+
+    #[test]
     fn pragma_for_other_rule_does_not_suppress() {
         let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap; // splpg-lint: allow(wallclock) — wrong rule\n";
         let d = diags("crates/graph/src/lib.rs", src);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, RULE_HASH_ITER);
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RULE_HASH_ITER), "{d:?}");
+        // And the useless wallclock pragma is itself flagged.
+        assert!(rules.contains(&RULE_STALE_PRAGMA), "{d:?}");
     }
 }

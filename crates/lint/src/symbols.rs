@@ -1,0 +1,261 @@
+//! Pass 3 of the analyzer: the workspace symbol pass.
+//!
+//! The determinism rules (`float-accum-in-par`, `rng-not-derived`) need
+//! to know whether a token executes *inside a parallel region* — on a
+//! `splpg-par` worker thread, where statement order across items is not
+//! the source order. Parallel regions start syntactically at the
+//! argument lists of [`crate::tree::PAR_ENTRY_POINTS`] calls, but the
+//! workspace routinely binds a closure to a name (`let run = |…| …;
+//! pool.parallel_for_mut(out, m, 1, run)`) or dispatches a free function
+//! by name, so the marking must follow references.
+//!
+//! This pass runs a breadth-first fixpoint over all files at once:
+//!
+//! 1. seed: every token inside a `PAR_ENTRY_POINTS` argument list is
+//!    marked parallel;
+//! 2. propagate: inside any marked range, a *direct call* `name(…)` or
+//!    *path call* `prefix::name(…)` marks the body of every same-crate
+//!    `fn name` (a `splpg_x::` prefix retargets the lookup at crate `x`),
+//!    and a *bare reference* to a `let`-bound closure in the same file
+//!    marks that closure's body;
+//! 3. repeat until no new tokens get marked.
+//!
+//! Method calls (`.name(…)`) deliberately do **not** propagate: receiver
+//! types are unknowable without real type inference, and chasing every
+//! method name by string would mark half the workspace. The cost is
+//! bounded unsoundness — a parallel closure that reaches order-sensitive
+//! code only through a method call is not seen — which the 1-vs-4-thread
+//! bitwise diff in `scripts/verify.sh` still covers dynamically.
+
+use crate::lexer::SourceFile;
+use crate::tree::{TokenKind, TokenTree};
+use std::collections::BTreeMap;
+
+/// One file's inputs to the symbol pass.
+pub struct FileUnit<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub path: &'a str,
+    /// Crate directory name under `crates/`, if any.
+    pub crate_name: Option<&'a str>,
+    /// The lexed file.
+    pub file: &'a SourceFile,
+    /// Its token tree.
+    pub tree: &'a TokenTree,
+}
+
+/// Computes, for every file, a per-token "runs inside a parallel region"
+/// mask, aligned with `tree.tokens`.
+pub fn parallel_marks(units: &[FileUnit<'_>]) -> Vec<Vec<bool>> {
+    // Symbol tables: (crate, fn name) -> bodies; (file, closure name) -> bodies.
+    type FnBodies<'a> = BTreeMap<(&'a str, &'a str), Vec<(usize, (usize, usize))>>;
+    let mut fns: FnBodies<'_> = BTreeMap::new();
+    let mut closures: BTreeMap<(usize, &str), Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, u) in units.iter().enumerate() {
+        let Some(krate) = u.crate_name else { continue };
+        for f in &u.tree.fns {
+            fns.entry((krate, f.name.as_str())).or_default().push((fi, f.body));
+        }
+        for c in &u.tree.closures {
+            closures.entry((fi, c.name.as_str())).or_default().push(c.body);
+        }
+    }
+
+    let mut marks: Vec<Vec<bool>> = units.iter().map(|u| vec![false; u.tree.tokens.len()]).collect();
+    let mut work: Vec<(usize, usize, usize)> = Vec::new();
+
+    let mark_range = |marks: &mut Vec<Vec<bool>>,
+                      work: &mut Vec<(usize, usize, usize)>,
+                      fi: usize,
+                      (s, e): (usize, usize)| {
+        let m = &mut marks[fi];
+        let end = e.min(m.len());
+        let mut newly = false;
+        for flag in m.iter_mut().take(end).skip(s) {
+            if !*flag {
+                *flag = true;
+                newly = true;
+            }
+        }
+        if newly {
+            work.push((fi, s, e));
+        }
+    };
+
+    for (fi, u) in units.iter().enumerate() {
+        for &range in &u.tree.par_call_args {
+            mark_range(&mut marks, &mut work, fi, range);
+        }
+    }
+
+    while let Some((fi, s, e)) = work.pop() {
+        let u = &units[fi];
+        let toks = &u.tree.tokens;
+        for i in s..e.min(toks.len()) {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = t.text.as_str();
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            if next == Some("(") {
+                // Method calls don't propagate (see module docs).
+                if prev == Some(".") {
+                    continue;
+                }
+                // Resolve the call's target crate from a `::` path prefix.
+                let mut krate = u.crate_name;
+                if prev == Some("::") {
+                    let mut j = i - 1; // at `::`
+                    let mut head = None;
+                    while let Some(p) = j.checked_sub(1) {
+                        if toks[p].kind == TokenKind::Ident {
+                            head = Some(toks[p].text.as_str());
+                            match p.checked_sub(1).map(|q| toks[q].text.as_str()) {
+                                Some("::") => j = p - 1,
+                                _ => break,
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    if let Some(h) = head {
+                        if let Some(target) = h.strip_prefix("splpg_") {
+                            krate = Some(target);
+                        } else if h.chars().next().is_some_and(char::is_uppercase) {
+                            // `Type::method(…)`: resolving by bare method
+                            // name would conflate every `fn new` in the
+                            // crate onto one impl's — skip instead of
+                            // over-marking (the 1-vs-4-thread diff in
+                            // verify.sh backstops what this misses).
+                            krate = None;
+                        }
+                        // `crate::` / `self::` / `module::` keep the crate.
+                    }
+                }
+                if let Some(k) = krate {
+                    if let Some(defs) = fns.get(&(k, name)) {
+                        for &(dfi, body) in defs.clone().iter() {
+                            mark_range(&mut marks, &mut work, dfi, body);
+                        }
+                    }
+                }
+            }
+            // Bare reference to a same-file closure binding: dispatching a
+            // closure by name (`pool.parallel_for_mut(live, 1, 1, fetch)`).
+            if next != Some("(") && prev != Some(".") {
+                if let Some(bodies) = closures.get(&(fi, name)) {
+                    for &body in bodies.clone().iter() {
+                        mark_range(&mut marks, &mut work, fi, body);
+                    }
+                }
+            }
+        }
+    }
+
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type ParsedUnit = (String, SourceFile, TokenTree);
+
+    fn analyze(sources: &[(&str, &str)]) -> (Vec<ParsedUnit>, Vec<Vec<bool>>) {
+        let parsed: Vec<ParsedUnit> = sources
+            .iter()
+            .map(|(p, s)| {
+                let f = SourceFile::analyze(s);
+                let t = TokenTree::build(&f);
+                ((*p).to_string(), f, t)
+            })
+            .collect();
+        let names: Vec<Option<String>> =
+            parsed.iter().map(|(p, _, _)| crate::rules::FileScope::of(p).crate_name).collect();
+        let units: Vec<FileUnit<'_>> = parsed
+            .iter()
+            .zip(&names)
+            .map(|((p, f, t), n)| FileUnit {
+                path: p,
+                crate_name: n.as_deref(),
+                file: f,
+                tree: t,
+            })
+            .collect();
+        let marks = parallel_marks(&units);
+        (parsed, marks)
+    }
+
+    fn marked(parsed: &[(String, SourceFile, TokenTree)], marks: &[Vec<bool>], text: &str) -> bool {
+        for (fi, (_, _, t)) in parsed.iter().enumerate() {
+            for (i, tok) in t.tokens.iter().enumerate() {
+                if tok.text == text {
+                    return marks[fi][i];
+                }
+            }
+        }
+        panic!("token {text} not found");
+    }
+
+    #[test]
+    fn inline_closure_args_are_marked() {
+        let (p, m) = analyze(&[(
+            "crates/tensor/src/kernels.rs",
+            "fn f(pool: &Pool) { pool.parallel_for_mut(out, m, 1, |r, c| { hot(); }); cold(); }\n",
+        )]);
+        assert!(marked(&p, &m, "hot"));
+        assert!(!marked(&p, &m, "cold"));
+    }
+
+    #[test]
+    fn named_closure_dispatch_marks_body() {
+        let (p, m) = analyze(&[(
+            "crates/gnn/src/sampler.rs",
+            "fn f(pool: &Pool) {\n    let fetch = |r: usize, c: &mut [u32]| { hot(); };\n    pool.parallel_for_mut(live, 1, 1, fetch);\n}\n",
+        )]);
+        assert!(marked(&p, &m, "hot"));
+    }
+
+    #[test]
+    fn direct_call_marks_same_crate_fn_across_files() {
+        let (p, m) = analyze(&[
+            (
+                "crates/tensor/src/kernels.rs",
+                "fn outer(pool: &Pool) { pool.parallel_for(n, 1, |i| { helper(i); }); }\n",
+            ),
+            ("crates/tensor/src/segment.rs", "pub fn helper(i: usize) { deep(); }\n"),
+        ]);
+        assert!(marked(&p, &m, "deep"));
+    }
+
+    #[test]
+    fn splpg_path_call_retargets_crate() {
+        let (p, m) = analyze(&[
+            (
+                "crates/gnn/src/sampler.rs",
+                "fn outer(pool: &Pool) { pool.parallel_for(n, 1, |i| { splpg_tensor::kernels::helper(i); }); }\n",
+            ),
+            ("crates/tensor/src/kernels.rs", "pub fn helper(i: usize) { deep(); }\n"),
+        ]);
+        assert!(marked(&p, &m, "deep"));
+    }
+
+    #[test]
+    fn method_calls_do_not_propagate() {
+        let (p, m) = analyze(&[(
+            "crates/linalg/src/solver.rs",
+            "fn outer(pool: &Pool) { pool.parallel_for(n, 1, |i| { engine.helper(i); }); }\nfn helper(i: usize) { deep(); }\n",
+        )]);
+        assert!(!marked(&p, &m, "deep"));
+    }
+
+    #[test]
+    fn unreferenced_fn_stays_unmarked() {
+        let (p, m) = analyze(&[(
+            "crates/tensor/src/kernels.rs",
+            "fn outer(pool: &Pool) { pool.parallel_for(n, 1, |i| { touch(i); }); }\nfn bystander() { cold(); }\n",
+        )]);
+        assert!(!marked(&p, &m, "cold"));
+    }
+}

@@ -1,0 +1,14 @@
+// Narrowing `as` casts in hot indexing paths: an oversized id silently
+// wraps instead of failing.
+
+fn pack(ids: &[usize]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(ids.len());
+    for &i in ids {
+        out.push(i as u32);
+    }
+    out
+}
+
+fn small(x: u64) -> u16 {
+    x as u16
+}

@@ -1,0 +1,13 @@
+// Checked narrowing and widening casts: both fine in hot paths.
+
+fn pack(ids: &[usize]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(ids.len());
+    for &i in ids {
+        out.push(u32::try_from(i).expect("invariant: node ids fit u32"));
+    }
+    out
+}
+
+fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

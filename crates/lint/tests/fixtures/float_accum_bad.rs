@@ -1,0 +1,26 @@
+// Order-sensitive accumulation inside parallel regions: the three shapes
+// the rule must catch — an inline closure, a let-bound closure dispatched
+// by name, and a helper fn called from inside a parallel region.
+
+fn inline(pool: &Pool, out: &mut [f32], x: &[f32]) {
+    pool.parallel_for(x.len(), 64, |i| {
+        out[i % 8] += x[i];
+    });
+}
+
+fn named(pool: &Pool, y: &mut [f32], x: &[f32]) {
+    let run = |row0: usize, chunk: &mut [f32]| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot += x[row0 + j];
+        }
+    };
+    pool.parallel_for_mut(y, 8, 1, run);
+}
+
+fn helper(out: &mut [f32], x: &[f32], i: usize) {
+    out[i / 2] -= x[i];
+}
+
+fn dispatched(pool: &Pool, out: &mut [f32], x: &[f32]) {
+    pool.parallel_for(x.len(), 64, |i| helper(out, x, i));
+}

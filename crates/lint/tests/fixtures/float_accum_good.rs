@@ -1,0 +1,24 @@
+// Deterministic accumulation shapes the rule must leave alone:
+// chunk-local accumulators, integer counters, and serial loops.
+
+fn chunk_local(pool: &Pool, x: &[f32]) -> Vec<f32> {
+    pool.parallel_map_chunks(x, 64, |_c0, chunk| {
+        let mut acc = 0.0f32;
+        for &v in chunk {
+            acc += v;
+        }
+        acc
+    })
+}
+
+fn counting(pool: &Pool, stats: &mut Stats, x: &[u32]) {
+    pool.parallel_for(x.len(), 64, |_i| {
+        stats.seen += 1;
+    });
+}
+
+fn serial(out: &mut [f32], x: &[f32]) {
+    for i in 0..x.len() {
+        out[i] += x[i];
+    }
+}

@@ -1,0 +1,8 @@
+// Raw transport traffic outside the wrapper layer: a bare recv hangs the
+// quorum protocol forever on the first dropped frame.
+
+fn broadcast(hub: &mut MasterHub, frame: Frame) {
+    hub.send(frame).expect("send");
+    let _reply = hub.recv().expect("reply");
+    let _late = hub.recv_timeout(LONG_DEADLINE).expect("late");
+}

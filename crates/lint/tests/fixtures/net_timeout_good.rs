@@ -1,0 +1,7 @@
+// Transport traffic through the retry/timeout wrappers, which own the
+// deadline ladder and the fault accounting.
+
+fn broadcast(net: &mut MasterNet, frame: Frame) -> Result<Frame, NetError> {
+    net.send_with_retry(frame)?;
+    net.recv_with_deadline()
+}

@@ -1,0 +1,21 @@
+// RNG construction the determinism rules forbid: per-item generators
+// rebuilt inside a loop, hand-mixed seeds, and construction on worker
+// threads.
+
+fn per_item(seed: u64, frontier: &[u32]) {
+    for &v in frontier {
+        let mut rng = StdRng::seed_from_u64(seed + u64::from(v));
+        let _ = rng.next_u64();
+    }
+}
+
+fn hand_mixed(seed: u64, worker: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (worker + 1) << 32)
+}
+
+fn on_worker(pool: &Pool, seed: u64, n: usize) {
+    pool.parallel_for(n, 1, |i| {
+        let mut mix = SplitMix64::new(seed.wrapping_add(i as u64));
+        let _ = mix.next_u64();
+    });
+}

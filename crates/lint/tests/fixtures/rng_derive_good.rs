@@ -1,0 +1,20 @@
+// Sanctioned randomness: one top-level construction from the run seed,
+// and derived per-item streams everywhere order could vary.
+
+fn per_item(seed: u64, frontier: &[u32]) {
+    for &v in frontier {
+        let mut rng = splpg_rng::derive_stream(seed, u64::from(v));
+        let _ = rng.next_u64();
+    }
+}
+
+fn on_worker(pool: &Pool, seed: u64, n: usize) {
+    pool.parallel_for(n, 1, |i| {
+        let mut rng = splpg_rng::derive_stream(seed, i as u64);
+        let _ = rng.next_u64();
+    });
+}
+
+fn top_level(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

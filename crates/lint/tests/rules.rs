@@ -199,6 +199,178 @@ fn alloc_in_hot_loop_passes_good_fixture_and_other_files() {
 }
 
 #[test]
+fn float_accum_fires_on_bad_fixture() {
+    // Three shapes: inline closure, let-bound closure dispatched by name,
+    // helper fn called from a parallel region.
+    let d = check_source("crates/linalg/src/fixture.rs", include_str!("fixtures/float_accum_bad.rs"));
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "float-accum-in-par").collect();
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn float_accum_passes_good_fixture_and_sanctioned_files() {
+    let good =
+        fired_content("crates/linalg/src/fixture.rs", include_str!("fixtures/float_accum_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // The deterministic-reduction helpers themselves are exempt wholesale.
+    for path in ["crates/tensor/src/kernels.rs", "crates/tensor/src/segment.rs"] {
+        let f = fired_content(path, include_str!("fixtures/float_accum_bad.rs"));
+        assert!(!f.contains(&"float-accum-in-par"), "{path}: {f:?}");
+    }
+}
+
+#[test]
+fn rng_not_derived_fires_on_bad_fixture() {
+    // In-loop construction, hand-mixed seed, construction on a worker.
+    let d = check_source("crates/gnn/src/fixture.rs", include_str!("fixtures/rng_derive_bad.rs"));
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "rng-not-derived").collect();
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn rng_not_derived_passes_good_fixture_and_rng_crate() {
+    let good =
+        fired_content("crates/gnn/src/fixture.rs", include_str!("fixtures/rng_derive_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // splpg-rng implements derive_stream: it may mix seeds.
+    let rng = fired_content("crates/rng/src/fixture.rs", include_str!("fixtures/rng_derive_bad.rs"));
+    assert!(!rng.contains(&"rng-not-derived"), "{rng:?}");
+}
+
+#[test]
+fn net_call_fires_on_bad_fixture() {
+    let d = check_source("crates/dist/src/fixture.rs", include_str!("fixtures/net_timeout_bad.rs"));
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "net-call-no-timeout").collect();
+    assert_eq!(hits.len(), 3, "send, recv, recv_timeout: {hits:?}");
+}
+
+#[test]
+fn net_call_passes_good_fixture_and_wrapper_layer() {
+    let good =
+        fired_content("crates/dist/src/fixture.rs", include_str!("fixtures/net_timeout_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // The wrapper layer is where raw send/recv legitimately lives.
+    let wrapper =
+        fired_content("crates/dist/src/runtime.rs", include_str!("fixtures/net_timeout_bad.rs"));
+    assert!(!wrapper.contains(&"net-call-no-timeout"), "{wrapper:?}");
+}
+
+#[test]
+fn as_cast_fires_on_bad_fixture_in_every_hot_file() {
+    for path in
+        ["crates/tensor/src/kernels.rs", "crates/tensor/src/segment.rs", "crates/gnn/src/sampler.rs"]
+    {
+        let d = check_source(path, include_str!("fixtures/as_cast_bad.rs"));
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == "as-cast-truncation").collect();
+        assert_eq!(hits.len(), 2, "{path}: {hits:?}");
+    }
+}
+
+#[test]
+fn as_cast_passes_good_fixture_and_cold_files() {
+    let good = fired_content("crates/gnn/src/sampler.rs", include_str!("fixtures/as_cast_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    let cold = fired_content("crates/graph/src/csr.rs", include_str!("fixtures/as_cast_bad.rs"));
+    assert!(cold.is_empty(), "non-hot files may narrow: {cold:?}");
+}
+
+#[test]
+fn seeded_bad_patterns_fire_in_workspace_hot_paths() {
+    // The acceptance bar: dropping any bad-fixture pattern into a real
+    // hot-path file must fail the same scan scripts/verify.sh runs.
+    let cases: &[(&str, &str, &str)] = &[
+        ("crates/linalg/src/solver.rs", include_str!("fixtures/float_accum_bad.rs"), "float-accum-in-par"),
+        ("crates/gnn/src/negative.rs", include_str!("fixtures/rng_derive_bad.rs"), "rng-not-derived"),
+        ("crates/dist/src/strategies.rs", include_str!("fixtures/net_timeout_bad.rs"), "net-call-no-timeout"),
+        ("crates/gnn/src/sampler.rs", include_str!("fixtures/as_cast_bad.rs"), "as-cast-truncation"),
+    ];
+    for (path, src, rule) in cases {
+        let f = fired(path, src);
+        assert!(f.contains(rule), "{rule} must fire when seeded into {path}: {f:?}");
+    }
+}
+
+#[test]
+fn allow_file_pragma_and_stale_pragma_integration() {
+    // allow-file covers every occurrence in the file…
+    let src = "#![forbid(unsafe_code)]\n\
+               // splpg-lint: allow-file(hash-iter) — id interner, lookup only\n\
+               use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) -> usize { m.len() }\n";
+    assert!(fired("crates/graph/src/lib.rs", src).is_empty());
+    // …and a pragma that covers nothing is itself a violation.
+    let stale = "#![forbid(unsafe_code)]\n\
+                 // splpg-lint: allow(thread-spawn) — code moved to splpg-par long ago\n\
+                 fn f() {}\n";
+    let d = check_source("crates/graph/src/lib.rs", stale);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "stale-pragma");
+    assert_eq!(d[0].line, 2);
+}
+
+#[test]
+fn json_golden_snapshot() {
+    // Machine-readable output is a stable contract for CI/editors: the
+    // exact bytes are pinned. Regenerate deliberately with
+    // `SPLPG_BLESS=1 cargo test -p splpg-lint json_golden`.
+    let diagnostics =
+        check_source("crates/tensor/src/kernels.rs", include_str!("fixtures/as_cast_bad.rs"));
+    let report = splpg_lint::Report { diagnostics, files_scanned: 1, timings: Vec::new() };
+    let actual = splpg_lint::report_json(&report);
+    let golden_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.json");
+    if std::env::var("SPLPG_BLESS").is_ok() {
+        std::fs::write(golden_path, format!("{actual}\n")).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("read golden");
+    assert_eq!(actual.trim_end(), golden.trim_end(), "JSON output drifted from the golden snapshot");
+}
+
+#[test]
+fn cli_exit_codes_and_formats() {
+    use std::process::Command;
+    let exe = env!("CARGO_BIN_EXE_splpg-lint");
+
+    // `rules` lists every rule and exits 0.
+    let out = Command::new(exe).arg("rules").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in splpg_lint::RULE_NAMES {
+        assert!(text.contains(rule), "rules listing missing {rule}");
+    }
+
+    // A violating mini-workspace: exit 1, and JSON mode reports it.
+    let dir = std::env::temp_dir().join(format!("splpg_lint_cli_{}", std::process::id()));
+    let src = dir.join("crates").join("graph").join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("lib.rs"), "use std::collections::HashMap;\n").expect("write");
+    let root = dir.to_str().expect("utf8 tempdir");
+    let out = Command::new(exe)
+        .args(["check", "--root", root, "--format=json"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"violations\": 2"), "hash-iter + forbid-unsafe: {json}");
+    assert!(json.contains("\"rule\":\"hash-iter\""), "{json}");
+
+    // Clean mini-workspace: exit 0, timings print under --timings.
+    std::fs::write(src.join("lib.rs"), "#![forbid(unsafe_code)]\n").expect("write");
+    let out = Command::new(exe)
+        .args(["check", "--root", root, "--timings", "--budget-ms", "60000"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("per-phase timings"));
+
+    // Usage errors: exit 2.
+    let out = Command::new(exe).args(["check", "--bogus"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pragma_reasons_survive_extra_rules_listed() {
     // One pragma can name several rules.
     let src = "#![forbid(unsafe_code)]\n\
@@ -231,4 +403,10 @@ fn workspace_scan_reports_zero_violations() {
             .join("\n")
     );
     assert!(report.files_scanned > 50, "expected to scan the whole workspace");
+    // The full v2 rule set must be active for the clean bill to mean
+    // anything.
+    assert_eq!(splpg_lint::RULE_NAMES.len(), 13, "v2 ships 13 rules");
+    for rule in ["float-accum-in-par", "rng-not-derived", "net-call-no-timeout", "as-cast-truncation", "stale-pragma"] {
+        assert!(splpg_lint::RULE_NAMES.contains(&rule), "missing v2 rule {rule}");
+    }
 }

@@ -12,7 +12,14 @@ echo "== cargo test =="
 cargo test --workspace -q
 
 echo "== splpg-lint (determinism & safety analyzer) =="
-cargo run -p splpg-lint --release -- check
+# --budget-ms turns "fast enough to run on every build" into a hard
+# gate: the full workspace scan must finish inside 5 seconds.
+cargo run -p splpg-lint --release -- check --timings --budget-ms 5000
+
+if [ "${SPLPG_SANITIZE:-0}" = "1" ]; then
+    echo "== sanitizers (Miri / ThreadSanitizer, nightly-only) =="
+    sh scripts/sanitize.sh
+fi
 
 echo "== fault-injection e2e (drop=0.1 dup=0.05, crash, quorum p-1) =="
 # The wire_chaos stdout is seed-determined only: identical across runs
