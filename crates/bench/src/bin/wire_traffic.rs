@@ -16,7 +16,39 @@
 
 use splpg::prelude::*;
 
+fn builder(strategy: Strategy) -> SpLpg {
+    SpLpg::builder()
+        .workers(2)
+        .strategy(strategy)
+        .sync(SyncMethod::ModelAveraging)
+        .epochs(2)
+        .hidden(8)
+        .layers(2)
+        .fanouts(vec![Some(5), Some(5)])
+        .hits_k(10)
+        .seed(17)
+        .build()
+}
+
+fn dataset() -> Result<Dataset, String> {
+    DatasetSpec::citeseer().generate(Scale::new(0.05, 16), 3).map_err(|e| e.to_string())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Spawned worker child of the SpLPG/tcp row? Serve, then exit.
+    let served = tcp_worker_entry(|workers| {
+        let data = dataset().map_err(splpg::dist::DistError::Process)?;
+        let s = builder(Strategy::SpLpg);
+        let trainer = DistTrainer::new(
+            DistConfig { num_workers: workers, ..s.dist_config().clone() },
+            s.train_config().clone(),
+        );
+        Ok((trainer, ModelKind::GraphSage, data))
+    })?;
+    if served {
+        return Ok(());
+    }
+
     let data = DatasetSpec::citeseer().generate(Scale::new(0.05, 16), 3)?;
     println!(
         "dataset: {} ({} nodes, {} edges); 2 workers, 2 epochs, GraphSage\n",
@@ -34,18 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("PSGD-PA", Strategy::PsgdPa),
         ("PSGD-PA+", Strategy::PsgdPaPlus),
     ] {
-        let out = SpLpg::builder()
-            .workers(2)
-            .strategy(strategy)
-            .sync(SyncMethod::ModelAveraging)
-            .epochs(2)
-            .hidden(8)
-            .layers(2)
-            .fanouts(vec![Some(5), Some(5)])
-            .hits_k(10)
-            .seed(17)
-            .build()
-            .run(ModelKind::GraphSage, &data)?;
+        let out = builder(strategy).run(ModelKind::GraphSage, &data)?;
 
         let meter = out.comm.total_bytes();
         assert_eq!(
@@ -56,6 +77,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:>12} {:>6} {:>14} {:>14} {:>12}",
             out.net.messages, out.net.bytes, out.net.data_bytes, meter
         );
+    }
+
+    // SpLPG again, but across real worker processes on loopback TCP:
+    // the ledgers cross an actual socket and must still reconcile with
+    // the meters of the in-process run, byte for byte.
+    if std::net::TcpListener::bind(("127.0.0.1", 0)).is_ok() {
+        let s = builder(Strategy::SpLpg);
+        let trainer = DistTrainer::new(s.dist_config().clone(), s.train_config().clone());
+        let out = trainer.run_multiprocess(ModelKind::GraphSage, &data, &[])?;
+        let meter = out.comm.total_bytes();
+        assert_eq!(
+            out.net.data_bytes, meter,
+            "SpLPG/tcp: socket-carried fetch ledgers disagree with the CommTracker meters"
+        );
+        println!(
+            "{:>12} {:>6} {:>14} {:>14} {:>12}",
+            "SpLPG/tcp", out.net.messages, out.net.bytes, out.net.data_bytes, meter
+        );
+    } else {
+        println!("{:>12} SKIP: loopback sockets unavailable", "SpLPG/tcp");
     }
 
     println!(

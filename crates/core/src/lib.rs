@@ -76,8 +76,8 @@ pub mod prelude {
     pub use crate::{SpLpg, SpLpgBuilder};
     pub use splpg_datasets::{Dataset, DatasetSpec, Scale};
     pub use splpg_dist::{
-        CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, FaultPlan, NetReport,
-        RetryPolicy, SparsifierKind, Strategy, SyncMethod,
+        tcp_worker_entry, CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, FaultPlan,
+        NetReport, RetryPolicy, SparsifierKind, Strategy, SyncMethod, TcpConfig, WorkerEnv,
     };
     pub use splpg_gnn::trainer::{ModelKind, TrainConfig};
     pub use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph, GraphBuilder, NodeId};

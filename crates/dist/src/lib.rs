@@ -52,9 +52,12 @@ pub use comm::{
 };
 pub use runtime::NetReport;
 pub use setup::{ClusterSetup, SparsifierKind, WorkerData};
-pub use splpg_net::{FaultPlan, RetryPolicy};
+pub use splpg_net::process::WorkerEnv;
+pub use splpg_net::{FaultPlan, RetryPolicy, TcpConfig};
 pub use strategy::{NegativeSpace, PartitionerKind, RemoteKind, Strategy, StrategySpec};
-pub use trainer::{DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, SyncMethod};
+pub use trainer::{
+    tcp_worker_entry, DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, SyncMethod,
+};
 pub use view::{RemoteMode, WorkerView};
 
 /// Errors from distributed training.
@@ -76,6 +79,9 @@ pub enum DistError {
     /// Fewer workers than the configured quorum answered a
     /// synchronization unit even after every retry.
     QuorumLost(String),
+    /// Spawning, rendezvous, or reaping of worker processes failed in a
+    /// multi-process cluster run.
+    Process(String),
 }
 
 impl std::fmt::Display for DistError {
@@ -90,6 +96,7 @@ impl std::fmt::Display for DistError {
                 write!(f, "invalid fault/retry/quorum config: {msg}")
             }
             DistError::QuorumLost(msg) => write!(f, "quorum lost: {msg}"),
+            DistError::Process(msg) => write!(f, "worker process failure: {msg}"),
         }
     }
 }

@@ -596,6 +596,39 @@ impl Backend {
         }
     }
 
+    /// Graph-data bytes fetched so far, from the vantage point this
+    /// backend can actually observe: the shared tracker for in-process
+    /// replicas, the gathered fetch ledgers for a cluster — whose
+    /// workers may live in other processes, where the master-side
+    /// tracker never advances. On a fault-free full-quorum run the two
+    /// are identical (every response, hence every ledger delta, is
+    /// accepted), which the bit-identity tests pin by comparing a
+    /// cluster run's ledger-based report against the reference's
+    /// tracker-based one.
+    pub fn data_bytes_so_far(&self, tracker: &crate::CommMeter) -> u64 {
+        match self {
+            Backend::Net(net) => ledger_bytes(&net.data_ledger),
+            Backend::Local { .. } => tracker.total_bytes(),
+        }
+    }
+
+    /// `(structure bytes, feature bytes)` split of
+    /// [`Backend::data_bytes_so_far`], for the final [`CommReport`].
+    ///
+    /// [`CommReport`]: crate::CommReport
+    pub fn comm_split(&self, tracker: &crate::CommMeter) -> (u64, u64) {
+        match self {
+            Backend::Net(net) => {
+                let l = &net.data_ledger;
+                (
+                    l.structure_edges * BYTES_PER_EDGE + l.structure_nodes * BYTES_PER_NODE_ID,
+                    l.feature_elems * BYTES_PER_FEATURE,
+                )
+            }
+            Backend::Local { .. } => (tracker.structure_bytes(), tracker.feature_bytes()),
+        }
+    }
+
     /// Shuts the cluster down (if any) and reports wire traffic.
     pub fn finish(self) -> NetReport {
         match self {

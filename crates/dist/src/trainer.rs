@@ -12,7 +12,8 @@ use splpg_graph::Graph;
 use splpg_gnn::{
     FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler, SamplerScratch,
 };
-use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy};
+use splpg_net::process::{spawn_cluster, worker_from_env, ProcessSpec, WorkerEnv};
+use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy, TcpConfig};
 use splpg_nn::{Adam, Optimizer, ParamSet};
 use splpg_tensor::Tape;
 
@@ -335,6 +336,112 @@ impl DistTrainer {
         result
     }
 
+    /// Runs training with `p` real worker *processes* over loopback TCP:
+    /// the current binary is re-executed once per worker (role handoff by
+    /// environment variable, rendezvous through an ephemeral port file),
+    /// each child builds its replica deterministically from the same
+    /// configuration and dataset, and the master drives the identical
+    /// [`master_loop`] it uses over in-process channels — so a fault-free
+    /// run is bit-identical to [`DistTrainer::run`] and to
+    /// [`DistTrainer::run_reference`].
+    ///
+    /// `child_args` are passed to the re-executed binary; a test binary
+    /// uses them to route the child into the test that calls
+    /// [`tcp_worker_entry`]. The child-side code path must exist — a
+    /// child that never dials in stalls the rendezvous until its bounded
+    /// window closes.
+    ///
+    /// [`master_loop`]: DistTrainer::run
+    ///
+    /// # Errors
+    ///
+    /// As [`DistTrainer::run`], plus [`DistError::Process`] when
+    /// spawning, the rendezvous, or a worker process fails.
+    pub fn run_multiprocess(
+        &self,
+        kind: ModelKind,
+        data: &Dataset,
+        child_args: &[String],
+    ) -> Result<DistOutcome, DistError> {
+        if self.dist.strategy == Strategy::Centralized {
+            return Err(DistError::InvalidConfig(
+                "centralized training has no worker processes to spawn".to_string(),
+            ));
+        }
+        self.validate()?;
+        let (train_graph, setup) = self.prepare(data)?;
+        let p = self.dist.num_workers;
+        let quorum = self.dist.quorum.unwrap_or(p);
+        let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
+        let spec = ProcessSpec {
+            workers: p,
+            faults: wire.clone(),
+            tcp: TcpConfig::default(),
+            child_args: child_args.to_vec(),
+        };
+        let (hub, children) =
+            spawn_cluster(&spec).map_err(|e| DistError::Process(e.to_string()))?;
+        let active = wire.is_some() || quorum < p;
+        let net = MasterNet::new(hub, self.dist.retry, active, quorum);
+        let result = self.master_loop(Backend::Net(net), kind, data, &train_graph, &setup);
+        // master_loop consumed the hub (finish broadcast Stop and closed
+        // every lane), so the children are already exiting; reap them and
+        // surface any non-zero exit even when training itself succeeded.
+        let joined = children.join();
+        let out = result?;
+        joined.map_err(|e| DistError::Process(e.to_string()))?;
+        Ok(out)
+    }
+
+    /// The worker-process half of [`DistTrainer::run_multiprocess`]:
+    /// rebuilds this worker's replica deterministically (same
+    /// configuration, same dataset, same seeds as the master and every
+    /// sibling), dials the master, and serves requests until a `Stop`
+    /// frame, master hang-up, or this worker's scheduled crash epoch.
+    ///
+    /// # Errors
+    ///
+    /// Configuration/setup errors as [`DistTrainer::run`];
+    /// [`DistError::Process`] when the rendezvous or dial fails, or when
+    /// the spawning master's worker count disagrees with this
+    /// configuration.
+    pub fn run_tcp_worker(
+        &self,
+        env: &WorkerEnv,
+        kind: ModelKind,
+        data: &Dataset,
+    ) -> Result<(), DistError> {
+        self.validate()?;
+        if env.workers() != self.dist.num_workers {
+            return Err(DistError::Process(format!(
+                "spawned into a {}-worker cluster but configured for {}",
+                env.workers(),
+                self.dist.num_workers
+            )));
+        }
+        let (_train_graph, setup) = self.prepare(data)?;
+        let mut replicas = self.build_replicas(kind, data, &setup);
+        let w = env.worker();
+        if w >= replicas.len() {
+            return Err(DistError::Process(format!(
+                "worker index {w} out of range for {} replicas",
+                replicas.len()
+            )));
+        }
+        let rep = replicas.remove(w);
+        let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
+        let crash = wire.as_ref().and_then(|f| f.crash_epoch(w)).map(|e| e as u64);
+        // Dial only now, with the replica fully built: the instant the
+        // rendezvous completes this worker can serve, so the master's
+        // retry clock (when faults make it run) never races replica
+        // construction.
+        let port = env
+            .connect(wire.as_ref(), &TcpConfig::default())
+            .map_err(|e| DistError::Process(e.to_string()))?;
+        worker_loop(port, rep, self.dist.faults, crash);
+        Ok(())
+    }
+
     /// Sequential in-process reference of [`DistTrainer::run`]: the same
     /// replicas, the same aggregation, executed on the calling thread in
     /// worker order with no message passing. This defines the expected
@@ -390,7 +497,7 @@ impl DistTrainer {
         let mut global_flat = master_params.to_flat();
         let mut epochs = Vec::with_capacity(self.train.epochs);
         let mut best = (f64::NEG_INFINITY, global_flat.clone());
-        let mut prev_bytes = setup.tracker.total_bytes();
+        let mut prev_bytes = backend.data_bytes_so_far(&setup.tracker);
         let rounds_per_epoch = setup
             .workers
             .iter()
@@ -464,8 +571,9 @@ impl DistTrainer {
                     global_flat = master_params.to_flat();
                 }
 
-                let comm_bytes = setup.tracker.total_bytes() - prev_bytes;
-                prev_bytes = setup.tracker.total_bytes();
+                let now_bytes = backend.data_bytes_so_far(&setup.tracker);
+                let comm_bytes = now_bytes - prev_bytes;
+                prev_bytes = now_bytes;
 
                 let valid_hits = if epoch % self.dist.eval_every == 0
                     || epoch + 1 == self.train.epochs
@@ -500,6 +608,7 @@ impl DistTrainer {
             }
             Ok(())
         })();
+        let (total_structure_bytes, total_feature_bytes) = backend.comm_split(&setup.tracker);
         let net = backend.finish();
         loop_result?;
 
@@ -523,8 +632,8 @@ impl DistTrainer {
 
         let comm = CommReport {
             epoch_bytes: epochs.iter().map(|e| e.comm_bytes).collect(),
-            total_structure_bytes: setup.tracker.structure_bytes(),
-            total_feature_bytes: setup.tracker.feature_bytes(),
+            total_structure_bytes,
+            total_feature_bytes,
         };
         Ok(DistOutcome {
             test_hits,
@@ -563,6 +672,34 @@ impl DistTrainer {
             net: NetReport::default(),
         })
     }
+}
+
+/// Child-side dispatcher for self-re-executing multi-process drivers.
+///
+/// Call this first in any binary (or test) that also spawns clusters via
+/// [`DistTrainer::run_multiprocess`]. In the master process it returns
+/// `Ok(false)` and the caller proceeds to launch; in a spawned worker
+/// child it builds the trainer via `make` (handed the cluster's worker
+/// count), serves the whole worker lifetime, and returns `Ok(true)` —
+/// the caller should then exit successfully without launching anything,
+/// or a worker would fork-bomb.
+///
+/// # Errors
+///
+/// [`DistError::Process`] when the worker environment is malformed, plus
+/// whatever `make` or [`DistTrainer::run_tcp_worker`] surface.
+pub fn tcp_worker_entry<F>(make: F) -> Result<bool, DistError>
+where
+    F: FnOnce(usize) -> Result<(DistTrainer, ModelKind, Dataset), DistError>,
+{
+    let env = match worker_from_env() {
+        Ok(Some(env)) => env,
+        Ok(None) => return Ok(false),
+        Err(e) => return Err(DistError::Process(e.to_string())),
+    };
+    let (trainer, kind, data) = make(env.workers())?;
+    trainer.run_tcp_worker(&env, kind, &data)?;
+    Ok(true)
 }
 
 #[cfg(test)]

@@ -90,6 +90,9 @@ pub const NET_WRAPPER_FILES: &[&str] = &[
     "crates/net/src/transport.rs",
     "crates/net/src/cluster.rs",
     "crates/net/src/fault.rs",
+    "crates/net/src/tcp.rs",
+    "crates/net/src/process.rs",
+    "crates/net/src/conformance.rs",
     "crates/dist/src/runtime.rs",
 ];
 

@@ -44,6 +44,17 @@ pub struct MasterHub {
 }
 
 impl MasterHub {
+    /// Assembles a hub from already-connected lanes: one send lane per
+    /// worker plus a merged response inbox. Used by the channel builder
+    /// and the TCP acceptor alike.
+    pub fn from_parts(
+        to_workers: Vec<Option<Box<dyn Transport>>>,
+        inbox: Box<dyn Transport>,
+        stats: WireStats,
+    ) -> Self {
+        MasterHub { to_workers, inbox, stats }
+    }
+
     /// Number of worker lanes (including retired ones).
     pub fn workers(&self) -> usize {
         self.to_workers.len()
@@ -131,15 +142,26 @@ fn decode_response(frame: &[u8]) -> Result<Response, NetError> {
     }
 }
 
-/// One worker's typed endpoint: a command receiver and a response lane
-/// into the master's inbox.
+/// One worker's typed endpoint: a single duplex lane carrying commands
+/// down and responses up.
+///
+/// The fault decorator only ever acts on the send side of a lane, so a
+/// duplex lane wrapped once behaves exactly like the former split
+/// (command receiver + response sender) wiring: worker→master frames go
+/// through the worker's fault schedule, master→worker frames through the
+/// master's.
 pub struct WorkerPort {
     worker: usize,
-    to_master: Box<dyn Transport>,
-    from_master: Box<dyn Transport>,
+    lane: Box<dyn Transport>,
 }
 
 impl WorkerPort {
+    /// Wraps an already-connected duplex lane as worker `worker`'s port.
+    /// Used by the channel builder and the TCP dialer alike.
+    pub fn from_duplex(worker: usize, lane: Box<dyn Transport>) -> Self {
+        WorkerPort { worker, lane }
+    }
+
     /// This worker's index.
     pub fn worker(&self) -> usize {
         self.worker
@@ -153,7 +175,7 @@ impl WorkerPort {
     /// [`NetError::Closed`] on master hang-up, [`NetError::Codec`] on
     /// malformed frames.
     pub fn recv(&mut self) -> Result<Request, NetError> {
-        let frame = self.from_master.recv()?;
+        let frame = self.lane.recv()?;
         match Message::decode(&frame)? {
             Message::Request(r) => Ok(r),
             Message::Response(_) => {
@@ -168,7 +190,7 @@ impl WorkerPort {
     ///
     /// [`NetError::Closed`] when the master hung up.
     pub fn send(&mut self, resp: &Response) -> Result<(), NetError> {
-        self.to_master.send(Message::Response(resp.clone()).encode())
+        self.lane.send(Message::Response(resp.clone()).encode())
     }
 }
 
@@ -187,8 +209,8 @@ pub fn build_cluster(config: &ClusterConfig) -> (MasterHub, Vec<WorkerPort>) {
         let (cmd_tx, cmd_rx) = sync_channel::<Vec<u8>>(config.command_capacity());
         let mut master_side: Box<dyn Transport> =
             Box::new(ChannelTransport::sender(cmd_tx, stats.clone()));
-        let mut worker_up: Box<dyn Transport> =
-            Box::new(ChannelTransport::sender(inbox_tx.clone(), stats.clone()));
+        let mut worker_lane: Box<dyn Transport> =
+            Box::new(ChannelTransport::new(inbox_tx.clone(), cmd_rx, stats.clone()));
         if let Some(plan) = &config.faults {
             master_side = Box::new(FaultyTransport::new(
                 master_side,
@@ -196,28 +218,24 @@ pub fn build_cluster(config: &ClusterConfig) -> (MasterHub, Vec<WorkerPort>) {
                 2 * w as u64,
                 stats.clone(),
             ));
-            worker_up = Box::new(FaultyTransport::new(
-                worker_up,
+            worker_lane = Box::new(FaultyTransport::new(
+                worker_lane,
                 plan.clone(),
                 2 * w as u64 + 1,
                 stats.clone(),
             ));
         }
         to_workers.push(Some(master_side));
-        ports.push(WorkerPort {
-            worker: w,
-            to_master: worker_up,
-            from_master: Box::new(ChannelTransport::receiver(cmd_rx, stats.clone())),
-        });
+        ports.push(WorkerPort::from_duplex(w, worker_lane));
     }
     // The hub keeps no inbox sender: once every worker port is dropped,
     // the master's receive side observes Closed instead of hanging.
     drop(inbox_tx);
-    let hub = MasterHub {
+    let hub = MasterHub::from_parts(
         to_workers,
-        inbox: Box::new(ChannelTransport::receiver(inbox_rx, stats.clone())),
+        Box::new(ChannelTransport::receiver(inbox_rx, stats.clone())),
         stats,
-    };
+    );
     (hub, ports)
 }
 

@@ -14,11 +14,24 @@
 //! key its drop/duplicate/delay decisions off message identity without
 //! decoding payloads.
 
+use std::io::Read;
+
 use crate::message::{FetchLedger, Message, MsgId, Request, Response};
 use crate::NetError;
 
 /// Bytes of the identity header (kind + worker + epoch + round + attempt).
 pub const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
+
+/// Default ceiling on the body length a frame may declare (bytes after
+/// the 4-byte length prefix).
+///
+/// The largest legitimate frames are flattened parameter/gradient
+/// vectors; 64 MiB holds a 16M-parameter model, far beyond anything the
+/// experiment matrix ships. The cap is what keeps a hostile (or
+/// corrupted) length prefix from asking the receive path to allocate an
+/// unbounded buffer — every decoder and socket reader enforces it before
+/// reserving memory. Transports accept a smaller cap for tests.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 64 << 20;
 
 const KIND_REQ_EPOCH: u8 = 1;
 const KIND_REQ_ROUND: u8 = 2;
@@ -212,10 +225,14 @@ pub fn encode(msg: &Message) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`NetError::Codec`] on truncation, length mismatch, unknown
-/// kind tags, or trailing bytes.
+/// kind tags, or trailing bytes, and [`NetError::FrameTooLarge`] when the
+/// length prefix exceeds [`DEFAULT_MAX_FRAME_LEN`].
 pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
     let mut r = Reader { buf: frame, pos: 0 };
     let len = r.u32()? as usize;
+    if len > DEFAULT_MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge { len, max: DEFAULT_MAX_FRAME_LEN });
+    }
     if len != frame.len() - 4 {
         return Err(NetError::Codec(format!(
             "length prefix {len} disagrees with frame body {}",
@@ -253,6 +270,72 @@ pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
     };
     r.done()?;
     Ok(msg)
+}
+
+/// Reads exactly `buf.len()` bytes, retrying on [`std::io::ErrorKind::Interrupted`].
+///
+/// Returns `Ok(false)` when the stream ends *before the first byte*
+/// (clean end-of-stream at a frame boundary) and `already` is false.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], already: bool) -> Result<bool, NetError> {
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match r.read(&mut buf[pos..]) {
+            Ok(0) => {
+                if pos == 0 && !already {
+                    return Ok(false);
+                }
+                return Err(NetError::Codec(format!(
+                    "stream ended mid-frame: got {pos} of {} bytes",
+                    buf.len()
+                )));
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                // A reset is the stream-level spelling of "peer died";
+                // surface it as the same typed closure an EOF would.
+                return Err(NetError::Closed);
+            }
+            Err(e) => return Err(NetError::Io(format!("frame read failed: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one length-prefixed frame from a byte stream, enforcing
+/// `max_frame_len` *before* allocating the body buffer.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary (the
+/// peer half-closed between frames) and the full frame — length prefix
+/// included, ready for [`decode`] — otherwise.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] when the length prefix exceeds
+/// `max_frame_len` (nothing is allocated), [`NetError::Codec`] when the
+/// stream ends mid-frame, [`NetError::Io`] on a read failure.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    max_frame_len: usize,
+) -> Result<Option<Vec<u8>>, NetError> {
+    let mut prefix = [0u8; 4];
+    if !read_full(r, &mut prefix, false)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_frame_len {
+        return Err(NetError::FrameTooLarge { len, max: max_frame_len });
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&prefix);
+    read_full(r, &mut frame[4..], true)?;
+    Ok(Some(frame))
 }
 
 /// Reads `(kind, identity)` from a frame without decoding the payload —
@@ -362,6 +445,60 @@ mod tests {
         padded.push(0);
         // Length prefix now disagrees.
         assert!(matches!(decode(&padded), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn read_frame_round_trips_a_stream_of_frames() {
+        let msgs = all_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut cur = std::io::Cursor::new(stream);
+        for m in &msgs {
+            let frame = read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+            assert_eq!(decode(&frame).unwrap(), *m);
+        }
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn read_frame_rejects_mid_frame_eof() {
+        let frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        for cut in 1..frame.len() {
+            let mut cur = std::io::Cursor::new(frame[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN), Err(NetError::Codec(_))),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn read_frame_rejects_hostile_length_prefix_before_allocating() {
+        // A 4 GiB claim backed by 4 bytes of stream: the cap must reject
+        // it from the prefix alone, never reserving the claimed buffer.
+        let mut hostile = (u32::MAX - 1).to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0; 8]);
+        let mut cur = std::io::Cursor::new(hostile);
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+        // And the same prefix against a tiny custom cap.
+        let small = encode(&Message::Request(Request::Epoch {
+            id: sample_id(),
+            params: vec![0.5; 64],
+        }));
+        let mut cur = std::io::Cursor::new(small);
+        assert!(matches!(read_frame(&mut cur, 16), Err(NetError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_length_prefix() {
+        let mut frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        frame[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&frame), Err(NetError::FrameTooLarge { .. })));
     }
 
     #[test]

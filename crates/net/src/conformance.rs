@@ -1,0 +1,223 @@
+//! Transport-conformance battery: the executable spec every
+//! [`Transport`] implementation must pass.
+//!
+//! A fixture hands [`run_conformance`] a closure producing *fresh*
+//! connected duplex pairs (with fresh [`WireStats`]); the battery runs
+//! every check against a new pair so no check can mask another. The
+//! same body runs against [`ChannelTransport`], [`FaultyTransport`]
+//! (with an inactive plan — active plans intentionally violate
+//! delivery), and [`TcpTransport`] — and is the bar for adding a
+//! fourth transport: make a pair, call the battery, done.
+//!
+//! Checks:
+//!
+//! 1. **Ordering** — frames arrive exactly once, in send order, both
+//!    directions of the duplex pair.
+//! 2. **Timeout expiry** — `recv_timeout` on a quiet lane returns
+//!    `Ok(None)`, and a pending frame is delivered within the window.
+//! 3. **Stats accounting** — `messages` and `bytes` advance by exactly
+//!    the frames and bytes sent.
+//! 4. **Oversized-frame rejection** — a frame whose body exceeds the
+//!    pair's cap is refused with [`NetError::FrameTooLarge`], counts
+//!    nothing, and never reaches the peer.
+//! 5. **Drain-then-close** — frames queued before the peer dropped are
+//!    still delivered; only then does `recv` report
+//!    [`NetError::Closed`].
+//! 6. **Recv after peer drop** — both `recv` and `recv_timeout` report
+//!    [`NetError::Closed`], not a hang or a panic.
+//! 7. **Send after peer drop** — `send` reports [`NetError::Closed`]
+//!    within a bounded number of attempts (a socket may buffer a few
+//!    frames before the broken pipe surfaces).
+//!
+//! [`ChannelTransport`]: crate::ChannelTransport
+//! [`FaultyTransport`]: crate::FaultyTransport
+//! [`TcpTransport`]: crate::TcpTransport
+
+use std::time::Duration;
+
+use crate::message::{Message, MsgId, Request, Response};
+use crate::transport::{Transport, WireStats};
+use crate::NetError;
+
+/// One connected duplex pair under test, produced fresh per check.
+pub struct ConformancePair {
+    /// First endpoint; checks treat it as the primary sender.
+    pub a: Box<dyn Transport>,
+    /// Second endpoint, connected to `a`.
+    pub b: Box<dyn Transport>,
+    /// Counters shared by (at least) `a`'s send side, fresh per pair.
+    pub stats: WireStats,
+    /// Frame-body cap both endpoints enforce. Must be small enough
+    /// that [`oversized_frame`] can exceed it (≤ 1 MiB).
+    pub max_frame_len: usize,
+}
+
+/// A valid encoded request frame, parameterized for distinguishability.
+pub fn request_frame(epoch: u64, params: usize) -> Vec<u8> {
+    Message::Request(Request::Epoch {
+        id: MsgId { worker: 0, epoch, round: 0, attempt: 0 },
+        params: (0..params).map(|i| i as f32 * 0.5 - epoch as f32).collect(),
+    })
+    .encode()
+}
+
+/// A valid encoded response frame (the reverse direction of the
+/// protocol), parameterized for distinguishability.
+pub fn response_frame(epoch: u64) -> Vec<u8> {
+    Message::Response(Response::Epoch {
+        id: MsgId { worker: 1, epoch, round: 0, attempt: 0 },
+        params: vec![epoch as f32; 3],
+        loss_sum: epoch as f64 * 0.25,
+        batches: epoch + 1,
+        ledger: crate::message::FetchLedger::default(),
+    })
+    .encode()
+}
+
+/// A valid encoded frame whose body exceeds `max_frame_len`.
+pub fn oversized_frame(max_frame_len: usize) -> Vec<u8> {
+    // 4 bytes per f32 parameter: max/4 + header comfortably overshoots.
+    let frame = request_frame(0, max_frame_len / 4 + 16);
+    assert!(
+        frame.len() - 4 > max_frame_len,
+        "fixture cap {max_frame_len} too large to overshoot"
+    );
+    frame
+}
+
+/// Window within which a pending frame must be delivered. Generous so
+/// loaded CI never flakes; the happy path returns in microseconds.
+const DELIVERY_WINDOW: Duration = Duration::from_secs(10);
+
+/// Attempts before a send into a dead peer must have reported closure.
+const CLOSE_ATTEMPTS: usize = 500;
+
+/// Runs the full battery. `make` must return a *fresh* connected pair
+/// (fresh stats included) on every call. Panics with a description of
+/// the violated check — designed to run inside `#[test]` bodies.
+pub fn run_conformance(make: &mut dyn FnMut() -> ConformancePair) {
+    check_ordering(make());
+    check_timeout_expiry(make());
+    check_stats_accounting(make());
+    check_oversized_rejection(make());
+    check_drain_then_close(make());
+    check_recv_after_peer_drop(make());
+    check_send_after_peer_drop(make());
+}
+
+fn check_ordering(mut pair: ConformancePair) {
+    for e in 0..16 {
+        pair.a.send(request_frame(e, 8)).expect("ordering: send a→b");
+    }
+    for e in 0..16 {
+        let got = pair.b.recv().expect("ordering: recv on b");
+        assert_eq!(got, request_frame(e, 8), "ordering: frame {e} out of order on b");
+    }
+    for e in 0..16 {
+        pair.b.send(response_frame(e)).expect("ordering: send b→a");
+    }
+    for e in 0..16 {
+        let got = pair.a.recv().expect("ordering: recv on a");
+        assert_eq!(got, response_frame(e), "ordering: frame {e} out of order on a");
+    }
+}
+
+fn check_timeout_expiry(mut pair: ConformancePair) {
+    let quiet = pair
+        .b
+        .recv_timeout(Duration::from_millis(10))
+        .expect("timeout: quiet window errored");
+    assert_eq!(quiet, None, "timeout: quiet window produced a frame");
+    pair.a.send(request_frame(1, 4)).expect("timeout: send");
+    let got = pair
+        .b
+        .recv_timeout(DELIVERY_WINDOW)
+        .expect("timeout: pending recv errored")
+        .expect("timeout: pending frame not delivered within the window");
+    assert_eq!(got, request_frame(1, 4));
+}
+
+fn check_stats_accounting(mut pair: ConformancePair) {
+    let before = pair.stats.snapshot();
+    let mut sent_bytes = 0u64;
+    for e in 0..8 {
+        let frame = request_frame(e, e as usize + 1);
+        sent_bytes += frame.len() as u64;
+        pair.a.send(frame).expect("stats: send");
+    }
+    for _ in 0..8 {
+        pair.b.recv().expect("stats: recv");
+    }
+    let after = pair.stats.snapshot();
+    assert_eq!(after.messages - before.messages, 8, "stats: message count off");
+    assert_eq!(after.bytes - before.bytes, sent_bytes, "stats: byte count off");
+    assert_eq!(after.dropped, before.dropped, "stats: phantom drops");
+}
+
+fn check_oversized_rejection(mut pair: ConformancePair) {
+    let before = pair.stats.snapshot();
+    let err = pair
+        .a
+        .send(oversized_frame(pair.max_frame_len))
+        .expect_err("oversize: frame over the cap was accepted");
+    assert!(
+        matches!(err, NetError::FrameTooLarge { .. }),
+        "oversize: wrong error type: {err}"
+    );
+    let after = pair.stats.snapshot();
+    assert_eq!(after.messages, before.messages, "oversize: rejected frame was counted");
+    assert_eq!(after.bytes, before.bytes, "oversize: rejected bytes were counted");
+    let leaked = pair
+        .b
+        .recv_timeout(Duration::from_millis(30))
+        .expect("oversize: peer probe errored");
+    assert_eq!(leaked, None, "oversize: rejected frame reached the peer");
+    // The lane must still work afterwards.
+    pair.a.send(request_frame(2, 4)).expect("oversize: lane dead after rejection");
+    let got = pair
+        .b
+        .recv_timeout(DELIVERY_WINDOW)
+        .expect("oversize: follow-up recv errored")
+        .expect("oversize: follow-up frame not delivered");
+    assert_eq!(got, request_frame(2, 4));
+}
+
+fn check_drain_then_close(mut pair: ConformancePair) {
+    pair.a.send(request_frame(3, 16)).expect("drain: send");
+    drop(pair.a);
+    let got = pair.b.recv().expect("drain: queued frame lost when the sender dropped");
+    assert_eq!(got, request_frame(3, 16), "drain: queued frame corrupted");
+    assert_eq!(
+        pair.b.recv().expect_err("drain: recv after drain must fail"),
+        NetError::Closed,
+        "drain: wrong error after drain"
+    );
+}
+
+fn check_recv_after_peer_drop(mut pair: ConformancePair) {
+    drop(pair.a);
+    assert_eq!(
+        pair.b.recv().expect_err("peer-drop: recv must fail"),
+        NetError::Closed,
+        "peer-drop: wrong recv error"
+    );
+    assert_eq!(
+        pair.b
+            .recv_timeout(Duration::from_millis(50))
+            .expect_err("peer-drop: recv_timeout must fail"),
+        NetError::Closed,
+        "peer-drop: wrong recv_timeout error"
+    );
+}
+
+fn check_send_after_peer_drop(mut pair: ConformancePair) {
+    drop(pair.b);
+    for attempt in 0..CLOSE_ATTEMPTS {
+        match pair.a.send(request_frame(attempt as u64, 4)) {
+            Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+            Err(NetError::Closed) => return,
+            Err(e) => panic!("send-after-drop: wrong error {e}"),
+        }
+    }
+    panic!("send-after-drop: closure never surfaced in {CLOSE_ATTEMPTS} attempts");
+}

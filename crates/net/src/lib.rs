@@ -35,13 +35,17 @@
 
 pub mod codec;
 mod cluster;
+pub mod conformance;
 mod fault;
 mod message;
+pub mod process;
+mod tcp;
 mod transport;
 
 pub use cluster::{build_cluster, run_cluster, ClusterConfig, MasterHub, WorkerPort};
 pub use fault::{FaultPlan, FaultyTransport, RetryPolicy};
 pub use message::{FetchLedger, Message, MsgId, Request, Response};
+pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{ChannelTransport, Transport, WireSnapshot, WireStats};
 
 /// Errors surfaced by the wire layer.
@@ -52,6 +56,17 @@ pub enum NetError {
     Closed,
     /// A frame failed to decode (truncated, bad tag, bad length).
     Codec(String),
+    /// A frame declared a body larger than the enforced ceiling; rejected
+    /// before any allocation matching the hostile length claim.
+    FrameTooLarge {
+        /// Body length the frame declared.
+        len: usize,
+        /// Ceiling the endpoint enforces.
+        max: usize,
+    },
+    /// A socket or process-level i/o failure that is not a clean peer
+    /// hang-up (timeout, refused connection, rendezvous failure, ...).
+    Io(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -59,6 +74,10 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Closed => write!(f, "transport closed by peer"),
             NetError::Codec(msg) => write!(f, "wire codec error: {msg}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Io(msg) => write!(f, "wire i/o error: {msg}"),
         }
     }
 }

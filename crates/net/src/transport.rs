@@ -148,22 +148,38 @@ pub struct ChannelTransport {
     tx: Option<SyncSender<Vec<u8>>>,
     rx: Option<Receiver<Vec<u8>>>,
     stats: WireStats,
+    max_frame: usize,
 }
 
 impl ChannelTransport {
     /// A full-duplex endpoint.
     pub fn new(tx: SyncSender<Vec<u8>>, rx: Receiver<Vec<u8>>, stats: WireStats) -> Self {
-        ChannelTransport { tx: Some(tx), rx: Some(rx), stats }
+        ChannelTransport {
+            tx: Some(tx),
+            rx: Some(rx),
+            stats,
+            max_frame: crate::codec::DEFAULT_MAX_FRAME_LEN,
+        }
     }
 
     /// A send-only endpoint.
     pub fn sender(tx: SyncSender<Vec<u8>>, stats: WireStats) -> Self {
-        ChannelTransport { tx: Some(tx), rx: None, stats }
+        ChannelTransport {
+            tx: Some(tx),
+            rx: None,
+            stats,
+            max_frame: crate::codec::DEFAULT_MAX_FRAME_LEN,
+        }
     }
 
     /// A receive-only endpoint.
     pub fn receiver(rx: Receiver<Vec<u8>>, stats: WireStats) -> Self {
-        ChannelTransport { tx: None, rx: Some(rx), stats }
+        ChannelTransport {
+            tx: None,
+            rx: Some(rx),
+            stats,
+            max_frame: crate::codec::DEFAULT_MAX_FRAME_LEN,
+        }
     }
 
     /// A connected pair of full-duplex endpoints (mostly for tests).
@@ -175,10 +191,21 @@ impl ChannelTransport {
             ChannelTransport::new(btx, brx, stats),
         )
     }
+
+    /// Overrides the frame-body ceiling this endpoint enforces on send.
+    #[must_use]
+    pub fn with_max_frame_len(mut self, max: usize) -> Self {
+        self.max_frame = max;
+        self
+    }
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        let body = frame.len().saturating_sub(4);
+        if body > self.max_frame {
+            return Err(NetError::FrameTooLarge { len: body, max: self.max_frame });
+        }
         let Some(tx) = &self.tx else { return Err(NetError::Closed) };
         let bytes = frame.len() as u64;
         // Prefer the non-blocking path so a full lane degrades into a

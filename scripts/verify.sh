@@ -33,6 +33,19 @@ if [ "$chaos1" != "$chaos4" ]; then
 fi
 echo "$chaos1"
 
+echo "== multi-process cluster smoke (real TCP sockets) =="
+# Spawns worker child processes over loopback TCP and demands the
+# outcome be bit-identical to the sequential reference (the binary
+# exits nonzero otherwise). Bounded: ports come from the kernel
+# (bind 127.0.0.1:0), rendezvous waits are attempt-counted, and the
+# whole run is capped by `timeout` where available. Skips cleanly in
+# sandboxes without loopback sockets — the binary prints SKIP.
+if command -v timeout >/dev/null 2>&1; then
+    timeout 300 cargo run -q -p splpg-examples --bin cluster_tcp --release
+else
+    cargo run -q -p splpg-examples --bin cluster_tcp --release
+fi
+
 echo "== train-step bench smoke (zero-realloc arena) =="
 # Exits nonzero if any steady-state step allocates arena buffers.
 SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin train_step

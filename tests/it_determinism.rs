@@ -233,6 +233,83 @@ fn fingerprint_is_stable_across_fresh_processes() {
     );
 }
 
+fn mp_trainer(workers: usize) -> DistTrainer {
+    let dist = DistConfig {
+        num_workers: workers,
+        strategy: Strategy::SpLpg,
+        sync: SyncMethod::ModelAveraging,
+        ..Default::default()
+    };
+    let train = TrainConfig {
+        epochs: 2,
+        hidden: 8,
+        layers: 2,
+        fanouts: vec![Some(5), Some(5)],
+        hits_k: 10,
+        batch_size: 128,
+        seed: 31,
+        ..Default::default()
+    };
+    DistTrainer::new(dist, train)
+}
+
+fn mp_dataset() -> Dataset {
+    DatasetSpec::cora().generate(Scale::new(0.05, 16), 7).expect("generate")
+}
+
+#[test]
+fn multiprocess_tcp_matches_sequential_reference() {
+    // The strongest transport claim in the repo: spawn the workers as real
+    // OS processes talking to the master over loopback TCP, and demand the
+    // outcome be bit-identical to the sequential in-process reference —
+    // for p = 2 and p = 4. A spawned child re-enters this very test, takes
+    // the tcp_worker_entry branch, serves its replica, and returns.
+    let served = tcp_worker_entry(|workers| Ok((mp_trainer(workers), ModelKind::GraphSage, mp_dataset())))
+        .expect("worker child failed");
+    if served {
+        return;
+    }
+    if std::net::TcpListener::bind(("127.0.0.1", 0)).is_err() {
+        eprintln!("SKIP: loopback sockets unavailable in this environment");
+        return;
+    }
+    let child_args: Vec<String> = [
+        "multiprocess_tcp_matches_sequential_reference",
+        "--exact",
+        "--nocapture",
+        "--test-threads=1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let data = mp_dataset();
+    for p in [2usize, 4] {
+        let t = mp_trainer(p);
+        let reference = t.run_reference(ModelKind::GraphSage, &data).expect("reference");
+        let out = t.run_multiprocess(ModelKind::GraphSage, &data, &child_args).expect("cluster");
+        assert_eq!(
+            out.epochs, reference.epochs,
+            "p={p}: loss curve over sockets diverged from the sequential reference"
+        );
+        assert_eq!(
+            out.test_hits.to_bits(),
+            reference.test_hits.to_bits(),
+            "p={p}: test accuracy diverged"
+        );
+        assert_eq!(
+            out.comm.total_bytes(),
+            reference.comm.total_bytes(),
+            "p={p}: communication meters diverged"
+        );
+        assert_eq!(
+            out.net.data_bytes,
+            out.comm.total_bytes(),
+            "p={p}: socket-carried fetch ledgers disagree with the comm meters"
+        );
+        assert!(out.net.dead_workers.is_empty(), "p={p}: fault-free run declared deaths");
+    }
+}
+
 #[test]
 fn dataset_generation_is_deterministic() {
     let a = DatasetSpec::pubmed().generate(Scale::tiny(), 9).expect("generate");

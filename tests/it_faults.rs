@@ -80,6 +80,85 @@ fn fault_fingerprint() -> String {
     )
 }
 
+/// The chaos config as a bare trainer, for the multi-process entry points.
+fn faulty_trainer(workers: usize) -> DistTrainer {
+    let s = faulty_config(SyncMethod::ModelAveraging);
+    DistTrainer::new(
+        DistConfig { num_workers: workers, ..s.dist_config().clone() },
+        s.train_config().clone(),
+    )
+}
+
+/// Master-observable fingerprint of a chaos run. Worker-side fault
+/// counters live in the worker's process in multi-process mode, so only
+/// what the master can see — loss curve, accuracy, communication meters,
+/// detected deaths — is comparable across transports.
+fn master_fingerprint(out: &DistOutcome) -> String {
+    let mut losses = String::new();
+    for e in &out.epochs {
+        losses.push_str(&format!("{:08x},", e.mean_loss.to_bits()));
+    }
+    format!(
+        "hits={:016x} loss=[{losses}] comm={} dead={:?}",
+        out.test_hits.to_bits(),
+        out.comm.total_bytes(),
+        out.net.dead_workers
+    )
+}
+
+#[test]
+fn socket_chaos_reproduces_the_channel_chaos_run() {
+    // The same deterministic fault plan — drops, duplicates, worker 2
+    // crashing at epoch 1, quorum p-1 — over real worker processes and
+    // loopback TCP sockets. Fault decisions are a pure function of
+    // (seed, lane, kind, message id), never of the transport underneath,
+    // so the master-observable outcome must be identical to the
+    // in-process channel run, and reproducible across repeated spawns.
+    // The crash is a real process death here: the worker's serve loop
+    // returns at its crash epoch and the child exits.
+    let served = tcp_worker_entry(|workers| {
+        let data = DatasetSpec::citeseer()
+            .generate(Scale::new(0.05, 16), 3)
+            .map_err(|e| splpg::dist::DistError::Process(e.to_string()))?;
+        Ok((faulty_trainer(workers), ModelKind::GraphSage, data))
+    })
+    .expect("worker child failed");
+    if served {
+        return;
+    }
+    if std::net::TcpListener::bind(("127.0.0.1", 0)).is_err() {
+        eprintln!("SKIP: loopback sockets unavailable in this environment");
+        return;
+    }
+    let channel = run_faulty(SyncMethod::ModelAveraging);
+    let child_args: Vec<String> = [
+        "socket_chaos_reproduces_the_channel_chaos_run",
+        "--exact",
+        "--nocapture",
+        "--test-threads=1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let data = DatasetSpec::citeseer().generate(Scale::new(0.05, 16), 3).expect("generate");
+    let t = faulty_trainer(3);
+    let first =
+        t.run_multiprocess(ModelKind::GraphSage, &data, &child_args).expect("chaos over tcp");
+    let second =
+        t.run_multiprocess(ModelKind::GraphSage, &data, &child_args).expect("chaos over tcp");
+    assert_eq!(first.net.dead_workers, vec![2], "crashed worker process not detected");
+    assert_eq!(
+        master_fingerprint(&first),
+        master_fingerprint(&channel),
+        "chaos outcome over sockets diverged from the in-process channel run"
+    );
+    assert_eq!(
+        master_fingerprint(&first),
+        master_fingerprint(&second),
+        "chaos outcome diverged across repeated multi-process spawns"
+    );
+}
+
 #[test]
 fn faulty_metrics_reproduce_across_fresh_processes() {
     // Same seed, two fresh OS processes: the final metrics must be
