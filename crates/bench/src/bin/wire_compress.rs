@@ -1,0 +1,406 @@
+//! Wire compression & quantization ablation: bytes-per-epoch and Hits@K
+//! across codec × α × quantization mode, reconciled against the
+//! socket-carried fetch ledgers. Writes `BENCH_wire.json` to the repo
+//! root.
+//!
+//! Every row trains the same 2-worker SpLPG cluster under a different
+//! [`CodecConfig`] and cross-checks three invariants:
+//!
+//! 1. on-wire bytes never exceed raw bytes, in any mode;
+//! 2. the uncompressed mode prices wire bytes identically to the raw
+//!    byte model (bit-compatible with the pre-compression ledgers);
+//! 3. the cluster run's communication report equals the sequential
+//!    reference's, codec by codec — the meters and the wire agree.
+//!
+//! The compression gates mirror the paper-scale targets: ≥2x on the
+//! structure stream under delta+varint packing and ≥3.5x on feature
+//! payloads under int8 row quantization (64-dim rows: 256 raw bytes vs
+//! an 8-byte header + 64 codes).
+//!
+//! ```sh
+//! cargo run -p splpg-bench --bin wire_compress --release
+//! ```
+//!
+//! `SPLPG_BENCH_MS=5` (or lower) skips the multi-process TCP row for
+//! smoke runs.
+
+use std::fmt::Write as _;
+
+use splpg::prelude::*;
+
+const BASE_ALPHA: f64 = 0.10;
+
+struct Row {
+    label: String,
+    structure: StructCodec,
+    features: FeatCodec,
+    alpha: f64,
+    transport: &'static str,
+    epochs: usize,
+    structure_raw: u64,
+    structure_wire: u64,
+    feature_raw: u64,
+    feature_wire: u64,
+    test_hits: f64,
+    hits_delta: f64,
+}
+
+impl Row {
+    fn raw_per_epoch(&self) -> u64 {
+        (self.structure_raw + self.feature_raw) / self.epochs.max(1) as u64
+    }
+
+    fn wire_per_epoch(&self) -> u64 {
+        (self.structure_wire + self.feature_wire) / self.epochs.max(1) as u64
+    }
+
+    fn structure_ratio(&self) -> f64 {
+        ratio(self.structure_raw, self.structure_wire)
+    }
+
+    fn feature_ratio(&self) -> f64 {
+        ratio(self.feature_raw, self.feature_wire)
+    }
+}
+
+fn ratio(raw: u64, wire: u64) -> f64 {
+    if wire == 0 {
+        1.0
+    } else {
+        raw as f64 / wire as f64
+    }
+}
+
+fn codec_label(structure: StructCodec, features: FeatCodec) -> String {
+    let s = match structure {
+        StructCodec::None => "none",
+        StructCodec::Varint => "varint",
+        StructCodec::Rle => "rle",
+    };
+    let f = match features {
+        FeatCodec::F32 => "f32",
+        FeatCodec::F16 => "f16",
+        FeatCodec::Int8 => "int8",
+    };
+    format!("{s}/{f}")
+}
+
+/// 64-dimensional features: the int8 row format (8-byte header + 1 byte
+/// per element) compresses 4·64 = 256 raw bytes to 72, a 3.56x ratio.
+fn dataset() -> Result<Dataset, String> {
+    DatasetSpec::citeseer().generate(Scale::new(0.05, 64), 3).map_err(|e| e.to_string())
+}
+
+fn builder(codec: CodecConfig, alpha: f64) -> SpLpg {
+    SpLpg::builder()
+        .workers(2)
+        .strategy(Strategy::SpLpg)
+        .sparsification_alpha(alpha)
+        .sync(SyncMethod::ModelAveraging)
+        .epochs(2)
+        .hidden(8)
+        .layers(2)
+        .fanouts(vec![Some(5), Some(5)])
+        .hits_k(10)
+        .seed(17)
+        .wire_codec(codec)
+        .build()
+}
+
+/// Parses the codec a spawned TCP worker child must speak from the
+/// `child_args` the master passed through (`--codec=<structure>/<features>`).
+fn codec_from_args() -> CodecConfig {
+    for arg in std::env::args() {
+        let Some(label) = arg.strip_prefix("--codec=") else { continue };
+        let structure = match label.split('/').next() {
+            Some("varint") => StructCodec::Varint,
+            Some("rle") => StructCodec::Rle,
+            _ => StructCodec::None,
+        };
+        let features = match label.split('/').nth(1) {
+            Some("f16") => FeatCodec::F16,
+            Some("int8") => FeatCodec::Int8,
+            _ => FeatCodec::F32,
+        };
+        return CodecConfig { structure, features };
+    }
+    CodecConfig::default()
+}
+
+fn run_mode(
+    data: &Dataset,
+    structure: StructCodec,
+    features: FeatCodec,
+    alpha: f64,
+    baseline_hits: Option<f64>,
+) -> Result<Row, Box<dyn std::error::Error>> {
+    let codec = CodecConfig { structure, features };
+    let s = builder(codec, alpha);
+    let trainer = DistTrainer::new(s.dist_config().clone(), s.train_config().clone());
+    let out = trainer.run(ModelKind::GraphSage, data)?;
+    let reference = trainer.run_reference(ModelKind::GraphSage, data)?;
+
+    // The meters and the socket-carried ledgers must tell one story.
+    assert_eq!(
+        out.comm, reference.comm,
+        "{}: cluster and reference communication reports disagree",
+        codec_label(structure, features)
+    );
+    assert_eq!(
+        out.net.data_bytes,
+        out.comm.total_bytes(),
+        "{}: wire ledgers disagree with the CommTracker meters",
+        codec_label(structure, features)
+    );
+    assert_eq!(
+        out.net.data_wire_bytes,
+        out.comm.total_wire_bytes(),
+        "{}: on-wire ledgers disagree with the CommTracker wire meters",
+        codec_label(structure, features)
+    );
+    // Lossless codecs change the frames but not one bit of arithmetic.
+    // Lossy feature codecs quantize the parameter payloads the wire
+    // carries, which the wire-free reference never sees — there only the
+    // communication accounting (asserted above) must agree.
+    if codec.lossless() {
+        assert_eq!(
+            out.test_hits.to_bits(),
+            reference.test_hits.to_bits(),
+            "{}: lossless cluster run is not bit-identical to the sequential reference",
+            codec_label(structure, features)
+        );
+    }
+
+    Ok(Row {
+        label: codec_label(structure, features),
+        structure,
+        features,
+        alpha,
+        transport: "channel",
+        epochs: out.epochs.len(),
+        structure_raw: out.comm.total_structure_bytes,
+        structure_wire: out.comm.total_structure_wire_bytes,
+        feature_raw: out.comm.total_feature_bytes,
+        feature_wire: out.comm.total_feature_wire_bytes,
+        test_hits: out.test_hits,
+        hits_delta: baseline_hits.map_or(0.0, |b| out.test_hits - b),
+    })
+}
+
+fn gate(rows: &[Row]) {
+    for r in rows {
+        assert!(
+            r.structure_wire <= r.structure_raw && r.feature_wire <= r.feature_raw,
+            "{}: on-wire bytes exceed raw bytes",
+            r.label
+        );
+        if r.structure == StructCodec::None {
+            assert_eq!(
+                r.structure_wire, r.structure_raw,
+                "{}: uncompressed structure wire bytes must equal the raw model",
+                r.label
+            );
+        }
+        if r.features == FeatCodec::F32 {
+            assert_eq!(
+                r.feature_wire, r.feature_raw,
+                "{}: uncompressed feature wire bytes must equal the raw model",
+                r.label
+            );
+        }
+        if r.features == FeatCodec::F32 && (r.alpha - BASE_ALPHA).abs() < 1e-12 {
+            // Lossless modes must reproduce the baseline accuracy exactly.
+            assert_eq!(r.hits_delta, 0.0, "{}: lossless mode changed Hits@K", r.label);
+        }
+    }
+    let varint = rows
+        .iter()
+        .find(|r| {
+            r.structure == StructCodec::Varint
+                && r.features == FeatCodec::F32
+                && (r.alpha - BASE_ALPHA).abs() < 1e-12
+        })
+        .expect("varint/f32 row present");
+    assert!(
+        varint.structure_ratio() >= 2.0,
+        "varint structure compression below the 2x gate: {:.2}x",
+        varint.structure_ratio()
+    );
+    let int8 = rows
+        .iter()
+        .find(|r| r.features == FeatCodec::Int8 && (r.alpha - BASE_ALPHA).abs() < 1e-12)
+        .expect("int8 row present");
+    assert!(
+        int8.feature_ratio() >= 3.5,
+        "int8 feature compression below the 3.5x gate: {:.2}x",
+        int8.feature_ratio()
+    );
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  {{\"mode\": \"{}\", \"alpha\": {:.2}, \"transport\": \"{}\", \
+             \"raw_bytes_per_epoch\": {}, \"wire_bytes_per_epoch\": {}, \
+             \"structure_raw\": {}, \"structure_wire\": {}, \"structure_ratio\": {:.3}, \
+             \"feature_raw\": {}, \"feature_wire\": {}, \"feature_ratio\": {:.3}, \
+             \"test_hits\": {:.4}, \"hits_delta\": {:.4}}}{comma}",
+            r.label,
+            r.alpha,
+            r.transport,
+            r.raw_per_epoch(),
+            r.wire_per_epoch(),
+            r.structure_raw,
+            r.structure_wire,
+            r.structure_ratio(),
+            r.feature_raw,
+            r.feature_wire,
+            r.feature_ratio(),
+            r.test_hits,
+            r.hits_delta,
+        );
+    }
+    out.push_str("]\n");
+    let path = repo_root().join("BENCH_wire.json");
+    std::fs::write(&path, out).expect("write BENCH_wire.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn repo_root() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../.."),
+        Err(_) => std::path::PathBuf::from("."),
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("SPLPG_BENCH_MS").ok().and_then(|v| v.parse::<u64>().ok()).is_some_and(|ms| ms <= 5)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Spawned worker child of the TCP row? Serve under the codec the
+    // master handed us via child_args, then exit.
+    let served = tcp_worker_entry(|workers| {
+        let data = dataset().map_err(splpg::dist::DistError::Process)?;
+        let s = builder(codec_from_args(), BASE_ALPHA);
+        let trainer = DistTrainer::new(
+            DistConfig { num_workers: workers, ..s.dist_config().clone() },
+            s.train_config().clone(),
+        );
+        Ok((trainer, ModelKind::GraphSage, data))
+    })?;
+    if served {
+        return Ok(());
+    }
+
+    let data = dataset()?;
+    println!(
+        "dataset: {} ({} nodes, {} edges, dim {}); 2 workers, 2 epochs, GraphSage\n",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        data.features.dim()
+    );
+    println!(
+        "{:>14} {:>6} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "mode", "alpha", "raw B/ep", "wire B/ep", "s-ratio", "f-ratio", "hits@10", "delta"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let baseline = run_mode(&data, StructCodec::None, FeatCodec::F32, BASE_ALPHA, None)?;
+    let baseline_hits = baseline.test_hits;
+    rows.push(baseline);
+    for (structure, features) in [
+        (StructCodec::Varint, FeatCodec::F32),
+        (StructCodec::Rle, FeatCodec::F32),
+        (StructCodec::Varint, FeatCodec::F16),
+        (StructCodec::Varint, FeatCodec::Int8),
+    ] {
+        rows.push(run_mode(&data, structure, features, BASE_ALPHA, Some(baseline_hits))?);
+    }
+    // α sweep: the codec's savings at lighter and heavier sparsification.
+    for alpha in [0.05, 0.20] {
+        let base = run_mode(&data, StructCodec::None, FeatCodec::F32, alpha, None)?;
+        let base_hits = base.test_hits;
+        rows.push(base);
+        rows.push(run_mode(&data, StructCodec::Varint, FeatCodec::Int8, alpha, Some(base_hits))?);
+    }
+
+    for r in &rows {
+        println!(
+            "{:>14} {:>6.2} {:>12} {:>12} {:>7.2}x {:>7.2}x {:>8.4} {:>+8.4}",
+            r.label,
+            r.alpha,
+            r.raw_per_epoch(),
+            r.wire_per_epoch(),
+            r.structure_ratio(),
+            r.feature_ratio(),
+            r.test_hits,
+            r.hits_delta
+        );
+    }
+    gate(&rows);
+
+    // The compressed ledgers across real worker processes on loopback
+    // TCP: the socket-carried numbers must match the in-process run of
+    // the same codec exactly.
+    if !smoke() && std::net::TcpListener::bind(("127.0.0.1", 0)).is_ok() {
+        let codec = CodecConfig { structure: StructCodec::Varint, features: FeatCodec::Int8 };
+        let s = builder(codec, BASE_ALPHA);
+        let trainer = DistTrainer::new(s.dist_config().clone(), s.train_config().clone());
+        let out = trainer.run_multiprocess(
+            ModelKind::GraphSage,
+            &data,
+            &["--codec=varint/int8".to_string()],
+        )?;
+        let channel = rows
+            .iter()
+            .find(|r| {
+                r.structure == StructCodec::Varint
+                    && r.features == FeatCodec::Int8
+                    && (r.alpha - BASE_ALPHA).abs() < 1e-12
+            })
+            .expect("varint/int8 row present");
+        assert_eq!(out.comm.total_bytes(), channel.structure_raw + channel.feature_raw);
+        assert_eq!(
+            out.comm.total_wire_bytes(),
+            channel.structure_wire + channel.feature_wire,
+            "tcp: socket-carried wire ledgers disagree with the in-process run"
+        );
+        assert_eq!(out.test_hits.to_bits(), channel.test_hits.to_bits());
+        println!(
+            "\n{:>14} {:>6.2} {:>12} {:>12} (reconciles with the channel run byte-for-byte)",
+            "tcp varint/int8",
+            BASE_ALPHA,
+            out.comm.total_bytes() / out.epochs.len().max(1) as u64,
+            out.comm.total_wire_bytes() / out.epochs.len().max(1) as u64,
+        );
+        rows.push(Row {
+            label: codec_label(codec.structure, codec.features),
+            structure: codec.structure,
+            features: codec.features,
+            alpha: BASE_ALPHA,
+            transport: "tcp",
+            epochs: out.epochs.len(),
+            structure_raw: out.comm.total_structure_bytes,
+            structure_wire: out.comm.total_structure_wire_bytes,
+            feature_raw: out.comm.total_feature_bytes,
+            feature_wire: out.comm.total_feature_wire_bytes,
+            test_hits: out.test_hits,
+            hits_delta: out.test_hits - baseline_hits,
+        });
+    } else {
+        println!("\n{:>14} SKIP: smoke run or loopback sockets unavailable", "tcp");
+    }
+
+    write_json(&rows);
+    println!(
+        "\nall gates passed: wire <= raw in every mode, varint structure >= 2x,\n\
+         int8 features >= 3.5x, and every cluster run reconciles bit-for-bit\n\
+         with its sequential reference."
+    );
+    Ok(())
+}

@@ -14,7 +14,29 @@
 //! cargo run -p splpg-bench --bin wire_traffic --release
 //! ```
 
+use splpg::net::codec::kind_name;
 use splpg::prelude::*;
+
+/// Prints the per-message-kind frame histogram of a run: how many frames
+/// of each protocol kind crossed the wire and what they cost raw vs
+/// on-wire under the negotiated codec.
+fn print_kind_histogram(label: &str, net: &NetReport) {
+    println!("
+  {label}: per-kind frame histogram (raw vs on-wire)");
+    println!("  {:>14} {:>8} {:>14} {:>14}", "kind", "frames", "raw bytes", "wire bytes");
+    for (kind, stat) in net.kinds.iter().enumerate() {
+        if stat.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:>14} {:>8} {:>14} {:>14}",
+            kind_name(kind as u8),
+            stat.count,
+            stat.raw_bytes,
+            stat.wire_bytes
+        );
+    }
+}
 
 fn builder(strategy: Strategy) -> SpLpg {
     SpLpg::builder()
@@ -77,6 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:>12} {:>6} {:>14} {:>14} {:>12}",
             out.net.messages, out.net.bytes, out.net.data_bytes, meter
         );
+        if label == "SpLPG" {
+            print_kind_histogram(label, &out.net);
+            println!();
+        }
     }
 
     // SpLPG again, but across real worker processes on loopback TCP:
@@ -95,6 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>12} {:>6} {:>14} {:>14} {:>12}",
             "SpLPG/tcp", out.net.messages, out.net.bytes, out.net.data_bytes, meter
         );
+        print_kind_histogram("SpLPG/tcp", &out.net);
     } else {
         println!("{:>12} SKIP: loopback sockets unavailable", "SpLPG/tcp");
     }

@@ -57,6 +57,7 @@ pub use splpg_dist as dist;
 pub use splpg_gnn as gnn;
 pub use splpg_graph as graph;
 pub use splpg_linalg as linalg;
+pub use splpg_net as net;
 pub use splpg_nn as nn;
 pub use splpg_par as par;
 pub use splpg_partition as partition;
@@ -76,8 +77,9 @@ pub mod prelude {
     pub use crate::{SpLpg, SpLpgBuilder};
     pub use splpg_datasets::{Dataset, DatasetSpec, Scale};
     pub use splpg_dist::{
-        tcp_worker_entry, CommReport, DistConfig, DistOutcome, DistTrainer, FaultConfig, FaultPlan,
-        NetReport, RetryPolicy, SparsifierKind, Strategy, SyncMethod, TcpConfig, WorkerEnv,
+        tcp_worker_entry, CodecConfig, CommReport, DistConfig, DistOutcome, DistTrainer,
+        FaultConfig, FaultPlan, FeatCodec, NetReport, RetryPolicy, SparsifierKind, StructCodec,
+        Strategy, SyncMethod, TcpConfig, WorkerEnv,
     };
     pub use splpg_gnn::trainer::{ModelKind, TrainConfig};
     pub use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph, GraphBuilder, NodeId};
@@ -244,6 +246,14 @@ impl SpLpgBuilder {
         self
     }
 
+    /// Wire codec for protocol frames and data-plane pricing: structure
+    /// delta+varint/RLE packing, f16/int8 feature quantization (default:
+    /// uncompressed, lossless).
+    pub fn wire_codec(&mut self, codec: splpg_dist::CodecConfig) -> &mut Self {
+        self.dist.wire_codec = codec;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(&self) -> SpLpg {
         SpLpg { dist: self.dist.clone(), train: self.train.clone() }
@@ -274,6 +284,10 @@ mod tests {
             .quorum(6)
             .retry(RetryPolicy { timeout_ms: 250, max_retries: 2, backoff: 3 })
             .wire_faults(FaultPlan { drop: 0.1, seed: 4, ..FaultPlan::default() })
+            .wire_codec(splpg_dist::CodecConfig {
+                structure: splpg_dist::StructCodec::Varint,
+                features: splpg_dist::FeatCodec::Int8,
+            })
             .build();
         assert_eq!(s.dist_config().num_workers, 8);
         assert_eq!(s.dist_config().strategy, Strategy::PsgdPa);
@@ -283,6 +297,8 @@ mod tests {
         assert_eq!(s.dist_config().quorum, Some(6));
         assert_eq!(s.dist_config().retry.timeout_ms, 250);
         assert_eq!(s.dist_config().wire_faults.as_ref().unwrap().drop, 0.1);
+        assert_eq!(s.dist_config().wire_codec.structure, splpg_dist::StructCodec::Varint);
+        assert_eq!(s.dist_config().wire_codec.features, splpg_dist::FeatCodec::Int8);
         assert_eq!(s.train_config().epochs, 3);
         assert_eq!(s.train_config().hidden, 32);
         assert_eq!(s.train_config().batch_size, 64);

@@ -39,6 +39,8 @@ struct Counters {
     structure_edges: AtomicU64,
     structure_nodes: AtomicU64,
     feature_elems: AtomicU64,
+    structure_wire: AtomicU64,
+    feature_wire: AtomicU64,
 }
 
 impl CommTracker {
@@ -47,22 +49,38 @@ impl CommTracker {
         CommTracker::default()
     }
 
-    /// Records a structure transfer of `edges` edges and `nodes` node ids.
+    /// Records a structure transfer of `edges` edges and `nodes` node
+    /// ids, shipped uncompressed (wire bytes = raw bytes).
     pub fn add_structure(&self, edges: u64, nodes: u64) {
+        self.add_structure_wire(edges, nodes, edges * BYTES_PER_EDGE + nodes * BYTES_PER_NODE_ID);
+    }
+
+    /// Records a structure transfer of `edges` edges and `nodes` node
+    /// ids that cost `wire_bytes` on the wire under the active codec.
+    pub fn add_structure_wire(&self, edges: u64, nodes: u64, wire_bytes: u64) {
         self.inner
             .structure
             .fetch_add(edges * BYTES_PER_EDGE + nodes * BYTES_PER_NODE_ID, Ordering::Relaxed);
         self.inner.structure_edges.fetch_add(edges, Ordering::Relaxed);
         self.inner.structure_nodes.fetch_add(nodes, Ordering::Relaxed);
+        self.inner.structure_wire.fetch_add(wire_bytes, Ordering::Relaxed);
         self.inner.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a feature transfer of `rows` rows of width `dim`.
+    /// Records a feature transfer of `rows` rows of width `dim`, shipped
+    /// uncompressed (wire bytes = raw bytes).
     pub fn add_features(&self, rows: u64, dim: u64) {
+        self.add_features_wire(rows, dim, rows * dim * BYTES_PER_FEATURE);
+    }
+
+    /// Records a feature transfer of `rows` rows of width `dim` that
+    /// cost `wire_bytes` on the wire under the active codec.
+    pub fn add_features_wire(&self, rows: u64, dim: u64, wire_bytes: u64) {
         self.inner
             .features
             .fetch_add(rows * dim * BYTES_PER_FEATURE, Ordering::Relaxed);
         self.inner.feature_elems.fetch_add(rows * dim, Ordering::Relaxed);
+        self.inner.feature_wire.fetch_add(wire_bytes, Ordering::Relaxed);
         self.inner.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -100,6 +118,25 @@ impl CommTracker {
     /// Raw count of remotely-fetched feature elements (`f32` scalars).
     pub fn feature_elems(&self) -> u64 {
         self.inner.feature_elems.load(Ordering::Relaxed)
+    }
+
+    /// On-wire structure bytes under the active codec (equals
+    /// [`structure_bytes`](CommTracker::structure_bytes) when
+    /// compression is off).
+    pub fn structure_wire_bytes(&self) -> u64 {
+        self.inner.structure_wire.load(Ordering::Relaxed)
+    }
+
+    /// On-wire feature bytes under the active codec (equals
+    /// [`feature_bytes`](CommTracker::feature_bytes) when compression
+    /// is off).
+    pub fn feature_wire_bytes(&self) -> u64 {
+        self.inner.feature_wire.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative on-wire total bytes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.structure_wire_bytes() + self.feature_wire_bytes()
     }
 }
 
@@ -150,17 +187,36 @@ impl CommMeter {
     pub fn fetch_count(&self) -> u64 {
         self.workers.iter().map(CommTracker::fetch_count).sum()
     }
+
+    /// Cluster-wide on-wire structure bytes.
+    pub fn structure_wire_bytes(&self) -> u64 {
+        self.workers.iter().map(CommTracker::structure_wire_bytes).sum()
+    }
+
+    /// Cluster-wide on-wire feature bytes.
+    pub fn feature_wire_bytes(&self) -> u64 {
+        self.workers.iter().map(CommTracker::feature_wire_bytes).sum()
+    }
+
+    /// Cluster-wide on-wire total bytes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.structure_wire_bytes() + self.feature_wire_bytes()
+    }
 }
 
 /// Per-epoch communication totals of a training run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommReport {
-    /// Total bytes transferred in each epoch.
+    /// Total raw bytes transferred in each epoch.
     pub epoch_bytes: Vec<u64>,
     /// Structure/feature breakdown of the final cumulative totals.
     pub total_structure_bytes: u64,
     /// Cumulative feature bytes at the end of training.
     pub total_feature_bytes: u64,
+    /// Cumulative on-wire structure bytes under the active codec.
+    pub total_structure_wire_bytes: u64,
+    /// Cumulative on-wire feature bytes under the active codec.
+    pub total_feature_wire_bytes: u64,
 }
 
 impl CommReport {
@@ -181,6 +237,21 @@ impl CommReport {
     /// Human-readable gigabytes for the mean epoch.
     pub fn mean_epoch_gb(&self) -> f64 {
         self.mean_epoch_bytes() as f64 / 1e9
+    }
+
+    /// Cumulative on-wire total bytes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_structure_wire_bytes + self.total_feature_wire_bytes
+    }
+
+    /// Raw-over-wire compression ratio (1.0 when nothing was metered or
+    /// compression is off).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_wire_bytes() == 0 {
+            1.0
+        } else {
+            self.total_bytes() as f64 / self.total_wire_bytes() as f64
+        }
     }
 }
 
@@ -214,10 +285,15 @@ mod tests {
             epoch_bytes: vec![100, 300],
             total_structure_bytes: 150,
             total_feature_bytes: 250,
+            total_structure_wire_bytes: 75,
+            total_feature_wire_bytes: 125,
         };
         assert_eq!(r.mean_epoch_bytes(), 200);
         assert_eq!(r.total_bytes(), 400);
+        assert_eq!(r.total_wire_bytes(), 200);
+        assert!((r.compression_ratio() - 2.0).abs() < 1e-12);
         assert!(CommReport::default().mean_epoch_bytes() == 0);
+        assert!((CommReport::default().compression_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use comm::{
 pub use runtime::NetReport;
 pub use setup::{ClusterSetup, SparsifierKind, WorkerData};
 pub use splpg_net::process::WorkerEnv;
-pub use splpg_net::{FaultPlan, RetryPolicy, TcpConfig};
+pub use splpg_net::{CodecConfig, FaultPlan, FeatCodec, RetryPolicy, StructCodec, TcpConfig};
 pub use strategy::{NegativeSpace, PartitionerKind, RemoteKind, Strategy, StrategySpec};
 pub use trainer::{
     tcp_worker_entry, DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, SyncMethod,

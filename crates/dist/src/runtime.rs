@@ -26,8 +26,9 @@
 
 use splpg_gnn::trainer::batch_grads;
 use splpg_gnn::{LinkPredictor, NeighborSampler, PerSourceNegativeSampler, SamplerScratch};
+use splpg_net::codec::NUM_KINDS;
 use splpg_net::{
-    FetchLedger, MasterHub, MsgId, NetError, Request, Response, RetryPolicy, WorkerPort,
+    FetchLedger, KindStat, MasterHub, MsgId, NetError, Request, Response, RetryPolicy, WorkerPort,
 };
 use splpg_nn::{average_grads, Adam, Optimizer, ParamSet};
 use splpg_rng::rngs::StdRng;
@@ -64,6 +65,15 @@ pub struct NetReport {
     /// Graph-data bytes workers reported fetching, reconstructed from
     /// their fetch ledgers.
     pub data_bytes: u64,
+    /// On-wire graph-data bytes under the negotiated codec, from the same
+    /// ledgers (equals `data_bytes` when compression is off).
+    pub data_wire_bytes: u64,
+    /// Per-[`MsgKind`] histogram of protocol frames: count, raw-encoding
+    /// bytes, and on-wire bytes for each message kind, recorded
+    /// master-side (slot 0 aggregates unknown kinds).
+    ///
+    /// [`MsgKind`]: splpg_net::codec::kind_name
+    pub kinds: [KindStat; NUM_KINDS],
     /// Workers declared dead after retry exhaustion, in detection order.
     pub dead_workers: Vec<usize>,
 }
@@ -73,6 +83,11 @@ pub(crate) fn ledger_bytes(l: &FetchLedger) -> u64 {
     l.structure_edges * BYTES_PER_EDGE
         + l.structure_nodes * BYTES_PER_NODE_ID
         + l.feature_elems * BYTES_PER_FEATURE
+}
+
+/// On-wire bytes a ledger carries under the negotiated codec.
+pub(crate) fn ledger_wire_bytes(l: &FetchLedger) -> u64 {
+    l.structure_wire_bytes + l.feature_wire_bytes
 }
 
 /// Concatenates gradient tensors into one flat wire payload.
@@ -171,6 +186,8 @@ impl Replica {
             structure_edges: self.tracker.structure_edges(),
             structure_nodes: self.tracker.structure_nodes(),
             feature_elems: self.tracker.feature_elems(),
+            structure_wire_bytes: self.tracker.structure_wire_bytes(),
+            feature_wire_bytes: self.tracker.feature_wire_bytes(),
         };
         let delta = now.since(&self.reported);
         self.reported = now;
@@ -612,6 +629,15 @@ impl Backend {
         }
     }
 
+    /// On-wire graph-data bytes fetched so far, same vantage points as
+    /// [`Backend::data_bytes_so_far`].
+    pub fn data_wire_bytes_so_far(&self, tracker: &crate::CommMeter) -> u64 {
+        match self {
+            Backend::Net(net) => ledger_wire_bytes(&net.data_ledger),
+            Backend::Local { .. } => tracker.total_wire_bytes(),
+        }
+    }
+
     /// `(structure bytes, feature bytes)` split of
     /// [`Backend::data_bytes_so_far`], for the final [`CommReport`].
     ///
@@ -626,6 +652,20 @@ impl Backend {
                 )
             }
             Backend::Local { .. } => (tracker.structure_bytes(), tracker.feature_bytes()),
+        }
+    }
+
+    /// `(structure wire bytes, feature wire bytes)` split under the
+    /// negotiated codec, same vantage points as [`Backend::comm_split`].
+    pub fn comm_wire_split(&self, tracker: &crate::CommMeter) -> (u64, u64) {
+        match self {
+            Backend::Net(net) => {
+                let l = &net.data_ledger;
+                (l.structure_wire_bytes, l.feature_wire_bytes)
+            }
+            Backend::Local { .. } => {
+                (tracker.structure_wire_bytes(), tracker.feature_wire_bytes())
+            }
         }
     }
 
@@ -645,6 +685,8 @@ impl Backend {
                     delayed: snap.delayed,
                     retries: snap.retries,
                     data_bytes: ledger_bytes(&net.data_ledger),
+                    data_wire_bytes: ledger_wire_bytes(&net.data_ledger),
+                    kinds: snap.kinds,
                     dead_workers: net.dead,
                 }
             }
@@ -735,7 +777,12 @@ mod tests {
 
     #[test]
     fn ledger_bytes_match_tracker_constants() {
-        let l = FetchLedger { structure_edges: 3, structure_nodes: 2, feature_elems: 35 };
+        let l = FetchLedger {
+            structure_edges: 3,
+            structure_nodes: 2,
+            feature_elems: 35,
+            ..FetchLedger::default()
+        };
         assert_eq!(ledger_bytes(&l), 3 * 16 + 2 * 8 + 35 * 4);
         // The exact scenario of the CommTracker hand-computed test.
         let t = CommTracker::new();
@@ -745,8 +792,12 @@ mod tests {
             structure_edges: t.structure_edges(),
             structure_nodes: t.structure_nodes(),
             feature_elems: t.feature_elems(),
+            structure_wire_bytes: t.structure_wire_bytes(),
+            feature_wire_bytes: t.feature_wire_bytes(),
         };
         assert_eq!(ledger_bytes(&via_tracker), t.total_bytes());
+        // Uncompressed transfers price wire bytes identically to raw.
+        assert_eq!(ledger_wire_bytes(&via_tracker), t.total_bytes());
     }
 
     #[test]

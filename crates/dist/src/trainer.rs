@@ -13,7 +13,7 @@ use splpg_gnn::{
     FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler, SamplerScratch,
 };
 use splpg_net::process::{spawn_cluster, worker_from_env, ProcessSpec, WorkerEnv};
-use splpg_net::{ClusterConfig, FaultPlan, RetryPolicy, TcpConfig};
+use splpg_net::{ClusterConfig, CodecConfig, FaultPlan, RetryPolicy, TcpConfig};
 use splpg_nn::{Adam, Optimizer, ParamSet};
 use splpg_tensor::Tape;
 
@@ -97,6 +97,11 @@ pub struct DistConfig {
     /// Optional message-level wire faults (drop/duplicate/delay/crash),
     /// applied deterministically per message by the transport layer.
     pub wire_faults: Option<FaultPlan>,
+    /// Wire codec for protocol frames *and* data-plane pricing:
+    /// delta+varint/RLE packing for structure payloads, f16/int8 row
+    /// quantization for feature payloads. The default is uncompressed,
+    /// which is lossless and bit-identical to pre-compression behaviour.
+    pub wire_codec: CodecConfig,
 }
 
 impl Default for DistConfig {
@@ -113,6 +118,7 @@ impl Default for DistConfig {
             quorum: None,
             retry: RetryPolicy::default(),
             wire_faults: None,
+            wire_codec: CodecConfig::default(),
         }
     }
 }
@@ -128,6 +134,9 @@ pub struct EpochStats {
     pub valid_hits: Option<f64>,
     /// Master→worker bytes transferred during this epoch.
     pub comm_bytes: u64,
+    /// On-wire bytes of those transfers under the negotiated codec
+    /// (equals `comm_bytes` when compression is off).
+    pub comm_wire_bytes: u64,
 }
 
 /// Outcome of a distributed training run.
@@ -258,14 +267,20 @@ impl DistTrainer {
                 let mut params = ParamSet::new();
                 let model =
                     self.train.build_model(kind, data.features.dim(), &mut params, &mut rng);
+                // Every replica path (cluster, multi-process, sequential
+                // reference) prices and degrades remote fetches under the
+                // same codec, which is what keeps them bit-identical.
+                let mut w = w.clone();
+                w.view = w.view.with_wire_codec(self.dist.wire_codec);
+                let worker_id = w.worker_id;
                 Replica::new(
-                    w.worker_id,
+                    worker_id,
                     model,
                     params,
                     Adam::new(self.train.learning_rate),
                     splpg_rng::derive_stream(self.train.seed, w.worker_id as u64 + 1),
-                    w.clone(),
-                    setup.tracker.worker(w.worker_id).clone(),
+                    w,
+                    setup.tracker.worker(worker_id).clone(),
                     self.train.sampler(),
                     self.train.batch_size,
                 )
@@ -296,7 +311,8 @@ impl DistTrainer {
         let p = self.dist.num_workers;
         let quorum = self.dist.quorum.unwrap_or(p);
         let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
-        let cluster_cfg = ClusterConfig { workers: p, faults: wire.clone() };
+        let cluster_cfg =
+            ClusterConfig { workers: p, faults: wire.clone(), codec: self.dist.wire_codec };
         let cells: Vec<Mutex<Option<Replica>>> =
             replicas.into_iter().map(|r| Mutex::new(Some(r))).collect();
         let faults = self.dist.faults;
@@ -332,6 +348,7 @@ impl DistTrainer {
             out.net.duplicated = snap.duplicated;
             out.net.delayed = snap.delayed;
             out.net.retries = snap.retries;
+            out.net.kinds = snap.kinds;
         }
         result
     }
@@ -378,6 +395,7 @@ impl DistTrainer {
             faults: wire.clone(),
             tcp: TcpConfig::default(),
             child_args: child_args.to_vec(),
+            codec: self.dist.wire_codec,
         };
         let (hub, children) =
             spawn_cluster(&spec).map_err(|e| DistError::Process(e.to_string()))?;
@@ -437,7 +455,8 @@ impl DistTrainer {
         // construction.
         let port = env
             .connect(wire.as_ref(), &TcpConfig::default())
-            .map_err(|e| DistError::Process(e.to_string()))?;
+            .map_err(|e| DistError::Process(e.to_string()))?
+            .with_codec(self.dist.wire_codec);
         worker_loop(port, rep, self.dist.faults, crash);
         Ok(())
     }
@@ -498,6 +517,7 @@ impl DistTrainer {
         let mut epochs = Vec::with_capacity(self.train.epochs);
         let mut best = (f64::NEG_INFINITY, global_flat.clone());
         let mut prev_bytes = backend.data_bytes_so_far(&setup.tracker);
+        let mut prev_wire_bytes = backend.data_wire_bytes_so_far(&setup.tracker);
         let rounds_per_epoch = setup
             .workers
             .iter()
@@ -574,6 +594,9 @@ impl DistTrainer {
                 let now_bytes = backend.data_bytes_so_far(&setup.tracker);
                 let comm_bytes = now_bytes - prev_bytes;
                 prev_bytes = now_bytes;
+                let now_wire = backend.data_wire_bytes_so_far(&setup.tracker);
+                let comm_wire_bytes = now_wire - prev_wire_bytes;
+                prev_wire_bytes = now_wire;
 
                 let valid_hits = if epoch % self.dist.eval_every == 0
                     || epoch + 1 == self.train.epochs
@@ -604,11 +627,19 @@ impl DistTrainer {
                 } else {
                     None
                 };
-                epochs.push(EpochStats { epoch, mean_loss, valid_hits, comm_bytes });
+                epochs.push(EpochStats {
+                    epoch,
+                    mean_loss,
+                    valid_hits,
+                    comm_bytes,
+                    comm_wire_bytes,
+                });
             }
             Ok(())
         })();
         let (total_structure_bytes, total_feature_bytes) = backend.comm_split(&setup.tracker);
+        let (total_structure_wire_bytes, total_feature_wire_bytes) =
+            backend.comm_wire_split(&setup.tracker);
         let net = backend.finish();
         loop_result?;
 
@@ -634,6 +665,8 @@ impl DistTrainer {
             epoch_bytes: epochs.iter().map(|e| e.comm_bytes).collect(),
             total_structure_bytes,
             total_feature_bytes,
+            total_structure_wire_bytes,
+            total_feature_wire_bytes,
         };
         Ok(DistOutcome {
             test_hits,
@@ -660,6 +693,7 @@ impl DistTrainer {
                 mean_loss,
                 valid_hits: Some(hits),
                 comm_bytes: 0,
+                comm_wire_bytes: 0,
             })
             .collect();
         Ok(DistOutcome {
@@ -815,6 +849,82 @@ mod tests {
         // The transport-shipped fetch ledgers reconcile exactly with the
         // worker-side communication meters.
         assert_eq!(out.net.data_bytes, out.comm.total_bytes());
+    }
+
+    #[test]
+    fn lossless_compression_is_bit_identical_at_two_and_four_workers() {
+        // {structure: Varint, features: F32} changes every frame and the
+        // wire-byte accounting but not one bit of arithmetic: the cluster
+        // run must match the sequential reference exactly, and must match
+        // an uncompressed run of the same seeds.
+        use splpg_net::{FeatCodec, StructCodec};
+        let data = tiny_data();
+        for p in [2usize, 4] {
+            let codec =
+                CodecConfig { structure: StructCodec::Varint, features: FeatCodec::F32 };
+            let dist = DistConfig {
+                num_workers: p,
+                strategy: Strategy::SpLpg,
+                wire_codec: codec,
+                ..Default::default()
+            };
+            let trainer = DistTrainer::new(dist.clone(), quick_train());
+            let cluster = trainer.run(ModelKind::GraphSage, &data).unwrap();
+            let reference = trainer.run_reference(ModelKind::GraphSage, &data).unwrap();
+            assert_eq!(cluster.epochs, reference.epochs, "p={p}");
+            assert_eq!(cluster.test_hits.to_bits(), reference.test_hits.to_bits());
+            assert_eq!(cluster.comm, reference.comm);
+            // Same bits as the uncompressed run of the same seeds.
+            let plain = DistTrainer::new(
+                DistConfig { wire_codec: CodecConfig::default(), ..dist },
+                quick_train(),
+            )
+            .run(ModelKind::GraphSage, &data)
+            .unwrap();
+            assert_eq!(plain.test_hits.to_bits(), cluster.test_hits.to_bits());
+            // Varint packing actually compresses the structure stream.
+            assert!(
+                cluster.comm.total_structure_wire_bytes
+                    < cluster.comm.total_structure_bytes,
+                "p={p}: wire {} !< raw {}",
+                cluster.comm.total_structure_wire_bytes,
+                cluster.comm.total_structure_bytes
+            );
+            // Feature payloads are uncompressed in this mode.
+            assert_eq!(
+                cluster.comm.total_feature_wire_bytes,
+                cluster.comm.total_feature_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_runs_complete_and_shrink_feature_traffic() {
+        use splpg_net::{FeatCodec, StructCodec};
+        let data = tiny_data();
+        for features in [FeatCodec::F16, FeatCodec::Int8] {
+            let dist = DistConfig {
+                num_workers: 2,
+                strategy: Strategy::SpLpg,
+                wire_codec: CodecConfig { structure: StructCodec::Rle, features },
+                ..Default::default()
+            };
+            let trainer = DistTrainer::new(dist, quick_train());
+            let cluster = trainer.run(ModelKind::GraphSage, &data).unwrap();
+            let reference = trainer.run_reference(ModelKind::GraphSage, &data).unwrap();
+            // Lossy codecs quantize the parameter frames the cluster's
+            // wire carries, which the wire-free reference never sees — so
+            // the arithmetic may differ, but the communication accounting
+            // (RNG-driven fetch sets, codec-priced) must still agree.
+            assert_eq!(cluster.comm, reference.comm);
+            assert!(
+                cluster.comm.total_feature_wire_bytes < cluster.comm.total_feature_bytes,
+                "{features:?}: wire {} !< raw {}",
+                cluster.comm.total_feature_wire_bytes,
+                cluster.comm.total_feature_bytes
+            );
+            assert!(cluster.test_hits.is_finite());
+        }
     }
 
     #[test]

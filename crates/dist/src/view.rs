@@ -3,6 +3,10 @@ use std::sync::{Arc, Mutex};
 
 use splpg_gnn::{FeatureAccess, GraphAccess};
 use splpg_graph::{FeatureMatrix, Graph, NodeId};
+use splpg_net::compress::{
+    encoded_ids_len, f16_round_trip, feature_wire_bytes, int8_round_trip, varint_len,
+};
+use splpg_net::{CodecConfig, FeatCodec, StructCodec};
 
 use crate::CommTracker;
 
@@ -73,6 +77,10 @@ pub struct WorkerView {
     /// batch), so cached rows stay free for the whole epoch.
     feature_cache: Arc<Mutex<RowCache>>,
     feature_cache_rows: usize,
+    /// Wire codec the data plane prices transfers under; quantized
+    /// feature codecs also round-trip remote rows through the quantizer
+    /// so training sees exactly what the wire would deliver.
+    wire_codec: CodecConfig,
 }
 
 impl WorkerView {
@@ -101,7 +109,17 @@ impl WorkerView {
             tracker,
             feature_cache: Arc::new(Mutex::new(RowCache::default())),
             feature_cache_rows: DEFAULT_FEATURE_CACHE_ROWS,
+            wire_codec: CodecConfig::default(),
         }
+    }
+
+    /// Sets the wire codec remote fetches are priced (and, for lossy
+    /// feature codecs, degraded) under. The default shipping codec is
+    /// uncompressed: wire bytes equal the raw byte model exactly.
+    #[must_use]
+    pub fn with_wire_codec(mut self, codec: CodecConfig) -> Self {
+        self.wire_codec = codec;
+        self
     }
 
     /// Overrides the feature-row cache capacity (`0` disables caching:
@@ -152,7 +170,18 @@ impl WorkerView {
                 neighbor_list_into(&parts[owner[v as usize] as usize], v, out)
             }
         }
-        self.tracker.add_structure((out.len() - before) as u64, 1);
+        let edges = (out.len() - before) as u64;
+        let wire = match self.wire_codec.structure {
+            StructCodec::None => edges * crate::BYTES_PER_EDGE + crate::BYTES_PER_NODE_ID,
+            codec => {
+                // The compressed fetch ships the requested id, a neighbor
+                // count, and the delta-packed neighbor-id stream.
+                let ids: Vec<u64> = out[before..].iter().map(|&(u, _)| u64::from(u)).collect();
+                (varint_len(u64::from(v)) + varint_len(edges) + encoded_ids_len(&ids, codec))
+                    as u64
+            }
+        };
+        self.tracker.add_structure_wire(edges, 1, wire);
     }
 }
 
@@ -230,10 +259,32 @@ impl FeatureAccess for WorkerView {
             }
             fetched
         };
+        let dim = self.features.dim();
         if remote_rows > 0 {
-            self.tracker.add_features(remote_rows, self.features.dim() as u64);
+            self.tracker.add_features_wire(
+                remote_rows,
+                dim as u64,
+                feature_wire_bytes(remote_rows, dim as u64, self.wire_codec.features),
+            );
         }
+        let base = out.len();
         self.features.gather_into(nodes, out);
+        // Lossy feature codecs degrade every remote row the same way the
+        // wire would, cached or not — determinism requires the training
+        // arithmetic to be independent of cache hit patterns.
+        if self.wire_codec.features != FeatCodec::F32 {
+            for (i, &node) in nodes.iter().enumerate() {
+                if self.feature_local[node as usize] {
+                    continue;
+                }
+                let row = &mut out[base + i * dim..base + (i + 1) * dim];
+                match self.wire_codec.features {
+                    FeatCodec::F32 => {}
+                    FeatCodec::F16 => f16_round_trip(row),
+                    FeatCodec::Int8 => int8_round_trip(row),
+                }
+            }
+        }
     }
 }
 

@@ -102,6 +102,7 @@ pub const CAST_HOT_FILES: &[&str] = &[
     "crates/tensor/src/kernels.rs",
     "crates/tensor/src/segment.rs",
     "crates/gnn/src/sampler.rs",
+    "crates/net/src/compress.rs",
 ];
 
 /// One-line description per rule (for `splpg-lint rules`).

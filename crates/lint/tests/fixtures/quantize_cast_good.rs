@@ -1,0 +1,24 @@
+// Quantization-style narrowing in a compression hot path, done right:
+// masked values through try_from, and the one float->code cast clamped
+// to the target range with a pragma naming the invariant.
+
+fn codec_byte(version: u8, structure: u8, features: u8) -> u8 {
+    // Masked to the field width first: try_from can never fail, and the
+    // lint sees no bare narrowing `as`.
+    u8::try_from(((u16::from(version) << 4) | u16::from(features << 2) | u16::from(structure)) & 0xff)
+        .expect("invariant: masked to one byte")
+}
+
+fn quantize(x: f32, lo: f32, scale: f32) -> u8 {
+    let t = ((x - lo) / scale).round().clamp(0.0, 255.0);
+    // splpg-lint: allow(as-cast-truncation) — clamped to [0, 255] on the line above
+    t as u8
+}
+
+fn dequantize(code: u8, lo: f32, scale: f32) -> f32 {
+    lo + f32::from(code) * scale
+}
+
+fn low_halves(ids: &[u64]) -> Vec<u16> {
+    ids.iter().map(|&v| u16::try_from(v & 0xffff).expect("invariant: masked")).collect()
+}

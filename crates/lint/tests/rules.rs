@@ -257,9 +257,12 @@ fn net_call_passes_good_fixture_and_wrapper_layer() {
 
 #[test]
 fn as_cast_fires_on_bad_fixture_in_every_hot_file() {
-    for path in
-        ["crates/tensor/src/kernels.rs", "crates/tensor/src/segment.rs", "crates/gnn/src/sampler.rs"]
-    {
+    for path in [
+        "crates/tensor/src/kernels.rs",
+        "crates/tensor/src/segment.rs",
+        "crates/gnn/src/sampler.rs",
+        "crates/net/src/compress.rs",
+    ] {
         let d = check_source(path, include_str!("fixtures/as_cast_bad.rs"));
         let hits: Vec<_> = d.iter().filter(|d| d.rule == "as-cast-truncation").collect();
         assert_eq!(hits.len(), 2, "{path}: {hits:?}");
@@ -272,6 +275,20 @@ fn as_cast_passes_good_fixture_and_cold_files() {
     assert!(good.is_empty(), "{good:?}");
     let cold = fired_content("crates/graph/src/csr.rs", include_str!("fixtures/as_cast_bad.rs"));
     assert!(cold.is_empty(), "non-hot files may narrow: {cold:?}");
+}
+
+#[test]
+fn quantization_casts_through_sanctioned_helpers_pass_in_compress() {
+    // The compression module is a hot file: bare narrowing casts fire,
+    // but the sanctioned quantization idioms (masked try_from, a clamped
+    // float->code cast under a pragma naming the invariant) do not.
+    let good = fired_content(
+        "crates/net/src/compress.rs",
+        include_str!("fixtures/quantize_cast_good.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+    let bad = fired_content("crates/net/src/compress.rs", include_str!("fixtures/as_cast_bad.rs"));
+    assert!(bad.contains(&"as-cast-truncation"), "{bad:?}");
 }
 
 #[test]

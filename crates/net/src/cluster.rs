@@ -2,6 +2,8 @@ use std::sync::mpsc::sync_channel;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::codec;
+use crate::compress::CodecConfig;
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::message::{Message, Request, Response};
 use crate::transport::{ChannelTransport, Transport, WireSnapshot, WireStats};
@@ -14,6 +16,9 @@ pub struct ClusterConfig {
     pub workers: usize,
     /// Optional fault injection applied to every lane.
     pub faults: Option<FaultPlan>,
+    /// Wire compression / quantization pair every endpoint encodes
+    /// under (frames self-describe, so decoding needs no config).
+    pub codec: CodecConfig,
 }
 
 impl ClusterConfig {
@@ -41,6 +46,7 @@ pub struct MasterHub {
     to_workers: Vec<Option<Box<dyn Transport>>>,
     inbox: Box<dyn Transport>,
     stats: WireStats,
+    codec: CodecConfig,
 }
 
 impl MasterHub {
@@ -52,7 +58,15 @@ impl MasterHub {
         inbox: Box<dyn Transport>,
         stats: WireStats,
     ) -> Self {
-        MasterHub { to_workers, inbox, stats }
+        MasterHub { to_workers, inbox, stats, codec: CodecConfig::default() }
+    }
+
+    /// Sets the codec pair this hub encodes requests under. The per-kind
+    /// histogram meters both directions against this hub's counters.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecConfig) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Number of worker lanes (including retired ones).
@@ -65,8 +79,17 @@ impl MasterHub {
     pub fn send(&mut self, worker: usize, req: &Request) -> bool {
         let Some(slot) = self.to_workers.get_mut(worker) else { return false };
         let Some(lane) = slot else { return false };
-        match lane.send(Message::Request(req.clone()).encode()) {
-            Ok(()) => true,
+        let frame = codec::encode_with(&Message::Request(req.clone()), self.codec);
+        let (kind, wire) = (frame[4], frame.len() as u64);
+        let raw = codec::raw_request_frame_len(req) as u64;
+        match lane.send(frame) {
+            Ok(()) => {
+                // One histogram entry per protocol message, recorded on
+                // the master side only so channel- and TCP-backed
+                // clusters count identically.
+                self.stats.record_kind(kind, raw, wire);
+                true
+            }
             Err(_) => {
                 *slot = None;
                 false
@@ -82,7 +105,9 @@ impl MasterHub {
     /// on malformed frames.
     pub fn recv(&mut self) -> Result<Response, NetError> {
         let frame = self.inbox.recv()?;
-        decode_response(&frame)
+        let resp = decode_response(&frame)?;
+        self.record_response(&frame, &resp);
+        Ok(resp)
     }
 
     /// Waits up to `timeout` for the next response; `Ok(None)` on a quiet
@@ -94,9 +119,19 @@ impl MasterHub {
     /// on malformed frames.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Response>, NetError> {
         match self.inbox.recv_timeout(timeout)? {
-            Some(frame) => decode_response(&frame).map(Some),
+            Some(frame) => {
+                let resp = decode_response(&frame)?;
+                self.record_response(&frame, &resp);
+                Ok(Some(resp))
+            }
             None => Ok(None),
         }
+    }
+
+    fn record_response(&self, frame: &[u8], resp: &Response) {
+        let kind = frame.get(4).copied().unwrap_or(0);
+        let raw = codec::raw_response_frame_len(resp) as u64;
+        self.stats.record_kind(kind, raw, frame.len() as u64);
     }
 
     /// Broadcasts [`Request::Stop`] and retires every lane, releasing
@@ -153,13 +188,21 @@ fn decode_response(frame: &[u8]) -> Result<Response, NetError> {
 pub struct WorkerPort {
     worker: usize,
     lane: Box<dyn Transport>,
+    codec: CodecConfig,
 }
 
 impl WorkerPort {
     /// Wraps an already-connected duplex lane as worker `worker`'s port.
     /// Used by the channel builder and the TCP dialer alike.
     pub fn from_duplex(worker: usize, lane: Box<dyn Transport>) -> Self {
-        WorkerPort { worker, lane }
+        WorkerPort { worker, lane, codec: CodecConfig::default() }
+    }
+
+    /// Sets the codec pair this port encodes responses under.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecConfig) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// This worker's index.
@@ -190,7 +233,7 @@ impl WorkerPort {
     ///
     /// [`NetError::Closed`] when the master hung up.
     pub fn send(&mut self, resp: &Response) -> Result<(), NetError> {
-        self.lane.send(Message::Response(resp.clone()).encode())
+        self.lane.send(codec::encode_with(&Message::Response(resp.clone()), self.codec))
     }
 }
 
@@ -226,7 +269,7 @@ pub fn build_cluster(config: &ClusterConfig) -> (MasterHub, Vec<WorkerPort>) {
             ));
         }
         to_workers.push(Some(master_side));
-        ports.push(WorkerPort::from_duplex(w, worker_lane));
+        ports.push(WorkerPort::from_duplex(w, worker_lane).with_codec(config.codec));
     }
     // The hub keeps no inbox sender: once every worker port is dropped,
     // the master's receive side observes Closed instead of hanging.
@@ -235,7 +278,8 @@ pub fn build_cluster(config: &ClusterConfig) -> (MasterHub, Vec<WorkerPort>) {
         to_workers,
         Box::new(ChannelTransport::receiver(inbox_rx, stats.clone())),
         stats,
-    );
+    )
+    .with_codec(config.codec);
     (hub, ports)
 }
 
@@ -296,7 +340,7 @@ mod tests {
 
     #[test]
     fn broadcast_gather_echo() {
-        let config = ClusterConfig { workers: 3, faults: None };
+        let config = ClusterConfig { workers: 3, faults: None, codec: CodecConfig::default() };
         let losses = run_cluster(&config, echo_worker, |mut hub| {
             let req = |w: u32| Request::Epoch {
                 id: MsgId { worker: w, epoch: 1, round: 0, attempt: 0 },
@@ -321,7 +365,7 @@ mod tests {
 
     #[test]
     fn dropping_hub_releases_workers() {
-        let config = ClusterConfig { workers: 4, faults: None };
+        let config = ClusterConfig { workers: 4, faults: None, codec: CodecConfig::default() };
         // Master returns immediately without shutdown; workers must
         // still exit via the Closed signal (this test hanging = failure).
         run_cluster(&config, echo_worker, drop);
@@ -329,7 +373,7 @@ mod tests {
 
     #[test]
     fn worker_exit_surfaces_as_closed_inbox() {
-        let config = ClusterConfig { workers: 1, faults: None };
+        let config = ClusterConfig { workers: 1, faults: None, codec: CodecConfig::default() };
         run_cluster(
             &config,
             drop,
@@ -347,7 +391,7 @@ mod tests {
 
     #[test]
     fn stats_count_both_directions() {
-        let config = ClusterConfig { workers: 2, faults: None };
+        let config = ClusterConfig { workers: 2, faults: None, codec: CodecConfig::default() };
         // Snapshot only after run_cluster joined the workers: counters
         // land on the sending thread after the frame is already in the
         // lane, so an in-flight snapshot could miss a delivered frame.

@@ -3,59 +3,98 @@
 //! Every message is one *frame*:
 //!
 //! ```text
-//! [len: u32][kind: u8][worker: u32][epoch: u64][round: u64][attempt: u32][payload...]
+//! [len: u32][kind: u8][codec: u8][worker: u32][epoch: u64][round: u64][attempt: u32][payload...]
 //! ```
 //!
-//! `len` counts everything after the length field. All integers and
-//! floats are little-endian; floats are shipped as raw IEEE-754 bits, so
-//! an encode/decode round trip is bit-exact — the property the trainer's
-//! determinism guarantee rests on. The 25-byte identity header sits at a
-//! fixed offset for *every* kind, which lets the fault-injection layer
-//! key its drop/duplicate/delay decisions off message identity without
-//! decoding payloads.
+//! `len` counts everything after the length field. All fixed-width
+//! integers and floats are little-endian; floats are shipped as raw
+//! IEEE-754 bits, so an encode/decode round trip under a lossless codec
+//! is bit-exact — the property the trainer's determinism guarantee rests
+//! on. The 26-byte identity header sits at a fixed offset for *every*
+//! kind and codec, which lets the fault-injection layer key its
+//! drop/duplicate/delay decisions off message identity without decoding
+//! payloads.
+//!
+//! The `codec` byte (see [`crate::compress::CodecConfig`]) makes every
+//! frame self-describing: the sender packs the payload under its
+//! negotiated config, and any receiver decodes from the byte alone —
+//! integer side-data (vector lengths, ledger counts) turn into varints
+//! under a structure codec, and `f32` vectors ship as binary16 or
+//! per-block int8 codes under a feature codec. Frames from a peer
+//! speaking a different format version are rejected with a typed
+//! [`NetError::Codec`].
 
 use std::io::Read;
 
+use crate::compress::{
+    dequantize_value, f16_to_f32, f32_to_f16, quantize_row, read_varint, write_varint,
+    CodecConfig, FeatCodec, RowQuant, StructCodec, INT8_BLOCK,
+};
 use crate::message::{FetchLedger, Message, MsgId, Request, Response};
 use crate::NetError;
 
-/// Bytes of the identity header (kind + worker + epoch + round + attempt).
-pub const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
+/// Bytes of the identity header (kind + codec + worker + epoch + round +
+/// attempt).
+pub const HEADER_LEN: usize = 1 + 1 + 4 + 8 + 8 + 4;
 
 /// Default ceiling on the body length a frame may declare (bytes after
-/// the 4-byte length prefix).
+/// the 4-byte length prefix) — and on the *decoded* size a compressed
+/// payload may expand to.
 ///
 /// The largest legitimate frames are flattened parameter/gradient
 /// vectors; 64 MiB holds a 16M-parameter model, far beyond anything the
 /// experiment matrix ships. The cap is what keeps a hostile (or
 /// corrupted) length prefix from asking the receive path to allocate an
 /// unbounded buffer — every decoder and socket reader enforces it before
-/// reserving memory. Transports accept a smaller cap for tests.
+/// reserving memory, and vector decoders re-apply it to the decoded
+/// element count, so a small compressed frame cannot claim a huge
+/// decompressed payload either. Transports accept a smaller cap for
+/// tests.
 pub const DEFAULT_MAX_FRAME_LEN: usize = 64 << 20;
 
-const KIND_REQ_EPOCH: u8 = 1;
-const KIND_REQ_ROUND: u8 = 2;
-const KIND_REQ_STOP: u8 = 3;
-const KIND_RESP_EPOCH: u8 = 4;
-const KIND_RESP_ROUND: u8 = 5;
-const KIND_RESP_UNAVAILABLE: u8 = 6;
-const KIND_RESP_FAILED: u8 = 7;
+pub(crate) const KIND_REQ_EPOCH: u8 = 1;
+pub(crate) const KIND_REQ_ROUND: u8 = 2;
+pub(crate) const KIND_REQ_STOP: u8 = 3;
+pub(crate) const KIND_RESP_EPOCH: u8 = 4;
+pub(crate) const KIND_RESP_ROUND: u8 = 5;
+pub(crate) const KIND_RESP_UNAVAILABLE: u8 = 6;
+pub(crate) const KIND_RESP_FAILED: u8 = 7;
+
+/// Number of distinct wire-kind slots (index 0 is unused; kinds are
+/// 1–7) — the size of per-kind accounting tables.
+pub const NUM_KINDS: usize = 8;
+
+/// Human-readable name of a message kind byte, for histograms and logs.
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_REQ_EPOCH => "req-epoch",
+        KIND_REQ_ROUND => "req-round",
+        KIND_REQ_STOP => "req-stop",
+        KIND_RESP_EPOCH => "resp-epoch",
+        KIND_RESP_ROUND => "resp-round",
+        KIND_RESP_UNAVAILABLE => "resp-unavailable",
+        KIND_RESP_FAILED => "resp-failed",
+        _ => "unknown",
+    }
+}
 
 struct Writer {
     buf: Vec<u8>,
+    cfg: CodecConfig,
 }
 
 impl Writer {
-    fn new(kind: u8, id: MsgId) -> Self {
+    fn new(kind: u8, cfg: CodecConfig, id: MsgId) -> Self {
         // Reserve the length prefix; patched in `finish`.
         let mut buf = Vec::with_capacity(4 + HEADER_LEN);
         buf.extend_from_slice(&[0u8; 4]);
         buf.push(kind);
+        buf.push(cfg.to_byte());
         buf.extend_from_slice(&id.worker.to_le_bytes());
         buf.extend_from_slice(&id.epoch.to_le_bytes());
         buf.extend_from_slice(&id.round.to_le_bytes());
         buf.extend_from_slice(&id.attempt.to_le_bytes());
-        Writer { buf }
+        Writer { buf, cfg }
     }
 
     fn u8(&mut self, v: u8) {
@@ -78,11 +117,41 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
+    /// An integer count / side-data field: fixed u64 under the raw
+    /// structure codec, a varint under either compressed one.
+    fn count(&mut self, v: u64) {
+        match self.cfg.structure {
+            StructCodec::None => self.u64(v),
+            StructCodec::Varint | StructCodec::Rle => write_varint(&mut self.buf, v),
+        }
+    }
+
     fn f32s(&mut self, vs: &[f32]) {
-        self.u64(vs.len() as u64);
-        self.buf.reserve(vs.len() * 4);
-        for &v in vs {
-            self.f32(v);
+        self.count(vs.len() as u64);
+        match self.cfg.features {
+            FeatCodec::F32 => {
+                self.buf.reserve(vs.len() * 4);
+                for &v in vs {
+                    self.f32(v);
+                }
+            }
+            FeatCodec::F16 => {
+                self.buf.reserve(vs.len() * 2);
+                for &v in vs {
+                    self.buf.extend_from_slice(&f32_to_f16(v).to_le_bytes());
+                }
+            }
+            FeatCodec::Int8 => {
+                // Flat vectors have no row structure; cut into
+                // INT8_BLOCK-wide blocks, each with its own header.
+                for block in vs.chunks(INT8_BLOCK) {
+                    let mut codes = Vec::with_capacity(block.len());
+                    let q = quantize_row(block, &mut codes);
+                    self.f32(q.lo);
+                    self.f32(q.scale);
+                    self.buf.extend_from_slice(&codes);
+                }
+            }
         }
     }
 
@@ -92,9 +161,11 @@ impl Writer {
     }
 
     fn ledger(&mut self, l: &FetchLedger) {
-        self.u64(l.structure_edges);
-        self.u64(l.structure_nodes);
-        self.u64(l.feature_elems);
+        self.count(l.structure_edges);
+        self.count(l.structure_nodes);
+        self.count(l.feature_elems);
+        self.count(l.structure_wire_bytes);
+        self.count(l.feature_wire_bytes);
     }
 
     fn finish(mut self) -> Vec<u8> {
@@ -107,9 +178,14 @@ impl Writer {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    cfg: CodecConfig,
 }
 
 impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, cfg: CodecConfig::default() }
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
         if self.pos + n > self.buf.len() {
             return Err(NetError::Codec(format!(
@@ -143,14 +219,63 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Counterpart of [`Writer::count`].
+    fn count(&mut self) -> Result<u64, NetError> {
+        match self.cfg.structure {
+            StructCodec::None => self.u64(),
+            StructCodec::Varint | StructCodec::Rle => read_varint(self.buf, &mut self.pos),
+        }
+    }
+
     fn f32s(&mut self) -> Result<Vec<f32>, NetError> {
-        let n = self.u64()? as usize;
-        // A frame holds at least 4 bytes per element; reject inflated
-        // length claims before allocating.
-        if n > (self.buf.len() - self.pos) / 4 {
+        let n = self.count()?;
+        let remaining = self.buf.len() - self.pos;
+        // Reject inflated element counts before allocating: a frame
+        // holds at least `min_bytes` wire bytes per element…
+        let min_bytes = match self.cfg.features {
+            FeatCodec::F32 => 4,
+            FeatCodec::F16 => 2,
+            FeatCodec::Int8 => 1,
+        };
+        if n > (remaining / min_bytes) as u64 {
             return Err(NetError::Codec(format!("f32 vector claims {n} elements")));
         }
-        (0..n).map(|_| self.f32()).collect()
+        // …and the cap applies to the *decoded* size, so a compressed
+        // in-cap frame cannot expand into an over-cap allocation.
+        let decoded = n.saturating_mul(4);
+        if decoded > DEFAULT_MAX_FRAME_LEN as u64 {
+            return Err(NetError::FrameTooLarge {
+                len: decoded as usize,
+                max: DEFAULT_MAX_FRAME_LEN,
+            });
+        }
+        let n = n as usize;
+        match self.cfg.features {
+            FeatCodec::F32 => (0..n).map(|_| self.f32()).collect(),
+            FeatCodec::F16 => {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let bytes = self.take(2)?;
+                    out.push(f16_to_f32(u16::from_le_bytes(
+                        bytes.try_into().expect("exact slice"),
+                    )));
+                }
+                Ok(out)
+            }
+            FeatCodec::Int8 => {
+                let mut out = Vec::with_capacity(n);
+                let mut left = n;
+                while left > 0 {
+                    let block = left.min(INT8_BLOCK);
+                    let q = RowQuant { lo: self.f32()?, scale: self.f32()? };
+                    for &code in self.take(block)? {
+                        out.push(dequantize_value(code, &q));
+                    }
+                    left -= block;
+                }
+                Ok(out)
+            }
+        }
     }
 
     fn str(&mut self) -> Result<String, NetError> {
@@ -162,9 +287,11 @@ impl<'a> Reader<'a> {
 
     fn ledger(&mut self) -> Result<FetchLedger, NetError> {
         Ok(FetchLedger {
-            structure_edges: self.u64()?,
-            structure_nodes: self.u64()?,
-            feature_elems: self.u64()?,
+            structure_edges: self.count()?,
+            structure_nodes: self.count()?,
+            feature_elems: self.count()?,
+            structure_wire_bytes: self.count()?,
+            feature_wire_bytes: self.count()?,
         })
     }
 
@@ -179,30 +306,38 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Encodes a message into a length-prefixed frame.
+/// Encodes a message into a length-prefixed frame under the default
+/// (uncompressed, bit-exact) codec pair.
 pub fn encode(msg: &Message) -> Vec<u8> {
+    encode_with(msg, CodecConfig::default())
+}
+
+/// Encodes a message into a length-prefixed frame under `cfg`. The frame
+/// records `cfg` in its codec byte, so [`decode`] needs no out-of-band
+/// configuration.
+pub fn encode_with(msg: &Message, cfg: CodecConfig) -> Vec<u8> {
     match msg {
         Message::Request(Request::Epoch { id, params }) => {
-            let mut w = Writer::new(KIND_REQ_EPOCH, *id);
+            let mut w = Writer::new(KIND_REQ_EPOCH, cfg, *id);
             w.f32s(params);
             w.finish()
         }
         Message::Request(Request::Round { id, params }) => {
-            let mut w = Writer::new(KIND_REQ_ROUND, *id);
+            let mut w = Writer::new(KIND_REQ_ROUND, cfg, *id);
             w.f32s(params);
             w.finish()
         }
-        Message::Request(Request::Stop { id }) => Writer::new(KIND_REQ_STOP, *id).finish(),
+        Message::Request(Request::Stop { id }) => Writer::new(KIND_REQ_STOP, cfg, *id).finish(),
         Message::Response(Response::Epoch { id, params, loss_sum, batches, ledger }) => {
-            let mut w = Writer::new(KIND_RESP_EPOCH, *id);
+            let mut w = Writer::new(KIND_RESP_EPOCH, cfg, *id);
             w.f32s(params);
             w.f64(*loss_sum);
-            w.u64(*batches);
+            w.count(*batches);
             w.ledger(ledger);
             w.finish()
         }
         Message::Response(Response::Round { id, active, loss, grads, ledger }) => {
-            let mut w = Writer::new(KIND_RESP_ROUND, *id);
+            let mut w = Writer::new(KIND_RESP_ROUND, cfg, *id);
             w.u8(u8::from(*active));
             w.f32(*loss);
             w.f32s(grads);
@@ -210,25 +345,61 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.finish()
         }
         Message::Response(Response::Unavailable { id }) => {
-            Writer::new(KIND_RESP_UNAVAILABLE, *id).finish()
+            Writer::new(KIND_RESP_UNAVAILABLE, cfg, *id).finish()
         }
         Message::Response(Response::Failed { id, error }) => {
-            let mut w = Writer::new(KIND_RESP_FAILED, *id);
+            let mut w = Writer::new(KIND_RESP_FAILED, cfg, *id);
             w.str(error);
             w.finish()
         }
     }
 }
 
-/// Decodes a length-prefixed frame.
+/// Frame length [`encode`] would produce under the default codec — the
+/// "raw bytes" side of every compression-ratio meter, computed
+/// arithmetically so hot paths never re-encode just to measure.
+pub fn raw_frame_len(msg: &Message) -> usize {
+    match msg {
+        Message::Request(r) => raw_request_frame_len(r),
+        Message::Response(r) => raw_response_frame_len(r),
+    }
+}
+
+/// Raw ledger payload bytes: five fixed-width u64 counters.
+const LEDGER_RAW_LEN: usize = 5 * 8;
+
+/// [`raw_frame_len`] for a request without wrapping it in a [`Message`].
+pub fn raw_request_frame_len(req: &Request) -> usize {
+    let payload = match req {
+        Request::Epoch { params, .. } | Request::Round { params, .. } => 8 + 4 * params.len(),
+        Request::Stop { .. } => 0,
+    };
+    4 + HEADER_LEN + payload
+}
+
+/// [`raw_frame_len`] for a response without wrapping it in a [`Message`].
+pub fn raw_response_frame_len(resp: &Response) -> usize {
+    let payload = match resp {
+        Response::Epoch { params, .. } => (8 + 4 * params.len()) + 8 + 8 + LEDGER_RAW_LEN,
+        Response::Round { grads, .. } => 1 + 4 + (8 + 4 * grads.len()) + LEDGER_RAW_LEN,
+        Response::Unavailable { .. } => 0,
+        Response::Failed { error, .. } => 4 + error.len(),
+    };
+    4 + HEADER_LEN + payload
+}
+
+/// Decodes a length-prefixed frame, honouring whatever codec pair its
+/// codec byte declares.
 ///
 /// # Errors
 ///
 /// Returns [`NetError::Codec`] on truncation, length mismatch, unknown
-/// kind tags, or trailing bytes, and [`NetError::FrameTooLarge`] when the
-/// length prefix exceeds [`DEFAULT_MAX_FRAME_LEN`].
+/// kind tags, unknown or version-mismatched codec bytes, or trailing
+/// bytes, and [`NetError::FrameTooLarge`] when the length prefix — or
+/// the *decoded* size a compressed payload would expand to — exceeds
+/// [`DEFAULT_MAX_FRAME_LEN`].
 pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
-    let mut r = Reader { buf: frame, pos: 0 };
+    let mut r = Reader::new(frame);
     let len = r.u32()? as usize;
     if len > DEFAULT_MAX_FRAME_LEN {
         return Err(NetError::FrameTooLarge { len, max: DEFAULT_MAX_FRAME_LEN });
@@ -240,6 +411,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
         )));
     }
     let kind = r.u8()?;
+    r.cfg = CodecConfig::from_byte(r.u8()?)?;
     let id = MsgId {
         worker: r.u32()?,
         epoch: r.u64()?,
@@ -254,7 +426,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, NetError> {
             id,
             params: r.f32s()?,
             loss_sum: r.f64()?,
-            batches: r.u64()?,
+            batches: r.count()?,
             ledger: r.ledger()?,
         }),
         KIND_RESP_ROUND => {
@@ -339,16 +511,18 @@ pub fn read_frame<R: Read>(
 }
 
 /// Reads `(kind, identity)` from a frame without decoding the payload —
-/// the fault layer's hook.
+/// the fault layer's hook. The codec byte is skipped, not validated, so
+/// identity-keyed fault decisions stay independent of compression mode.
 ///
 /// # Errors
 ///
 /// Returns [`NetError::Codec`] when the frame is shorter than the fixed
 /// header.
 pub fn peek_identity(frame: &[u8]) -> Result<(u8, MsgId), NetError> {
-    let mut r = Reader { buf: frame, pos: 0 };
+    let mut r = Reader::new(frame);
     let _len = r.u32()?;
     let kind = r.u8()?;
+    let _codec = r.u8()?;
     let id = MsgId {
         worker: r.u32()?,
         epoch: r.u64()?,
@@ -366,10 +540,19 @@ mod tests {
         MsgId { worker: 3, epoch: 17, round: 2, attempt: 1 }
     }
 
+    fn sample_ledger() -> FetchLedger {
+        FetchLedger {
+            structure_edges: 10,
+            structure_nodes: 4,
+            feature_elems: 96,
+            structure_wire_bytes: 52,
+            feature_wire_bytes: 384,
+        }
+    }
+
     fn all_messages() -> Vec<Message> {
         let id = sample_id();
-        let ledger =
-            FetchLedger { structure_edges: 10, structure_nodes: 4, feature_elems: 96 };
+        let ledger = sample_ledger();
         vec![
             Message::Request(Request::Epoch { id, params: vec![1.0, -2.5, f32::MIN_POSITIVE] }),
             Message::Request(Request::Round { id, params: vec![] }),
@@ -393,12 +576,112 @@ mod tests {
         ]
     }
 
+    fn all_configs() -> Vec<CodecConfig> {
+        let mut v = Vec::new();
+        for s in [StructCodec::None, StructCodec::Varint, StructCodec::Rle] {
+            for f in [FeatCodec::F32, FeatCodec::F16, FeatCodec::Int8] {
+                v.push(CodecConfig { structure: s, features: f });
+            }
+        }
+        v
+    }
+
     #[test]
     fn round_trip_every_kind() {
         for msg in all_messages() {
             let frame = encode(&msg);
             assert_eq!(decode(&frame).unwrap(), msg, "{msg:?}");
         }
+    }
+
+    #[test]
+    fn raw_frame_len_matches_default_encode() {
+        for msg in all_messages() {
+            assert_eq!(raw_frame_len(&msg), encode(&msg).len(), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn lossless_configs_round_trip_bit_exactly() {
+        for cfg in all_configs().into_iter().filter(|c| c.lossless()) {
+            for msg in all_messages() {
+                let frame = encode_with(&msg, cfg);
+                assert_eq!(decode(&frame).unwrap(), msg, "{cfg:?} {msg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_configs_round_trip_non_float_fields_exactly() {
+        for cfg in all_configs().into_iter().filter(|c| !c.lossless()) {
+            for msg in all_messages() {
+                let back = decode(&encode_with(&msg, cfg)).unwrap();
+                assert_eq!(back.id(), msg.id(), "{cfg:?}");
+                match (&msg, &back) {
+                    (
+                        Message::Response(Response::Epoch {
+                            loss_sum, batches, ledger, params, ..
+                        }),
+                        Message::Response(Response::Epoch {
+                            loss_sum: ls2,
+                            batches: b2,
+                            ledger: l2,
+                            params: p2,
+                            ..
+                        }),
+                    ) => {
+                        assert_eq!(loss_sum.to_bits(), ls2.to_bits());
+                        assert_eq!(batches, b2);
+                        assert_eq!(ledger, l2);
+                        assert_eq!(params.len(), p2.len());
+                    }
+                    (
+                        Message::Response(Response::Round { active, ledger, grads, .. }),
+                        Message::Response(Response::Round {
+                            active: a2, ledger: l2, grads: g2, ..
+                        }),
+                    ) => {
+                        assert_eq!(active, a2);
+                        assert_eq!(ledger, l2);
+                        assert_eq!(grads.len(), g2.len());
+                    }
+                    (Message::Request(Request::Epoch { params, .. }),
+                     Message::Request(Request::Epoch { params: p2, .. })) => {
+                        assert_eq!(params.len(), p2.len());
+                    }
+                    _ => assert_eq!(&msg, &back, "payload-free kinds must be exact"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_the_frames_it_claims_to() {
+        // A big, smooth parameter vector: int8 must get close to 4x on
+        // the payload; varint side-data must not grow any frame.
+        let params: Vec<f32> = (0..4096).map(|i| (i as f32) * 1e-3).collect();
+        let msg = Message::Response(Response::Epoch {
+            id: sample_id(),
+            params,
+            loss_sum: 0.5,
+            batches: 64,
+            ledger: sample_ledger(),
+        });
+        let raw = encode(&msg).len();
+        for cfg in all_configs() {
+            let wire = encode_with(&msg, cfg).len();
+            assert!(wire <= raw, "{cfg:?} grew the frame: {wire} > {raw}");
+        }
+        let int8 = encode_with(
+            &msg,
+            CodecConfig { structure: StructCodec::Varint, features: FeatCodec::Int8 },
+        )
+        .len();
+        assert!(
+            (raw as f64) / (int8 as f64) >= 3.5,
+            "int8 ratio {:.2} below 3.5",
+            (raw as f64) / (int8 as f64)
+        );
     }
 
     #[test]
@@ -417,11 +700,23 @@ mod tests {
 
     #[test]
     fn peek_matches_full_decode() {
-        for msg in all_messages() {
-            let frame = encode(&msg);
-            let (_, id) = peek_identity(&frame).unwrap();
-            assert_eq!(id, msg.id());
+        for cfg in all_configs() {
+            for msg in all_messages() {
+                let frame = encode_with(&msg, cfg);
+                let (_, id) = peek_identity(&frame).unwrap();
+                assert_eq!(id, msg.id());
+            }
         }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_codec_error() {
+        let mut frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
+        // Codec byte sits right after the kind byte.
+        frame[5] = 0x20; // version nibble 2: a future format
+        assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
+        frame[5] = 0x03; // version nibble 0: a past format
+        assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
     }
 
     #[test]
@@ -432,6 +727,22 @@ mod tests {
                 matches!(decode(&frame[..cut]), Err(NetError::Codec(_))),
                 "cut at {cut} accepted"
             );
+        }
+    }
+
+    #[test]
+    fn truncated_compressed_frames_rejected() {
+        for cfg in all_configs() {
+            let frame = encode_with(
+                &Message::Request(Request::Epoch { id: sample_id(), params: vec![0.5; 100] }),
+                cfg,
+            );
+            for cut in 0..frame.len() {
+                assert!(
+                    decode(&frame[..cut]).is_err(),
+                    "{cfg:?}: cut at {cut} accepted"
+                );
+            }
         }
     }
 
@@ -511,5 +822,31 @@ mod tests {
         let off = 4 + HEADER_LEN;
         frame[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn decoded_size_cap_applies_to_compressed_claims() {
+        // An int8 frame small enough on the wire whose element count
+        // would decode past the 64 MiB cap: rejected as FrameTooLarge
+        // before the decoded buffer is reserved. Build it by hand — a
+        // varint count of 32M elements with a (lying) short body.
+        let cfg = CodecConfig { structure: StructCodec::Varint, features: FeatCodec::Int8 };
+        let mut frame = encode_with(
+            &Message::Request(Request::Epoch { id: sample_id(), params: vec![] }),
+            cfg,
+        );
+        // Replace the empty count varint with 32M and pad a body big
+        // enough to pass the bytes-per-element screen (32M one-byte
+        // codes would need 32 MiB of body; fake it with the length
+        // prefix honest about on-wire size).
+        frame.truncate(4 + HEADER_LEN);
+        write_varint(&mut frame, 32 << 20);
+        frame.resize(4 + HEADER_LEN + 5 + (33 << 20), 0);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(
+            matches!(decode(&frame), Err(NetError::FrameTooLarge { .. })),
+            "a 33 MiB wire frame expanding past the 64 MiB decoded cap must be rejected"
+        );
     }
 }

@@ -35,6 +35,7 @@
 
 use std::time::Duration;
 
+use crate::compress::{CodecConfig, FeatCodec};
 use crate::message::{Message, MsgId, Request, Response};
 use crate::transport::{Transport, WireStats};
 use crate::NetError;
@@ -54,33 +55,60 @@ pub struct ConformancePair {
 
 /// A valid encoded request frame, parameterized for distinguishability.
 pub fn request_frame(epoch: u64, params: usize) -> Vec<u8> {
-    Message::Request(Request::Epoch {
-        id: MsgId { worker: 0, epoch, round: 0, attempt: 0 },
-        params: (0..params).map(|i| i as f32 * 0.5 - epoch as f32).collect(),
-    })
-    .encode()
+    request_frame_with(epoch, params, CodecConfig::default())
+}
+
+/// [`request_frame`] under an explicit codec pair.
+pub fn request_frame_with(epoch: u64, params: usize, cfg: CodecConfig) -> Vec<u8> {
+    crate::codec::encode_with(
+        &Message::Request(Request::Epoch {
+            id: MsgId { worker: 0, epoch, round: 0, attempt: 0 },
+            params: (0..params).map(|i| i as f32 * 0.5 - epoch as f32).collect(),
+        }),
+        cfg,
+    )
 }
 
 /// A valid encoded response frame (the reverse direction of the
 /// protocol), parameterized for distinguishability.
 pub fn response_frame(epoch: u64) -> Vec<u8> {
-    Message::Response(Response::Epoch {
-        id: MsgId { worker: 1, epoch, round: 0, attempt: 0 },
-        params: vec![epoch as f32; 3],
-        loss_sum: epoch as f64 * 0.25,
-        batches: epoch + 1,
-        ledger: crate::message::FetchLedger::default(),
-    })
-    .encode()
+    response_frame_with(epoch, CodecConfig::default())
+}
+
+/// [`response_frame`] under an explicit codec pair.
+pub fn response_frame_with(epoch: u64, cfg: CodecConfig) -> Vec<u8> {
+    crate::codec::encode_with(
+        &Message::Response(Response::Epoch {
+            id: MsgId { worker: 1, epoch, round: 0, attempt: 0 },
+            params: vec![epoch as f32; 3],
+            loss_sum: epoch as f64 * 0.25,
+            batches: epoch + 1,
+            ledger: crate::message::FetchLedger::default(),
+        }),
+        cfg,
+    )
 }
 
 /// A valid encoded frame whose body exceeds `max_frame_len`.
 pub fn oversized_frame(max_frame_len: usize) -> Vec<u8> {
-    // 4 bytes per f32 parameter: max/4 + header comfortably overshoots.
-    let frame = request_frame(0, max_frame_len / 4 + 16);
+    oversized_frame_with(max_frame_len, CodecConfig::default())
+}
+
+/// [`oversized_frame`] under an explicit codec pair: the element count
+/// scales with the codec's bytes-per-element so the *encoded* body still
+/// overshoots the cap — the transport cap and the decoder's decoded-size
+/// cap reject the same fixture in every mode.
+pub fn oversized_frame_with(max_frame_len: usize, cfg: CodecConfig) -> Vec<u8> {
+    let params = match cfg.features {
+        FeatCodec::F32 => max_frame_len / 4 + 16,
+        FeatCodec::F16 => max_frame_len / 2 + 16,
+        // ~1.125 wire bytes per element (codes + per-block headers).
+        FeatCodec::Int8 => max_frame_len + 128,
+    };
+    let frame = request_frame_with(0, params, cfg);
     assert!(
         frame.len() - 4 > max_frame_len,
-        "fixture cap {max_frame_len} too large to overshoot"
+        "fixture cap {max_frame_len} too large to overshoot under {cfg:?}"
     );
     frame
 }
@@ -96,52 +124,59 @@ const CLOSE_ATTEMPTS: usize = 500;
 /// (fresh stats included) on every call. Panics with a description of
 /// the violated check — designed to run inside `#[test]` bodies.
 pub fn run_conformance(make: &mut dyn FnMut() -> ConformancePair) {
-    check_ordering(make());
-    check_timeout_expiry(make());
-    check_stats_accounting(make());
-    check_oversized_rejection(make());
-    check_drain_then_close(make());
-    check_recv_after_peer_drop(make());
-    check_send_after_peer_drop(make());
+    run_conformance_with(make, CodecConfig::default());
 }
 
-fn check_ordering(mut pair: ConformancePair) {
+/// Runs the full battery with every fixture frame encoded under `cfg` —
+/// the compression-enabled pass: compressed frames must honour the same
+/// ordering, rejection and close semantics as raw ones.
+pub fn run_conformance_with(make: &mut dyn FnMut() -> ConformancePair, cfg: CodecConfig) {
+    check_ordering(make(), cfg);
+    check_timeout_expiry(make(), cfg);
+    check_stats_accounting(make(), cfg);
+    check_oversized_rejection(make(), cfg);
+    check_drain_then_close(make(), cfg);
+    check_recv_after_peer_drop(make());
+    check_send_after_peer_drop(make(), cfg);
+}
+
+fn check_ordering(mut pair: ConformancePair, cfg: CodecConfig) {
     for e in 0..16 {
-        pair.a.send(request_frame(e, 8)).expect("ordering: send a→b");
+        pair.a.send(request_frame_with(e, 8, cfg)).expect("ordering: send a→b");
     }
     for e in 0..16 {
         let got = pair.b.recv().expect("ordering: recv on b");
-        assert_eq!(got, request_frame(e, 8), "ordering: frame {e} out of order on b");
+        assert_eq!(got, request_frame_with(e, 8, cfg), "ordering: frame {e} out of order on b");
     }
     for e in 0..16 {
-        pair.b.send(response_frame(e)).expect("ordering: send b→a");
+        pair.b.send(response_frame_with(e, cfg)).expect("ordering: send b→a");
     }
     for e in 0..16 {
         let got = pair.a.recv().expect("ordering: recv on a");
-        assert_eq!(got, response_frame(e), "ordering: frame {e} out of order on a");
+        assert_eq!(got, response_frame_with(e, cfg), "ordering: frame {e} out of order on a");
     }
 }
 
-fn check_timeout_expiry(mut pair: ConformancePair) {
+fn check_timeout_expiry(mut pair: ConformancePair, cfg: CodecConfig) {
     let quiet = pair
         .b
         .recv_timeout(Duration::from_millis(10))
         .expect("timeout: quiet window errored");
     assert_eq!(quiet, None, "timeout: quiet window produced a frame");
-    pair.a.send(request_frame(1, 4)).expect("timeout: send");
+    pair.a.send(request_frame_with(1, 4, cfg)).expect("timeout: send");
     let got = pair
         .b
         .recv_timeout(DELIVERY_WINDOW)
         .expect("timeout: pending recv errored")
         .expect("timeout: pending frame not delivered within the window");
-    assert_eq!(got, request_frame(1, 4));
+    assert_eq!(got, request_frame_with(1, 4, cfg));
 }
 
-fn check_stats_accounting(mut pair: ConformancePair) {
+fn check_stats_accounting(mut pair: ConformancePair, cfg: CodecConfig) {
     let before = pair.stats.snapshot();
     let mut sent_bytes = 0u64;
     for e in 0..8 {
-        let frame = request_frame(e, e as usize + 1);
+        let frame = request_frame_with(e, e as usize + 1, cfg);
         sent_bytes += frame.len() as u64;
         pair.a.send(frame).expect("stats: send");
     }
@@ -154,11 +189,11 @@ fn check_stats_accounting(mut pair: ConformancePair) {
     assert_eq!(after.dropped, before.dropped, "stats: phantom drops");
 }
 
-fn check_oversized_rejection(mut pair: ConformancePair) {
+fn check_oversized_rejection(mut pair: ConformancePair, cfg: CodecConfig) {
     let before = pair.stats.snapshot();
     let err = pair
         .a
-        .send(oversized_frame(pair.max_frame_len))
+        .send(oversized_frame_with(pair.max_frame_len, cfg))
         .expect_err("oversize: frame over the cap was accepted");
     assert!(
         matches!(err, NetError::FrameTooLarge { .. }),
@@ -173,20 +208,20 @@ fn check_oversized_rejection(mut pair: ConformancePair) {
         .expect("oversize: peer probe errored");
     assert_eq!(leaked, None, "oversize: rejected frame reached the peer");
     // The lane must still work afterwards.
-    pair.a.send(request_frame(2, 4)).expect("oversize: lane dead after rejection");
+    pair.a.send(request_frame_with(2, 4, cfg)).expect("oversize: lane dead after rejection");
     let got = pair
         .b
         .recv_timeout(DELIVERY_WINDOW)
         .expect("oversize: follow-up recv errored")
         .expect("oversize: follow-up frame not delivered");
-    assert_eq!(got, request_frame(2, 4));
+    assert_eq!(got, request_frame_with(2, 4, cfg));
 }
 
-fn check_drain_then_close(mut pair: ConformancePair) {
-    pair.a.send(request_frame(3, 16)).expect("drain: send");
+fn check_drain_then_close(mut pair: ConformancePair, cfg: CodecConfig) {
+    pair.a.send(request_frame_with(3, 16, cfg)).expect("drain: send");
     drop(pair.a);
     let got = pair.b.recv().expect("drain: queued frame lost when the sender dropped");
-    assert_eq!(got, request_frame(3, 16), "drain: queued frame corrupted");
+    assert_eq!(got, request_frame_with(3, 16, cfg), "drain: queued frame corrupted");
     assert_eq!(
         pair.b.recv().expect_err("drain: recv after drain must fail"),
         NetError::Closed,
@@ -210,10 +245,10 @@ fn check_recv_after_peer_drop(mut pair: ConformancePair) {
     );
 }
 
-fn check_send_after_peer_drop(mut pair: ConformancePair) {
+fn check_send_after_peer_drop(mut pair: ConformancePair, cfg: CodecConfig) {
     drop(pair.b);
     for attempt in 0..CLOSE_ATTEMPTS {
-        match pair.a.send(request_frame(attempt as u64, 4)) {
+        match pair.a.send(request_frame_with(attempt as u64, 4, cfg)) {
             Ok(()) => std::thread::sleep(Duration::from_millis(2)),
             Err(NetError::Closed) => return,
             Err(e) => panic!("send-after-drop: wrong error {e}"),

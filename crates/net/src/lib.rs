@@ -13,6 +13,10 @@
 //! * [`codec`] — the in-tree wire format (little-endian, length-prefixed
 //!   frames with a fixed identity header, no external serialization
 //!   dependency);
+//! * [`compress`] — the per-connection compression/quantization layer
+//!   ([`CodecConfig`]): delta+varint/RLE packing for structure payloads,
+//!   f16/int8 row quantization for feature payloads, self-described by a
+//!   versioned codec byte in every frame;
 //! * [`Transport`] — one directed lane moving encoded frames, implemented
 //!   over bounded [`std::sync::mpsc`] channels by [`ChannelTransport`];
 //! * [`FaultyTransport`] — a decorator injecting *deterministic* drop,
@@ -35,6 +39,7 @@
 
 pub mod codec;
 mod cluster;
+pub mod compress;
 pub mod conformance;
 mod fault;
 mod message;
@@ -43,10 +48,11 @@ mod tcp;
 mod transport;
 
 pub use cluster::{build_cluster, run_cluster, ClusterConfig, MasterHub, WorkerPort};
+pub use compress::{CodecConfig, FeatCodec, StructCodec};
 pub use fault::{FaultPlan, FaultyTransport, RetryPolicy};
 pub use message::{FetchLedger, Message, MsgId, Request, Response};
 pub use tcp::{TcpConfig, TcpTransport};
-pub use transport::{ChannelTransport, Transport, WireSnapshot, WireStats};
+pub use transport::{ChannelTransport, KindStat, Transport, WireSnapshot, WireStats};
 
 /// Errors surfaced by the wire layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -44,6 +44,12 @@ pub struct FetchLedger {
     pub structure_nodes: u64,
     /// Feature elements (`f32` scalars) pulled from the master's store.
     pub feature_elems: u64,
+    /// On-wire bytes those structure fetches cost under the negotiated
+    /// codec (equals the raw byte model when compression is off).
+    pub structure_wire_bytes: u64,
+    /// On-wire bytes the feature fetches cost under the negotiated
+    /// codec (equals the raw byte model when compression is off).
+    pub feature_wire_bytes: u64,
 }
 
 impl FetchLedger {
@@ -52,6 +58,8 @@ impl FetchLedger {
         self.structure_edges += other.structure_edges;
         self.structure_nodes += other.structure_nodes;
         self.feature_elems += other.feature_elems;
+        self.structure_wire_bytes += other.structure_wire_bytes;
+        self.feature_wire_bytes += other.feature_wire_bytes;
     }
 
     /// Element-wise difference `self - base` (saturating).
@@ -60,6 +68,10 @@ impl FetchLedger {
             structure_edges: self.structure_edges.saturating_sub(base.structure_edges),
             structure_nodes: self.structure_nodes.saturating_sub(base.structure_nodes),
             feature_elems: self.feature_elems.saturating_sub(base.feature_elems),
+            structure_wire_bytes: self
+                .structure_wire_bytes
+                .saturating_sub(base.structure_wire_bytes),
+            feature_wire_bytes: self.feature_wire_bytes.saturating_sub(base.feature_wire_bytes),
         }
     }
 }

@@ -73,6 +73,12 @@ pub struct ProcessSpec {
     /// the exact-name filter that routes the child into the worker
     /// entry test.
     pub child_args: Vec<String>,
+    /// Wire compression / quantization pair the master encodes under.
+    /// Workers negotiate theirs via [`WorkerPort::with_codec`] in the
+    /// child entry (frames self-describe, so mixed pairs still decode).
+    ///
+    /// [`WorkerPort::with_codec`]: crate::WorkerPort::with_codec
+    pub codec: crate::compress::CodecConfig,
 }
 
 /// Handle on the spawned worker processes: kills whatever is still
@@ -227,7 +233,7 @@ pub fn spawn_cluster(spec: &ProcessSpec) -> Result<(MasterHub, ProcessChildren),
     drop(inbox_tx);
 
     let inbox = TcpInbox { rx: inbox_rx, readers, controls };
-    let hub = MasterHub::from_parts(to_workers, Box::new(inbox), stats);
+    let hub = MasterHub::from_parts(to_workers, Box::new(inbox), stats).with_codec(spec.codec);
     Ok((hub, children))
 }
 

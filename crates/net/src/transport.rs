@@ -73,6 +73,21 @@ struct StatCounters {
     duplicated: AtomicU64,
     delayed: AtomicU64,
     retries: AtomicU64,
+    kind_count: [AtomicU64; crate::codec::NUM_KINDS],
+    kind_raw: [AtomicU64; crate::codec::NUM_KINDS],
+    kind_wire: [AtomicU64; crate::codec::NUM_KINDS],
+}
+
+/// Per-message-kind raw-vs-wire accounting — one histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStat {
+    /// Frames of this kind recorded.
+    pub count: u64,
+    /// Bytes those frames would occupy under the raw (uncompressed)
+    /// codec, length prefixes included.
+    pub raw_bytes: u64,
+    /// Bytes the frames actually occupied on the wire.
+    pub wire_bytes: u64,
 }
 
 /// Point-in-time copy of [`WireStats`].
@@ -90,6 +105,23 @@ pub struct WireSnapshot {
     pub delayed: u64,
     /// Retransmission rounds the master performed.
     pub retries: u64,
+    /// Raw-vs-wire byte histogram indexed by message kind (slot 0
+    /// unused; see [`crate::codec::kind_name`]). Recorded once per
+    /// protocol message on the master side, so duplicates injected by
+    /// the fault layer do not inflate it.
+    pub kinds: [KindStat; crate::codec::NUM_KINDS],
+}
+
+impl WireSnapshot {
+    /// Sum of raw bytes across kinds.
+    pub fn raw_kind_bytes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.raw_bytes).sum()
+    }
+
+    /// Sum of on-wire bytes across kinds.
+    pub fn wire_kind_bytes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.wire_bytes).sum()
+    }
 }
 
 impl WireStats {
@@ -124,8 +156,24 @@ impl WireStats {
         self.inner.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one protocol message of `kind` into the raw-vs-wire
+    /// histogram. Unknown kind bytes land in slot 0.
+    pub fn record_kind(&self, kind: u8, raw_bytes: u64, wire_bytes: u64) {
+        let slot = usize::from(kind);
+        let slot = if slot < crate::codec::NUM_KINDS { slot } else { 0 };
+        self.inner.kind_count[slot].fetch_add(1, Ordering::Relaxed);
+        self.inner.kind_raw[slot].fetch_add(raw_bytes, Ordering::Relaxed);
+        self.inner.kind_wire[slot].fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
     /// Reads all counters at once.
     pub fn snapshot(&self) -> WireSnapshot {
+        let mut kinds = [KindStat::default(); crate::codec::NUM_KINDS];
+        for (slot, k) in kinds.iter_mut().enumerate() {
+            k.count = self.inner.kind_count[slot].load(Ordering::Relaxed);
+            k.raw_bytes = self.inner.kind_raw[slot].load(Ordering::Relaxed);
+            k.wire_bytes = self.inner.kind_wire[slot].load(Ordering::Relaxed);
+        }
         WireSnapshot {
             messages: self.inner.messages.load(Ordering::Relaxed),
             bytes: self.inner.bytes.load(Ordering::Relaxed),
@@ -133,6 +181,7 @@ impl WireStats {
             duplicated: self.inner.duplicated.load(Ordering::Relaxed),
             delayed: self.inner.delayed.load(Ordering::Relaxed),
             retries: self.inner.retries.load(Ordering::Relaxed),
+            kinds,
         }
     }
 }

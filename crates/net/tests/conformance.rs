@@ -2,8 +2,11 @@
 //! crate from one shared body — the documented bar for adding a fourth:
 //! build a fresh-pair fixture and call `run_conformance`.
 
-use splpg_net::conformance::{run_conformance, ConformancePair};
-use splpg_net::{ChannelTransport, FaultPlan, FaultyTransport, TcpConfig, TcpTransport, WireStats};
+use splpg_net::conformance::{run_conformance, run_conformance_with, ConformancePair};
+use splpg_net::{
+    ChannelTransport, CodecConfig, FaultPlan, FaultyTransport, FeatCodec, StructCodec, TcpConfig,
+    TcpTransport, WireStats,
+};
 
 /// Small enough that the battery can build an oversized frame cheaply,
 /// large enough for every well-formed fixture frame.
@@ -51,6 +54,54 @@ fn faulty_transport_with_inactive_plan_conforms() {
 #[test]
 fn tcp_transport_conforms() {
     run_conformance(&mut tcp_pair);
+}
+
+/// The codec pairs the compression-enabled passes run under: the two
+/// structure codecs crossed with each quantization mode.
+fn compressed_configs() -> Vec<CodecConfig> {
+    vec![
+        CodecConfig { structure: StructCodec::Varint, features: FeatCodec::F32 },
+        CodecConfig { structure: StructCodec::Rle, features: FeatCodec::F16 },
+        CodecConfig { structure: StructCodec::Varint, features: FeatCodec::Int8 },
+    ]
+}
+
+#[test]
+fn channel_transport_conforms_with_compression() {
+    for cfg in compressed_configs() {
+        run_conformance_with(&mut channel_pair, cfg);
+    }
+}
+
+#[test]
+fn faulty_transport_conforms_with_compression() {
+    for cfg in compressed_configs() {
+        run_conformance_with(
+            &mut || {
+                let inner = channel_pair();
+                let plan = FaultPlan::default();
+                ConformancePair {
+                    a: Box::new(FaultyTransport::new(
+                        inner.a,
+                        plan.clone(),
+                        0,
+                        inner.stats.clone(),
+                    )),
+                    b: Box::new(FaultyTransport::new(inner.b, plan, 1, inner.stats.clone())),
+                    stats: inner.stats,
+                    max_frame_len: inner.max_frame_len,
+                }
+            },
+            cfg,
+        );
+    }
+}
+
+#[test]
+fn tcp_transport_conforms_with_compression() {
+    for cfg in compressed_configs() {
+        run_conformance_with(&mut tcp_pair, cfg);
+    }
 }
 
 #[test]

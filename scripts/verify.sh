@@ -56,6 +56,15 @@ echo "== sparsify bench smoke (solver engine gate) =="
 # drift > 1e-6 from the per-edge reference.
 SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin sparsify_bench
 
+echo "== wire compression ablation (codec gate) =="
+# Exits nonzero unless on-wire bytes <= raw bytes in every codec mode,
+# the uncompressed mode prices wire bytes identically to the raw ledger
+# model (bit-compatible with pre-compression numbers), varint structure
+# packing reaches >= 2x, int8 feature quantization reaches >= 3.5x, and
+# every cluster run's communication report matches its sequential
+# reference. SPLPG_BENCH_MS=5 keeps it to the in-process rows.
+SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin wire_compress
+
 if [ "${SPLPG_BENCH_ASSERT:-0}" = "1" ]; then
     echo "== kernel bench speedup assertion =="
     # Fails if multi-threaded matmul/sampling lose to scalar, or the

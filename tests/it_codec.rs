@@ -4,7 +4,12 @@
 //! and never allocate on the say-so of an unvalidated length field.
 
 use splpg_net::codec::{self, DEFAULT_MAX_FRAME_LEN};
-use splpg_net::{FetchLedger, Message, MsgId, NetError, Request, Response};
+use splpg_net::compress::{
+    decode_ids, encode_ids, encoded_ids_len, f16_to_f32, f32_to_f16, int8_round_trip,
+};
+use splpg_net::{
+    CodecConfig, FeatCodec, FetchLedger, Message, MsgId, NetError, Request, Response, StructCodec,
+};
 use splpg_rng::rngs::StdRng;
 use splpg_rng::{Rng, SeedableRng};
 
@@ -27,7 +32,20 @@ fn random_ledger(rng: &mut StdRng) -> FetchLedger {
         structure_edges: rng.gen_range(0..10_000),
         structure_nodes: rng.gen_range(0..10_000),
         feature_elems: rng.gen_range(0..100_000),
+        structure_wire_bytes: rng.gen_range(0..1_000_000),
+        feature_wire_bytes: rng.gen_range(0..1_000_000),
     }
+}
+
+/// Every codec configuration the wire can negotiate.
+fn all_configs() -> Vec<CodecConfig> {
+    let mut out = Vec::new();
+    for structure in [StructCodec::None, StructCodec::Varint, StructCodec::Rle] {
+        for features in [FeatCodec::F32, FeatCodec::F16, FeatCodec::Int8] {
+            out.push(CodecConfig { structure, features });
+        }
+    }
+    out
 }
 
 /// One random message of any protocol kind.
@@ -187,4 +205,157 @@ fn streamed_frames_round_trip_through_read_frame() {
         codec::read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).expect("eof read failed").is_none(),
         "clean EOF at a frame boundary must be Ok(None)"
     );
+}
+
+#[test]
+fn varint_and_rle_id_streams_round_trip_over_random_payloads() {
+    // Sorted, clustered, and adversarially random id streams all survive
+    // both structure codecs bit-exactly — compression is lossless.
+    let mut rng = StdRng::seed_from_u64(0x51DE);
+    for _ in 0..200 {
+        let n = rng.gen_range(0..256usize);
+        let mut ids: Vec<u64> = match rng.gen_range(0..3u32) {
+            // Consecutive runs: RLE's best case.
+            0 => {
+                let start = rng.gen_range(0..1_000_000u64);
+                (start..start + n as u64).collect()
+            }
+            // Sorted sparse ids: varint-delta's case.
+            1 => {
+                let mut v: Vec<u64> =
+                    (0..n).map(|_| rng.gen_range(0..10_000_000u64)).collect();
+                v.sort_unstable();
+                v
+            }
+            // Unsorted, full-range ids: zigzag deltas must still work.
+            _ => (0..n).map(|_| rng.gen()).collect(),
+        };
+        if rng.gen_range(0..4u32) == 0 {
+            ids.clear();
+        }
+        for codec in [StructCodec::None, StructCodec::Varint, StructCodec::Rle] {
+            let mut buf = Vec::new();
+            encode_ids(&ids, codec, &mut buf);
+            assert_eq!(buf.len(), encoded_ids_len(&ids, codec), "{codec:?} length model");
+            let mut pos = 0;
+            let back =
+                decode_ids(&buf, &mut pos, codec).expect("valid id stream must decode");
+            assert_eq!(pos, buf.len(), "{codec:?} trailing bytes");
+            assert_eq!(back, ids, "{codec:?} round trip changed the ids");
+        }
+    }
+}
+
+#[test]
+fn f16_and_int8_round_trips_are_idempotent_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF16);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..128usize);
+        let row: Vec<f32> = (0..n).map(|_| rng.gen_range(-1000.0f32..1000.0)).collect();
+
+        // f16: one round trip reaches a fixed point and each value lands
+        // within half-precision relative tolerance.
+        let mut f16_row = row.clone();
+        for v in f16_row.iter_mut() {
+            *v = f16_to_f32(f32_to_f16(*v));
+        }
+        for (orig, q) in row.iter().zip(&f16_row) {
+            assert!((orig - q).abs() <= orig.abs() * 1e-3 + 1e-6, "f16: {orig} -> {q}");
+            assert_eq!(f16_to_f32(f32_to_f16(*q)).to_bits(), q.to_bits(), "f16 fixed point");
+        }
+
+        // int8: row-quantized error is bounded by half a step of the
+        // row's range, and re-quantizing is a no-op.
+        let mut int8_row = row.clone();
+        int8_round_trip(&mut int8_row);
+        let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let step = (max - min) / 255.0;
+        for (orig, q) in row.iter().zip(&int8_row) {
+            assert!(
+                (orig - q).abs() <= step * 0.51 + 1e-4,
+                "int8: {orig} -> {q} outside half-step {step}"
+            );
+        }
+        let mut again = int8_row.clone();
+        int8_round_trip(&mut again);
+        for (a, b) in int8_row.iter().zip(&again) {
+            assert_eq!(a.to_bits(), b.to_bits(), "int8 round trip must be idempotent");
+        }
+    }
+}
+
+#[test]
+fn compressed_frames_round_trip_under_every_config() {
+    let mut rng = StdRng::seed_from_u64(0xAB1E);
+    for cfg in all_configs() {
+        for _ in 0..100 {
+            let msg = random_message(&mut rng);
+            let frame = codec::encode_with(&msg, cfg);
+            let back = codec::decode(&frame).expect("valid compressed frame must decode");
+            if cfg.lossless() {
+                assert_eq!(back, msg, "lossless config {cfg:?} changed the message");
+            } else {
+                // Quantized floats may differ; identity must not.
+                assert_eq!(back.id(), msg.id(), "quantized config {cfg:?} changed identity");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_compressed_frames_are_typed_errors_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x7C);
+    for cfg in all_configs() {
+        for _ in 0..10 {
+            let frame = codec::encode_with(&random_message(&mut rng), cfg);
+            for cut in 0..frame.len() {
+                assert!(
+                    codec::decode(&frame[..cut]).is_err(),
+                    "{cfg:?}: decode accepted a frame truncated to {cut}/{}",
+                    frame.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_compressed_frames_never_panic_or_over_allocate() {
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    for cfg in all_configs() {
+        for _ in 0..60 {
+            let mut frame = codec::encode_with(&random_message(&mut rng), cfg);
+            for _ in 0..rng.gen_range(1..4usize) {
+                let pos = rng.gen_range(0..frame.len());
+                frame[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            match codec::decode(&frame) {
+                // A surviving flip must still describe a coherent message.
+                Ok(msg) => {
+                    let _ = msg.id();
+                }
+                Err(
+                    NetError::Codec(_) | NetError::FrameTooLarge { .. } | NetError::Io(_),
+                ) => {}
+                Err(other) => panic!("unexpected error class: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn version_mismatch_is_a_typed_codec_error() {
+    let mut rng = StdRng::seed_from_u64(0x7E01);
+    for cfg in all_configs() {
+        let mut frame = codec::encode_with(&random_message(&mut rng), cfg);
+        // Byte 5 is the codec byte; its high nibble is the format version.
+        frame[5] = (frame[5] & 0x0f) | 0x20;
+        match codec::decode(&frame) {
+            Err(NetError::Codec(msg)) => {
+                assert!(msg.contains("version"), "error should name the version: {msg}")
+            }
+            other => panic!("future-version frame must be a Codec error, got {other:?}"),
+        }
+    }
 }

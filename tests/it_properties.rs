@@ -184,6 +184,8 @@ fn arbitrary_messages(seed: u64, payload_len: usize) -> Vec<Message> {
         structure_edges: seed % 911,
         structure_nodes: seed % 677,
         feature_elems: seed % 4096,
+        structure_wire_bytes: seed % 8192,
+        feature_wire_bytes: seed % 16384,
     };
     vec![
         Message::Request(Request::Epoch { id: id(), params: floats(payload_len) }),
