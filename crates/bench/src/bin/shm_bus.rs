@@ -1,0 +1,254 @@
+//! Shared-memory feature bus ablation: local-bus vs wire feature traffic
+//! for co-located workers, reconciled against the `CommTracker` meters.
+//! Writes `BENCH_shm.json` to the repo root.
+//!
+//! Four rows train the same 2-worker SpLPG cluster:
+//!
+//! 1. `wire` — the TCP-era baseline: every remote feature row crosses
+//!    the (in-process) wire and is priced on the raw/wire planes;
+//! 2. `bus` — co-located workers read remote rows zero-copy out of the
+//!    master-published segment; the rows move to the local-bus plane;
+//! 3. `bus/torn` — the segment is deliberately corrupted before attach:
+//!    checksum validation fails, the run falls back to the wire path and
+//!    records a typed fault in `NetReport`;
+//! 4. `bus/tcp` — the bus across real worker processes on loopback TCP,
+//!    segment name advertised through the `SPLPG_PROC_*` env handoff.
+//!
+//! Gates: the bus row ships ≥10x fewer feature wire bytes than the
+//! baseline while moving the identical row volume over the bus plane,
+//! every run is bit-identical to the baseline, and the ledger-carried
+//! bus bytes reconcile exactly with the `CommTracker` meters.
+//!
+//! ```sh
+//! cargo run -p splpg-bench --bin shm_bus --release
+//! ```
+//!
+//! `SPLPG_BENCH_MS=5` (or lower) skips the multi-process TCP row for
+//! smoke runs. Hosts without usable POSIX shared memory skip the bus
+//! rows entirely (clean SKIP, exit 0).
+
+use std::fmt::Write as _;
+
+use splpg::net::shm::shm_available;
+use splpg::prelude::*;
+
+struct Row {
+    label: &'static str,
+    transport: &'static str,
+    feature_raw: u64,
+    feature_wire: u64,
+    feature_bus: u64,
+    structure_wire: u64,
+    test_hits: f64,
+    fault: Option<String>,
+}
+
+impl Row {
+    fn of(label: &'static str, transport: &'static str, out: &DistOutcome) -> Row {
+        Row {
+            label,
+            transport,
+            feature_raw: out.comm.total_feature_bytes,
+            feature_wire: out.comm.total_feature_wire_bytes,
+            feature_bus: out.comm.total_feature_bus_bytes,
+            structure_wire: out.comm.total_structure_wire_bytes,
+            test_hits: out.test_hits,
+            fault: out.net.shm_fault.clone(),
+        }
+    }
+}
+
+fn builder(bus: ShmBusMode) -> SpLpg {
+    let mut b = SpLpg::builder();
+    b.workers(2)
+        .strategy(Strategy::SpLpg)
+        .sync(SyncMethod::ModelAveraging)
+        .epochs(2)
+        .hidden(8)
+        .layers(2)
+        .fanouts(vec![Some(5), Some(5)])
+        .hits_k(10)
+        .seed(17)
+        .feature_bus(bus);
+    b.build()
+}
+
+/// 64-dimensional features so the feature plane dominates the structure
+/// plane, as on the paper's datasets.
+fn dataset() -> Result<Dataset, String> {
+    DatasetSpec::citeseer().generate(Scale::new(0.05, 64), 3).map_err(|e| e.to_string())
+}
+
+/// Parses the bus mode a spawned TCP worker child must run from the
+/// `child_args` the master passed through (`--bus=on`).
+fn bus_from_args() -> ShmBusMode {
+    for arg in std::env::args() {
+        if arg == "--bus=on" {
+            return ShmBusMode::On;
+        }
+    }
+    ShmBusMode::Off
+}
+
+/// The two accounting paths — transport-carried fetch ledgers and the
+/// worker-side `CommTracker` meters — must tell one story on both the
+/// wire planes and the bus plane.
+fn reconcile(label: &str, out: &DistOutcome) {
+    assert_eq!(
+        out.net.data_bytes,
+        out.comm.total_bytes(),
+        "{label}: wire ledgers disagree with the CommTracker meters"
+    );
+    assert_eq!(
+        out.net.data_bus_bytes, out.comm.total_feature_bus_bytes,
+        "{label}: ledger-carried bus bytes disagree with the CommTracker bus meters"
+    );
+}
+
+fn run_mode(data: &Dataset, label: &'static str, bus: ShmBusMode) -> Result<Row, Box<dyn std::error::Error>> {
+    let out = builder(bus).run(ModelKind::GraphSage, data)?;
+    reconcile(label, &out);
+    Ok(Row::of(label, "channel", &out))
+}
+
+fn gate(base: &Row, bus: &Row, torn: &Row) {
+    // Fault-free bus run: no fault, bit-identical arithmetic, and the
+    // baseline's entire feature volume moved off the wire onto the bus.
+    assert!(bus.fault.is_none(), "bus: unexpected fault {:?}", bus.fault);
+    assert_eq!(bus.test_hits.to_bits(), base.test_hits.to_bits(), "bus: arithmetic changed");
+    assert_eq!(bus.feature_bus, base.feature_raw, "bus: row volume changed planes unevenly");
+    assert!(base.feature_wire > 0, "baseline moved no features");
+    assert!(
+        bus.feature_wire * 10 <= base.feature_wire,
+        "bus feature wire bytes {} not >=10x below baseline {}",
+        bus.feature_wire,
+        base.feature_wire
+    );
+    // Structure still crosses the wire identically.
+    assert_eq!(bus.structure_wire, base.structure_wire, "bus: structure plane changed");
+    // Torn segment: typed fault, graceful wire fallback, same bits.
+    let fault = torn.fault.as_deref().expect("torn: no fault recorded");
+    assert!(fault.contains("checksum"), "torn: unexpected fault {fault}");
+    assert_eq!(torn.test_hits.to_bits(), base.test_hits.to_bits(), "torn: arithmetic changed");
+    assert_eq!(torn.feature_bus, 0, "torn: bytes metered on a dead bus");
+    assert_eq!(torn.feature_wire, base.feature_wire, "torn: fallback missed the wire path");
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let fault = r.fault.as_deref().unwrap_or("");
+        let _ = writeln!(
+            out,
+            "  {{\"mode\": \"{}\", \"transport\": \"{}\", \"feature_raw\": {}, \
+             \"feature_wire\": {}, \"feature_bus\": {}, \"structure_wire\": {}, \
+             \"test_hits\": {:.4}, \"fault\": \"{}\"}}{comma}",
+            r.label, r.transport, r.feature_raw, r.feature_wire, r.feature_bus,
+            r.structure_wire, r.test_hits, fault,
+        );
+    }
+    out.push_str("]\n");
+    let path = repo_root().join("BENCH_shm.json");
+    std::fs::write(&path, out).expect("write BENCH_shm.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn repo_root() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../.."),
+        Err(_) => std::path::PathBuf::from("."),
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("SPLPG_BENCH_MS").ok().and_then(|v| v.parse::<u64>().ok()).is_some_and(|ms| ms <= 5)
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12} {:>8.4} {}",
+        r.label,
+        r.transport,
+        r.feature_wire,
+        r.feature_bus,
+        r.structure_wire,
+        r.test_hits,
+        r.fault.as_deref().map_or(String::new(), |f| format!("fault: {f}")),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Spawned worker child of the bus/tcp row? Serve under the bus mode
+    // the master handed us via child_args, then exit.
+    let served = tcp_worker_entry(|workers| {
+        let data = dataset().map_err(splpg::dist::DistError::Process)?;
+        let s = builder(bus_from_args());
+        let trainer = DistTrainer::new(
+            DistConfig { num_workers: workers, ..s.dist_config().clone() },
+            s.train_config().clone(),
+        );
+        Ok((trainer, ModelKind::GraphSage, data))
+    })?;
+    if served {
+        return Ok(());
+    }
+
+    if !shm_available() {
+        println!("{:>10} SKIP: no usable POSIX shared memory on this host", "shm_bus");
+        return Ok(());
+    }
+
+    let data = dataset()?;
+    println!(
+        "dataset: {} ({} nodes, {} edges, dim {}); 2 workers, 2 epochs, GraphSage\n",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        data.features.dim()
+    );
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "mode", "via", "feat wire B", "feat bus B", "struct wire", "hits@10"
+    );
+
+    let base = run_mode(&data, "wire", ShmBusMode::Off)?;
+    let bus = run_mode(&data, "bus", ShmBusMode::On)?;
+    let torn = run_mode(&data, "bus/torn", ShmBusMode::CorruptForTest)?;
+    for r in [&base, &bus, &torn] {
+        print_row(r);
+    }
+    gate(&base, &bus, &torn);
+    let mut rows = vec![base, bus, torn];
+
+    // The bus across real worker processes on loopback TCP: each child
+    // attaches the segment the master advertised through the
+    // SPLPG_PROC_SHM env handoff and must reproduce the in-process bus
+    // run's meters and bits exactly.
+    if !smoke() && std::net::TcpListener::bind(("127.0.0.1", 0)).is_ok() {
+        let s = builder(ShmBusMode::On);
+        let trainer = DistTrainer::new(s.dist_config().clone(), s.train_config().clone());
+        let out =
+            trainer.run_multiprocess(ModelKind::GraphSage, &data, &["--bus=on".to_string()])?;
+        reconcile("bus/tcp", &out);
+        let row = Row::of("bus/tcp", "tcp", &out);
+        let channel = &rows[1];
+        assert!(row.fault.is_none(), "bus/tcp: unexpected fault {:?}", row.fault);
+        assert_eq!(row.test_hits.to_bits(), channel.test_hits.to_bits());
+        assert_eq!(row.feature_bus, channel.feature_bus);
+        assert_eq!(row.feature_wire, channel.feature_wire);
+        print_row(&row);
+        rows.push(row);
+    } else {
+        println!("{:>10} SKIP: smoke run or loopback sockets unavailable", "bus/tcp");
+    }
+
+    write_json(&rows);
+    println!(
+        "\nall gates passed: the bus run moves the baseline's entire feature\n\
+         volume off the wire (>=10x fewer feature wire bytes), bit-identically;\n\
+         a torn segment degrades to the wire path with a typed fault; and the\n\
+         ledgers reconcile with the CommTracker meters on every plane."
+    );
+    Ok(())
+}

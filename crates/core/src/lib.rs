@@ -78,8 +78,8 @@ pub mod prelude {
     pub use splpg_datasets::{Dataset, DatasetSpec, Scale};
     pub use splpg_dist::{
         tcp_worker_entry, CodecConfig, CommReport, DistConfig, DistOutcome, DistTrainer,
-        FaultConfig, FaultPlan, FeatCodec, NetReport, RetryPolicy, SparsifierKind, StructCodec,
-        Strategy, SyncMethod, TcpConfig, WorkerEnv,
+        FaultConfig, FaultPlan, FeatCodec, NetReport, RetryPolicy, ShmBusMode, SparsifierKind,
+        StructCodec, Strategy, SyncMethod, TcpConfig, WorkerEnv,
     };
     pub use splpg_gnn::trainer::{ModelKind, TrainConfig};
     pub use splpg_graph::{Edge, EdgeSplit, FeatureMatrix, Graph, GraphBuilder, NodeId};
@@ -254,6 +254,16 @@ impl SpLpgBuilder {
         self
     }
 
+    /// Shared-memory feature bus for co-located workers: remote feature
+    /// rows are read zero-copy from a master-published segment instead of
+    /// crossing the wire (default: off). Falls back to the wire path when
+    /// the host has no usable shared memory or the segment fails
+    /// validation.
+    pub fn feature_bus(&mut self, mode: splpg_dist::ShmBusMode) -> &mut Self {
+        self.dist.feature_bus = mode;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(&self) -> SpLpg {
         SpLpg { dist: self.dist.clone(), train: self.train.clone() }
@@ -288,6 +298,7 @@ mod tests {
                 structure: splpg_dist::StructCodec::Varint,
                 features: splpg_dist::FeatCodec::Int8,
             })
+            .feature_bus(splpg_dist::ShmBusMode::On)
             .build();
         assert_eq!(s.dist_config().num_workers, 8);
         assert_eq!(s.dist_config().strategy, Strategy::PsgdPa);
@@ -299,6 +310,7 @@ mod tests {
         assert_eq!(s.dist_config().wire_faults.as_ref().unwrap().drop, 0.1);
         assert_eq!(s.dist_config().wire_codec.structure, splpg_dist::StructCodec::Varint);
         assert_eq!(s.dist_config().wire_codec.features, splpg_dist::FeatCodec::Int8);
+        assert_eq!(s.dist_config().feature_bus, splpg_dist::ShmBusMode::On);
         assert_eq!(s.train_config().epochs, 3);
         assert_eq!(s.train_config().hidden, 32);
         assert_eq!(s.train_config().batch_size, 64);

@@ -41,6 +41,7 @@ struct Counters {
     feature_elems: AtomicU64,
     structure_wire: AtomicU64,
     feature_wire: AtomicU64,
+    feature_bus_elems: AtomicU64,
 }
 
 impl CommTracker {
@@ -81,6 +82,14 @@ impl CommTracker {
             .fetch_add(rows * dim * BYTES_PER_FEATURE, Ordering::Relaxed);
         self.inner.feature_elems.fetch_add(rows * dim, Ordering::Relaxed);
         self.inner.feature_wire.fetch_add(wire_bytes, Ordering::Relaxed);
+        self.inner.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a feature transfer of `rows` rows of width `dim` served
+    /// zero-copy over the shared-memory bus: metered on the local-bus
+    /// plane only, never on the raw-feature or wire planes.
+    pub fn add_features_bus(&self, rows: u64, dim: u64) {
+        self.inner.feature_bus_elems.fetch_add(rows * dim, Ordering::Relaxed);
         self.inner.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -137,6 +146,17 @@ impl CommTracker {
     /// Cumulative on-wire total bytes.
     pub fn total_wire_bytes(&self) -> u64 {
         self.structure_wire_bytes() + self.feature_wire_bytes()
+    }
+
+    /// Raw count of feature elements served over the shared-memory bus.
+    pub fn feature_bus_elems(&self) -> u64 {
+        self.inner.feature_bus_elems.load(Ordering::Relaxed)
+    }
+
+    /// Bus-plane feature bytes, priced at the raw byte model (the bytes
+    /// those rows *would* have cost uncompressed on the wire).
+    pub fn feature_bus_bytes(&self) -> u64 {
+        self.feature_bus_elems() * BYTES_PER_FEATURE
     }
 }
 
@@ -202,6 +222,16 @@ impl CommMeter {
     pub fn total_wire_bytes(&self) -> u64 {
         self.structure_wire_bytes() + self.feature_wire_bytes()
     }
+
+    /// Cluster-wide bus-plane feature elements.
+    pub fn feature_bus_elems(&self) -> u64 {
+        self.workers.iter().map(CommTracker::feature_bus_elems).sum()
+    }
+
+    /// Cluster-wide bus-plane feature bytes (raw byte model).
+    pub fn feature_bus_bytes(&self) -> u64 {
+        self.workers.iter().map(CommTracker::feature_bus_bytes).sum()
+    }
 }
 
 /// Per-epoch communication totals of a training run.
@@ -217,6 +247,9 @@ pub struct CommReport {
     pub total_structure_wire_bytes: u64,
     /// Cumulative on-wire feature bytes under the active codec.
     pub total_feature_wire_bytes: u64,
+    /// Cumulative feature bytes served over the shared-memory bus
+    /// (raw byte model) — the local plane of the local-vs-wire axis.
+    pub total_feature_bus_bytes: u64,
 }
 
 impl CommReport {
@@ -244,13 +277,27 @@ impl CommReport {
         self.total_structure_wire_bytes + self.total_feature_wire_bytes
     }
 
-    /// Raw-over-wire compression ratio (1.0 when nothing was metered or
-    /// compression is off).
+    /// Raw-over-wire compression ratio. A zero on *either* side of the
+    /// division — an empty-traffic run, or a bus-only run with no wire
+    /// bytes at all — reports 1.0 rather than NaN/inf, so downstream
+    /// tables never print a non-finite ratio.
     pub fn compression_ratio(&self) -> f64 {
-        if self.total_wire_bytes() == 0 {
+        if self.total_wire_bytes() == 0 || self.total_bytes() == 0 {
             1.0
         } else {
             self.total_bytes() as f64 / self.total_wire_bytes() as f64
+        }
+    }
+
+    /// Fraction of feature bytes served over the shared-memory bus
+    /// instead of the wire, in `[0, 1]` (0.0 when no features moved at
+    /// all — never NaN).
+    pub fn bus_fraction(&self) -> f64 {
+        let total = self.total_feature_bytes + self.total_feature_bus_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_feature_bus_bytes as f64 / total as f64
         }
     }
 }
@@ -287,6 +334,7 @@ mod tests {
             total_feature_bytes: 250,
             total_structure_wire_bytes: 75,
             total_feature_wire_bytes: 125,
+            total_feature_bus_bytes: 0,
         };
         assert_eq!(r.mean_epoch_bytes(), 200);
         assert_eq!(r.total_bytes(), 400);
@@ -294,6 +342,40 @@ mod tests {
         assert!((r.compression_ratio() - 2.0).abs() < 1e-12);
         assert!(CommReport::default().mean_epoch_bytes() == 0);
         assert!((CommReport::default().compression_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_accessors_are_finite_on_empty_and_bus_only_traffic() {
+        // Empty run: both planes zero.
+        let empty = CommReport::default();
+        assert!(empty.compression_ratio().is_finite());
+        assert!((empty.compression_ratio() - 1.0).abs() < 1e-12);
+        assert!((empty.bus_fraction() - 0.0).abs() < 1e-12);
+        // Bus-only run: wire planes zero, bus plane populated — the
+        // raw/wire ratio must still come out 1.0, never inf.
+        let bus_only =
+            CommReport { total_feature_bus_bytes: 4096, ..CommReport::default() };
+        assert!((bus_only.compression_ratio() - 1.0).abs() < 1e-12);
+        assert!((bus_only.bus_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_plane_is_metered_separately_from_raw_and_wire() {
+        let t = CommTracker::new();
+        t.add_features(2, 8);
+        t.add_features_bus(3, 8);
+        // Bus rows never leak into the raw-feature or wire planes.
+        assert_eq!(t.feature_bytes(), 2 * 8 * BYTES_PER_FEATURE);
+        assert_eq!(t.feature_wire_bytes(), 2 * 8 * BYTES_PER_FEATURE);
+        assert_eq!(t.feature_bus_elems(), 24);
+        assert_eq!(t.feature_bus_bytes(), 24 * BYTES_PER_FEATURE);
+        assert_eq!(t.fetch_count(), 2);
+
+        let m = CommMeter::new(2);
+        m.worker(0).add_features_bus(1, 4);
+        m.worker(1).add_features_bus(2, 4);
+        assert_eq!(m.feature_bus_elems(), 12);
+        assert_eq!(m.feature_bus_bytes(), 48);
     }
 
     #[test]

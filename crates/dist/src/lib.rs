@@ -56,7 +56,8 @@ pub use splpg_net::process::WorkerEnv;
 pub use splpg_net::{CodecConfig, FaultPlan, FeatCodec, RetryPolicy, StructCodec, TcpConfig};
 pub use strategy::{NegativeSpace, PartitionerKind, RemoteKind, Strategy, StrategySpec};
 pub use trainer::{
-    tcp_worker_entry, DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, SyncMethod,
+    tcp_worker_entry, DistConfig, DistOutcome, DistTrainer, EpochStats, FaultConfig, ShmBusMode,
+    SyncMethod,
 };
 pub use view::{RemoteMode, WorkerView};
 

@@ -68,6 +68,16 @@ pub struct NetReport {
     /// On-wire graph-data bytes under the negotiated codec, from the same
     /// ledgers (equals `data_bytes` when compression is off).
     pub data_wire_bytes: u64,
+    /// Feature bytes served over the shared-memory bus instead of the
+    /// wire (raw byte model), from the same ledgers — zero when the bus
+    /// is off or fell back.
+    pub data_bus_bytes: u64,
+    /// Why the shared-memory feature bus degraded to the wire path, when
+    /// it did: the display form of the typed [`ShmError`] the segment
+    /// attach surfaced. `None` means the bus was off or healthy.
+    ///
+    /// [`ShmError`]: splpg_net::ShmError
+    pub shm_fault: Option<String>,
     /// Per-[`MsgKind`] histogram of protocol frames: count, raw-encoding
     /// bytes, and on-wire bytes for each message kind, recorded
     /// master-side (slot 0 aggregates unknown kinds).
@@ -88,6 +98,11 @@ pub(crate) fn ledger_bytes(l: &FetchLedger) -> u64 {
 /// On-wire bytes a ledger carries under the negotiated codec.
 pub(crate) fn ledger_wire_bytes(l: &FetchLedger) -> u64 {
     l.structure_wire_bytes + l.feature_wire_bytes
+}
+
+/// Bus-plane feature bytes a ledger carries, at the raw byte model.
+pub(crate) fn ledger_bus_bytes(l: &FetchLedger) -> u64 {
+    l.feature_bus_elems * BYTES_PER_FEATURE
 }
 
 /// Concatenates gradient tensors into one flat wire payload.
@@ -188,6 +203,7 @@ impl Replica {
             feature_elems: self.tracker.feature_elems(),
             structure_wire_bytes: self.tracker.structure_wire_bytes(),
             feature_wire_bytes: self.tracker.feature_wire_bytes(),
+            feature_bus_elems: self.tracker.feature_bus_elems(),
         };
         let delta = now.since(&self.reported);
         self.reported = now;
@@ -638,6 +654,15 @@ impl Backend {
         }
     }
 
+    /// Bus-plane feature bytes fetched so far, same vantage points as
+    /// [`Backend::data_bytes_so_far`].
+    pub fn comm_bus_bytes(&self, tracker: &crate::CommMeter) -> u64 {
+        match self {
+            Backend::Net(net) => ledger_bus_bytes(&net.data_ledger),
+            Backend::Local { .. } => tracker.feature_bus_bytes(),
+        }
+    }
+
     /// `(structure bytes, feature bytes)` split of
     /// [`Backend::data_bytes_so_far`], for the final [`CommReport`].
     ///
@@ -686,6 +711,8 @@ impl Backend {
                     retries: snap.retries,
                     data_bytes: ledger_bytes(&net.data_ledger),
                     data_wire_bytes: ledger_wire_bytes(&net.data_ledger),
+                    data_bus_bytes: ledger_bus_bytes(&net.data_ledger),
+                    shm_fault: None,
                     kinds: snap.kinds,
                     dead_workers: net.dead,
                 }
@@ -794,6 +821,7 @@ mod tests {
             feature_elems: t.feature_elems(),
             structure_wire_bytes: t.structure_wire_bytes(),
             feature_wire_bytes: t.feature_wire_bytes(),
+            feature_bus_elems: t.feature_bus_elems(),
         };
         assert_eq!(ledger_bytes(&via_tracker), t.total_bytes());
         // Uncompressed transfers price wire bytes identically to raw.

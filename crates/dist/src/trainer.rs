@@ -13,7 +13,10 @@ use splpg_gnn::{
     FullFeatureAccess, FullGraphAccess, NeighborSampler, PerSourceNegativeSampler, SamplerScratch,
 };
 use splpg_net::process::{spawn_cluster, worker_from_env, ProcessSpec, WorkerEnv};
-use splpg_net::{ClusterConfig, CodecConfig, FaultPlan, RetryPolicy, TcpConfig};
+use splpg_net::shm::{identity_hash, segment_name};
+use splpg_net::{
+    ClusterConfig, CodecConfig, FaultPlan, RetryPolicy, SegmentSpec, ShmLane, ShmOwner, TcpConfig,
+};
 use splpg_nn::{Adam, Optimizer, ParamSet};
 use splpg_tensor::Tape;
 
@@ -64,6 +67,30 @@ impl FaultConfig {
     }
 }
 
+/// Whether co-located workers read remote feature rows over a POSIX
+/// shared-memory segment instead of the wire.
+///
+/// The decision is purely configuration-deterministic: with the bus on,
+/// *every* remote feature row rides the bus (structure fetches stay on
+/// the wire), in the cluster run and in the sequential reference alike —
+/// which is what keeps the two bit-identical. A segment that cannot be
+/// created or fails validation at attach time degrades the run to the
+/// wire path with the typed error recorded in
+/// [`NetReport::shm_fault`](crate::NetReport), never a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShmBusMode {
+    /// No shared-memory bus: all remote fetches ride the wire.
+    #[default]
+    Off,
+    /// Publish the feature matrix in a shared-memory segment and serve
+    /// remote feature rows from it, metered on the local-bus plane.
+    On,
+    /// Like `On`, but the owner corrupts the sealed payload before any
+    /// worker attaches — a deterministic way to exercise the
+    /// checksum-detected fallback to the wire path in tests and benches.
+    CorruptForTest,
+}
+
 /// Cluster configuration for a distributed run.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
@@ -102,6 +129,8 @@ pub struct DistConfig {
     /// quantization for feature payloads. The default is uncompressed,
     /// which is lossless and bit-identical to pre-compression behaviour.
     pub wire_codec: CodecConfig,
+    /// Shared-memory feature bus for co-located workers (default off).
+    pub feature_bus: ShmBusMode,
 }
 
 impl Default for DistConfig {
@@ -119,6 +148,7 @@ impl Default for DistConfig {
             retry: RetryPolicy::default(),
             wire_faults: None,
             wire_codec: CodecConfig::default(),
+            feature_bus: ShmBusMode::default(),
         }
     }
 }
@@ -257,8 +287,54 @@ impl DistTrainer {
         Ok((train_graph, setup))
     }
 
+    /// Identity the feature-bus segment is pinned to: the geometry plus
+    /// the seeds every process derives deterministically from its own
+    /// configuration, so a master and its worker children agree without
+    /// negotiation — and a stale segment from a different run can never
+    /// validate.
+    fn bus_spec(&self, data: &Dataset) -> SegmentSpec {
+        let rows = data.features.num_rows() as u64;
+        let dim = data.features.dim() as u64;
+        SegmentSpec {
+            rows,
+            dim,
+            identity: identity_hash(&[rows, dim, self.dist.setup_seed, self.train.seed]),
+        }
+    }
+
+    /// Publishes the feature segment and attaches the master-side lane.
+    /// Any failure — creation, the test-only corruption hook, or attach
+    /// validation — leaves the lane `None` with the typed error's display
+    /// form as the fault; the run then proceeds on the wire path.
+    fn setup_bus(&self, data: &Dataset) -> (Option<ShmOwner>, Option<ShmLane>, Option<String>) {
+        if self.dist.feature_bus == ShmBusMode::Off {
+            return (None, None, None);
+        }
+        let spec = self.bus_spec(data);
+        let name = segment_name("bus");
+        let owner = match ShmOwner::create(&name, &spec, data.features.as_slice()) {
+            Ok(owner) => owner,
+            Err(e) => return (None, None, Some(e.to_string())),
+        };
+        if self.dist.feature_bus == ShmBusMode::CorruptForTest {
+            if let Err(e) = owner.corrupt_payload_for_test() {
+                return (Some(owner), None, Some(e.to_string()));
+            }
+        }
+        match ShmLane::attach(&name, &spec) {
+            Ok(lane) => (Some(owner), Some(lane), None),
+            Err(e) => (Some(owner), None, Some(e.to_string())),
+        }
+    }
+
     /// Identically-initialized worker replicas, one per partition.
-    fn build_replicas(&self, kind: ModelKind, data: &Dataset, setup: &ClusterSetup) -> Vec<Replica> {
+    fn build_replicas(
+        &self,
+        kind: ModelKind,
+        data: &Dataset,
+        setup: &ClusterSetup,
+        bus: Option<&ShmLane>,
+    ) -> Vec<Replica> {
         setup
             .workers
             .iter()
@@ -272,6 +348,9 @@ impl DistTrainer {
                 // same codec, which is what keeps them bit-identical.
                 let mut w = w.clone();
                 w.view = w.view.with_wire_codec(self.dist.wire_codec);
+                if let Some(lane) = bus {
+                    w.view = w.view.with_feature_bus(lane.clone());
+                }
                 let worker_id = w.worker_id;
                 Replica::new(
                     worker_id,
@@ -307,7 +386,10 @@ impl DistTrainer {
         }
         self.validate()?;
         let (train_graph, setup) = self.prepare(data)?;
-        let replicas = self.build_replicas(kind, data, &setup);
+        // The owner must outlive every replica: it unlinks the segment on
+        // drop, and lanes hold the mapping alive independently of the file.
+        let (bus_owner, bus_lane, bus_fault) = self.setup_bus(data);
+        let replicas = self.build_replicas(kind, data, &setup, bus_lane.as_ref());
         let p = self.dist.num_workers;
         let quorum = self.dist.quorum.unwrap_or(p);
         let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
@@ -349,7 +431,9 @@ impl DistTrainer {
             out.net.delayed = snap.delayed;
             out.net.retries = snap.retries;
             out.net.kinds = snap.kinds;
+            out.net.shm_fault = bus_fault;
         }
+        drop(bus_owner);
         result
     }
 
@@ -387,6 +471,10 @@ impl DistTrainer {
         }
         self.validate()?;
         let (train_graph, setup) = self.prepare(data)?;
+        // The master publishes the segment before any child spawns, so a
+        // child that can read its environment always finds a sealed
+        // segment (or none at all — never a half-written one).
+        let (bus_owner, _bus_lane, bus_fault) = self.setup_bus(data);
         let p = self.dist.num_workers;
         let quorum = self.dist.quorum.unwrap_or(p);
         let wire: Option<FaultPlan> = self.dist.wire_faults.clone().filter(|f| f.is_active());
@@ -396,6 +484,7 @@ impl DistTrainer {
             tcp: TcpConfig::default(),
             child_args: child_args.to_vec(),
             codec: self.dist.wire_codec,
+            shm_segment: bus_owner.as_ref().map(|o| o.name().to_string()),
         };
         let (hub, children) =
             spawn_cluster(&spec).map_err(|e| DistError::Process(e.to_string()))?;
@@ -406,7 +495,9 @@ impl DistTrainer {
         // every lane), so the children are already exiting; reap them and
         // surface any non-zero exit even when training itself succeeded.
         let joined = children.join();
-        let out = result?;
+        drop(bus_owner);
+        let mut out = result?;
+        out.net.shm_fault = bus_fault;
         joined.map_err(|e| DistError::Process(e.to_string()))?;
         Ok(out)
     }
@@ -438,7 +529,16 @@ impl DistTrainer {
             )));
         }
         let (_train_graph, setup) = self.prepare(data)?;
-        let mut replicas = self.build_replicas(kind, data, &setup);
+        // Attach the advertised feature segment, if any. Attach failure
+        // (torn, missing, version- or identity-mismatched segment) falls
+        // back to the wire path silently — the child keeps training; only
+        // the metering planes shift, which the master observes through
+        // the fetch ledgers.
+        let bus_lane = match (self.dist.feature_bus, env.shm_segment()) {
+            (ShmBusMode::Off, _) | (_, None) => None,
+            (_, Some(name)) => ShmLane::attach(name, &self.bus_spec(data)).ok(),
+        };
+        let mut replicas = self.build_replicas(kind, data, &setup, bus_lane.as_ref());
         let w = env.worker();
         if w >= replicas.len() {
             return Err(DistError::Process(format!(
@@ -481,9 +581,13 @@ impl DistTrainer {
         }
         self.validate()?;
         let (train_graph, setup) = self.prepare(data)?;
-        let replicas = self.build_replicas(kind, data, &setup);
+        let (bus_owner, bus_lane, bus_fault) = self.setup_bus(data);
+        let replicas = self.build_replicas(kind, data, &setup, bus_lane.as_ref());
         let backend = Backend::Local { replicas, faults: self.dist.faults };
-        self.master_loop(backend, kind, data, &train_graph, &setup)
+        let mut out = self.master_loop(backend, kind, data, &train_graph, &setup)?;
+        out.net.shm_fault = bus_fault;
+        drop(bus_owner);
+        Ok(out)
     }
 
     /// The master's training loop, identical for the cluster and the
@@ -640,6 +744,7 @@ impl DistTrainer {
         let (total_structure_bytes, total_feature_bytes) = backend.comm_split(&setup.tracker);
         let (total_structure_wire_bytes, total_feature_wire_bytes) =
             backend.comm_wire_split(&setup.tracker);
+        let total_feature_bus_bytes = backend.comm_bus_bytes(&setup.tracker);
         let net = backend.finish();
         loop_result?;
 
@@ -667,6 +772,7 @@ impl DistTrainer {
             total_feature_bytes,
             total_structure_wire_bytes,
             total_feature_wire_bytes,
+            total_feature_bus_bytes,
         };
         Ok(DistOutcome {
             test_hits,
@@ -925,6 +1031,96 @@ mod tests {
             );
             assert!(cluster.test_hits.is_finite());
         }
+    }
+
+    #[test]
+    fn feature_bus_is_bit_identical_and_moves_features_off_the_wire() {
+        use splpg_net::shm::shm_available;
+        if !shm_available() {
+            eprintln!("skipping: no /dev/shm on this host");
+            return;
+        }
+        let data = tiny_data();
+        for p in [2usize, 4] {
+            let dist = DistConfig {
+                num_workers: p,
+                strategy: Strategy::SpLpg,
+                feature_bus: ShmBusMode::On,
+                ..Default::default()
+            };
+            let trainer = DistTrainer::new(dist.clone(), quick_train());
+            let bus = trainer.run(ModelKind::GraphSage, &data).unwrap();
+            assert!(bus.net.shm_fault.is_none(), "p={p}: {:?}", bus.net.shm_fault);
+            // The sequential reference with the same config takes the same
+            // bus decisions, so every counter matches bit for bit.
+            let reference = trainer.run_reference(ModelKind::GraphSage, &data).unwrap();
+            assert_eq!(bus.epochs, reference.epochs, "p={p}");
+            assert_eq!(bus.test_hits.to_bits(), reference.test_hits.to_bits());
+            assert_eq!(bus.comm, reference.comm);
+            // Bus reads are plain f32 loads from the mapping — the same
+            // bits the wire path would have shipped losslessly, so a
+            // wire-only run of the same seeds computes identical results.
+            let wire = DistTrainer::new(
+                DistConfig { feature_bus: ShmBusMode::Off, ..dist },
+                quick_train(),
+            )
+            .run(ModelKind::GraphSage, &data)
+            .unwrap();
+            // Per-epoch byte counters legitimately differ (features moved
+            // off the wire); the arithmetic must not.
+            for (b, w) in bus.epochs.iter().zip(&wire.epochs) {
+                assert_eq!(b.mean_loss.to_bits(), w.mean_loss.to_bits(), "p={p}");
+                assert_eq!(b.valid_hits, w.valid_hits, "p={p}");
+            }
+            assert_eq!(bus.test_hits.to_bits(), wire.test_hits.to_bits());
+            // Remote feature rows move to the local-bus plane: nothing on
+            // the feature raw/wire planes, the same row volume on the bus
+            // plane as the wire run's raw plane, and exact reconciliation
+            // against the transport-shipped fetch ledgers.
+            assert!(bus.comm.total_feature_bus_bytes > 0, "p={p}");
+            assert_eq!(bus.comm.total_feature_bytes, 0, "p={p}");
+            assert_eq!(bus.comm.total_feature_wire_bytes, 0, "p={p}");
+            assert_eq!(bus.comm.total_feature_bus_bytes, wire.comm.total_feature_bytes);
+            assert_eq!(bus.net.data_bus_bytes, bus.comm.total_feature_bus_bytes);
+            assert_eq!(bus.net.data_bytes, bus.comm.total_bytes());
+            // Structure still crosses the wire.
+            assert_eq!(bus.comm.total_structure_bytes, wire.comm.total_structure_bytes);
+        }
+    }
+
+    #[test]
+    fn corrupted_bus_segment_falls_back_to_wire() {
+        use splpg_net::shm::shm_available;
+        if !shm_available() {
+            eprintln!("skipping: no /dev/shm on this host");
+            return;
+        }
+        let data = tiny_data();
+        let dist = DistConfig {
+            num_workers: 2,
+            strategy: Strategy::SpLpg,
+            feature_bus: ShmBusMode::CorruptForTest,
+            ..Default::default()
+        };
+        let torn = DistTrainer::new(dist.clone(), quick_train())
+            .run(ModelKind::GraphSage, &data)
+            .unwrap();
+        // The torn segment is detected at attach time, recorded as a typed
+        // fault, and the run completes on the wire path with the same bits
+        // and the same meter readings as a bus-free run.
+        let fault = torn.net.shm_fault.as_deref().expect("fault recorded");
+        assert!(fault.contains("checksum"), "unexpected fault: {fault}");
+        let wire = DistTrainer::new(
+            DistConfig { feature_bus: ShmBusMode::Off, ..dist },
+            quick_train(),
+        )
+        .run(ModelKind::GraphSage, &data)
+        .unwrap();
+        assert_eq!(torn.epochs, wire.epochs);
+        assert_eq!(torn.test_hits.to_bits(), wire.test_hits.to_bits());
+        assert_eq!(torn.comm, wire.comm);
+        assert_eq!(torn.comm.total_feature_bus_bytes, 0);
+        assert!(torn.comm.total_feature_wire_bytes > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use splpg_graph::{FeatureMatrix, Graph, NodeId};
 use splpg_net::compress::{
     encoded_ids_len, f16_round_trip, feature_wire_bytes, int8_round_trip, varint_len,
 };
-use splpg_net::{CodecConfig, FeatCodec, StructCodec};
+use splpg_net::{CodecConfig, FeatCodec, ShmLane, StructCodec};
 
 use crate::CommTracker;
 
@@ -81,6 +81,11 @@ pub struct WorkerView {
     /// feature codecs also round-trip remote rows through the quantizer
     /// so training sees exactly what the wire would deliver.
     wire_codec: CodecConfig,
+    /// Shared-memory feature bus: when attached, remote feature rows
+    /// are zero-copy gathers from the mapped segment, metered on the
+    /// local-bus plane instead of the raw/wire planes (and never
+    /// quantized — no wire is crossed).
+    bus: Option<ShmLane>,
 }
 
 impl WorkerView {
@@ -110,6 +115,7 @@ impl WorkerView {
             feature_cache: Arc::new(Mutex::new(RowCache::default())),
             feature_cache_rows: DEFAULT_FEATURE_CACHE_ROWS,
             wire_codec: CodecConfig::default(),
+            bus: None,
         }
     }
 
@@ -119,6 +125,25 @@ impl WorkerView {
     #[must_use]
     pub fn with_wire_codec(mut self, codec: CodecConfig) -> Self {
         self.wire_codec = codec;
+        self
+    }
+
+    /// Attaches a shared-memory feature lane: remote feature rows are
+    /// served zero-copy from the mapped segment and metered on the
+    /// local-bus plane. The lane must cover the full global feature
+    /// matrix (`rows == features.num_rows()`, same `dim`) — segment
+    /// validation at attach time enforces exactly that geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's geometry disagrees with the view's feature
+    /// matrix — a wiring bug, not a runtime fault (runtime faults are
+    /// caught at [`ShmLane::attach`] and degrade to the wire path).
+    #[must_use]
+    pub fn with_feature_bus(mut self, lane: ShmLane) -> Self {
+        assert_eq!(lane.rows(), self.features.num_rows(), "bus segment row count");
+        assert_eq!(lane.dim(), self.features.dim(), "bus segment feature dim");
+        self.bus = Some(lane);
         self
     }
 
@@ -261,14 +286,36 @@ impl FeatureAccess for WorkerView {
         };
         let dim = self.features.dim();
         if remote_rows > 0 {
-            self.tracker.add_features_wire(
-                remote_rows,
-                dim as u64,
-                feature_wire_bytes(remote_rows, dim as u64, self.wire_codec.features),
-            );
+            match &self.bus {
+                // Bus-served rows never touch the wire: metered on the
+                // local-bus plane only, at the raw byte model.
+                Some(_) => self.tracker.add_features_bus(remote_rows, dim as u64),
+                None => self.tracker.add_features_wire(
+                    remote_rows,
+                    dim as u64,
+                    feature_wire_bytes(remote_rows, dim as u64, self.wire_codec.features),
+                ),
+            }
         }
         let base = out.len();
-        self.features.gather_into(nodes, out);
+        match &self.bus {
+            Some(lane) => {
+                // Local rows come from the worker's own copy; remote rows
+                // are zero-copy reads straight out of the mapped segment.
+                out.reserve(nodes.len() * dim);
+                for &v in nodes {
+                    if self.feature_local[v as usize] {
+                        out.extend_from_slice(self.features.row(v));
+                    } else {
+                        out.extend_from_slice(lane.row(v as usize));
+                    }
+                }
+                // No wire was crossed, so no quantization degradation —
+                // bus reads deliver the stored f32 rows bit-exactly.
+                return;
+            }
+            None => self.features.gather_into(nodes, out),
+        }
         // Lossy feature codecs degrade every remote row the same way the
         // wire would, cached or not — determinism requires the training
         // arithmetic to be independent of cache hit patterns.
@@ -417,6 +464,44 @@ mod tests {
         let _ = v.gather(&[3]);
         let _ = v.gather(&[3]);
         assert_eq!(t.feature_bytes(), 2 * 2 * crate::BYTES_PER_FEATURE);
+    }
+
+    #[test]
+    fn bus_gather_is_bit_identical_and_meters_the_bus_plane() {
+        if !splpg_net::shm::shm_available() {
+            eprintln!("skipping: no usable /dev/shm on this host");
+            return;
+        }
+        use splpg_net::shm::{identity_hash, segment_name};
+        use splpg_net::{SegmentSpec, ShmOwner};
+
+        // Reference: the wire path over the same fixture and node list.
+        let (mut wire_view, wire_tracker) = fixture(RemoteMode::None);
+        let expect = wire_view.gather(&[0, 3, 4, 3]);
+
+        // Segment mirroring the fixture's 5x2 feature matrix.
+        let data: Vec<f32> = (0..5).flat_map(|i| [i as f32, 1.0]).collect();
+        let spec = SegmentSpec { rows: 5, dim: 2, identity: identity_hash(&[41]) };
+        let name = segment_name("view-bus");
+        let _owner = ShmOwner::create(&name, &spec, &data).unwrap();
+        let lane = ShmLane::attach(&name, &spec).unwrap();
+
+        let (view, tracker) = fixture(RemoteMode::None);
+        let mut view = view.with_feature_bus(lane);
+        let got = view.gather(&[0, 3, 4, 3]);
+
+        assert_eq!(got.shape(), expect.shape());
+        for i in 0..4 {
+            assert_eq!(got.row(i), expect.row(i), "row {i}");
+        }
+        // Wire path priced rows 3 and 4 once (second 3 was cached)...
+        assert_eq!(wire_tracker.feature_bytes(), 2 * 2 * crate::BYTES_PER_FEATURE);
+        // ...the bus path moved the same rows without touching the
+        // raw-feature or wire planes.
+        assert_eq!(tracker.feature_bytes(), 0);
+        assert_eq!(tracker.feature_wire_bytes(), 0);
+        assert_eq!(tracker.feature_bus_elems(), 2 * 2);
+        assert_eq!(tracker.feature_bus_bytes(), 2 * 2 * crate::BYTES_PER_FEATURE);
     }
 
     #[test]

@@ -93,8 +93,17 @@ pub const NET_WRAPPER_FILES: &[&str] = &[
     "crates/net/src/tcp.rs",
     "crates/net/src/process.rs",
     "crates/net/src/conformance.rs",
+    "crates/net/src/shm.rs",
     "crates/dist/src/runtime.rs",
 ];
+
+/// The only files allowed to contain `unsafe` code (`forbid-unsafe`):
+/// the shared-memory feature bus, whose mmap/raw-pointer plumbing cannot
+/// be expressed safely. Each block there still needs its own
+/// `// splpg-lint: allow(forbid-unsafe) — reason` pragma, and the owning
+/// crate's root downgrades to `#![deny(unsafe_code)]` (so the carve-out
+/// stays an explicit per-module `#[allow]`, not a crate-wide licence).
+pub const SANCTIONED_UNSAFE_FILES: &[&str] = &["crates/net/src/shm.rs"];
 
 /// Hot indexing paths where a silent narrowing `as` cast can corrupt
 /// node/edge ids on large graphs (`as-cast-truncation`).
@@ -131,7 +140,14 @@ pub fn describe(rule: &str) -> &'static str {
              return Result, or document the invariant with \
              .expect(\"invariant: …\")"
         }
-        RULE_FORBID_UNSAFE => "every crate root must carry #![forbid(unsafe_code)]",
+        RULE_FORBID_UNSAFE => {
+            "every crate root must carry #![forbid(unsafe_code)] — except \
+             crates hosting a sanctioned-unsafe module (net/src/shm.rs), \
+             whose root carries #![deny(unsafe_code)] instead; `unsafe` \
+             tokens are banned everywhere outside the sanctioned list, and \
+             inside it every block needs a per-block \
+             `splpg-lint: allow(forbid-unsafe) — reason` pragma"
+        }
         RULE_PRINT_MACRO => {
             "no println!/eprintln!/print!/eprint! in library code outside \
              crates/bench: libraries return data, binaries print it"
@@ -549,17 +565,105 @@ fn print_macro(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
 }
 
 fn forbid_unsafe(a: &FileAnalysis, out: &mut Vec<Diagnostic>) {
-    if !a.scope.is_crate_root {
-        return;
+    // A crate that hosts a sanctioned-unsafe module cannot `forbid` at the
+    // root (the attribute is unoverridable), so its root must `deny` and
+    // the sanctioned module alone carries the `#[allow]`.
+    let crate_sanctioned = SANCTIONED_UNSAFE_FILES
+        .iter()
+        .any(|p| FileScope::of(p).crate_name == a.scope.crate_name);
+    if a.scope.is_crate_root {
+        let want = if crate_sanctioned {
+            "#![deny(unsafe_code)]"
+        } else {
+            "#![forbid(unsafe_code)]"
+        };
+        if !a.file.lines.iter().any(|l| l.code.contains(want)) {
+            a.push(out, 0, RULE_FORBID_UNSAFE, format!("crate root is missing {want}"));
+        }
     }
-    let has = a.file.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
-    if !has {
-        a.push(
-            out,
-            0,
-            RULE_FORBID_UNSAFE,
-            "crate root is missing #![forbid(unsafe_code)]".to_string(),
-        );
+    let sanctioned = SANCTIONED_UNSAFE_FILES.contains(&a.path.as_str());
+    if sanctioned {
+        // The carve-out is per block, never file-wide, and every pragma
+        // must state its reason after the closing paren. Neither check is
+        // itself suppressible — a pragma cannot excuse its own misuse.
+        for e in &a.pragmas.entries {
+            if e.rule != RULE_FORBID_UNSAFE {
+                continue;
+            }
+            if e.file_wide {
+                out.push(Diagnostic {
+                    path: a.path.clone(),
+                    line: e.line + 1,
+                    rule: RULE_FORBID_UNSAFE,
+                    message: "allow-file(forbid-unsafe) is not sanctioned: each \
+                              unsafe block needs its own allow(forbid-unsafe) \
+                              pragma with a reason"
+                        .to_string(),
+                });
+            }
+            let comment = a.file.lines[e.line].comment.as_str();
+            let reason = comment
+                .split("forbid-unsafe")
+                .nth(1)
+                .and_then(|rest| rest.split_once(')'))
+                .map_or("", |(_, after)| after);
+            if !reason.chars().any(|c| c.is_alphabetic()) {
+                out.push(Diagnostic {
+                    path: a.path.clone(),
+                    line: e.line + 1,
+                    rule: RULE_FORBID_UNSAFE,
+                    message: "allow(forbid-unsafe) pragma without a reason: \
+                              state why this block cannot be safe, e.g. \
+                              `// splpg-lint: allow(forbid-unsafe) — <reason>`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    for i in 0..a.tree.tokens.len() {
+        if a.tok(i) != "unsafe" {
+            continue;
+        }
+        let idx = a.tree.tokens[i].line;
+        if sanctioned {
+            // Suppressible only by a per-block `allow` pragma on this line
+            // or alone on the line above (whose reason the loop above
+            // already vetted) — never by `allow-file`, which would defeat
+            // the block-by-block accounting.
+            let mut covered = false;
+            for e in &a.pragmas.entries {
+                let applies = e.rule == RULE_FORBID_UNSAFE
+                    && !e.file_wide
+                    && (e.line == idx
+                        || (e.line + 1 == idx && a.file.lines[e.line].code.trim().is_empty()));
+                if applies {
+                    e.used.set(true);
+                    covered = true;
+                }
+            }
+            if !covered {
+                out.push(Diagnostic {
+                    path: a.path.clone(),
+                    line: idx + 1,
+                    rule: RULE_FORBID_UNSAFE,
+                    message: "unsafe block without a \
+                              `splpg-lint: allow(forbid-unsafe) — reason` pragma"
+                        .to_string(),
+                });
+            }
+        } else {
+            // Unsuppressible anywhere else: unsafe code belongs in the
+            // sanctioned module list or not in this workspace at all.
+            out.push(Diagnostic {
+                path: a.path.clone(),
+                line: idx + 1,
+                rule: RULE_FORBID_UNSAFE,
+                message: "unsafe code outside the sanctioned modules \
+                          (net/src/shm.rs): wrap the operation behind the \
+                          shared-memory bus API or keep it safe"
+                    .to_string(),
+            });
+        }
     }
 }
 

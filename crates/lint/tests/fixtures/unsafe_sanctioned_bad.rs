@@ -1,0 +1,15 @@
+//! Fixture: sanctioned-unsafe misuse — a bare block, a reason-less
+//! pragma, and a file-wide pragma (checked under the
+//! `crates/net/src/shm.rs` path).
+
+pub fn bare(ptr: *const u8, len: usize) -> &'static [u8] {
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+// splpg-lint: allow(forbid-unsafe)
+pub fn reasonless(ptr: *const u8, len: usize) -> &'static [u8] {
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+// splpg-lint: allow-file(forbid-unsafe) — blanket licences are not sanctioned
+pub fn blanket() {}

@@ -130,6 +130,51 @@ fn forbid_unsafe_passes_compliant_root_and_non_roots() {
 }
 
 #[test]
+fn forbid_unsafe_sanctioned_module_needs_reasoned_pragma_per_block() {
+    // The sanctioned shm module: pragma'd blocks are clean.
+    let good =
+        fired("crates/net/src/shm.rs", include_str!("fixtures/unsafe_sanctioned_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // Bare blocks, reason-less pragmas, and allow-file blankets all fire.
+    let d = check_source(
+        "crates/net/src/shm.rs",
+        include_str!("fixtures/unsafe_sanctioned_bad.rs"),
+    );
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "forbid-unsafe").collect();
+    assert!(hits.len() >= 3, "bare + reasonless + file-wide: {hits:?}");
+}
+
+#[test]
+fn forbid_unsafe_is_unsuppressible_outside_sanctioned_modules() {
+    // The same pragma'd code in any other file still fires: the pragma
+    // escape hatch only exists inside the sanctioned module list.
+    let d = check_source(
+        "crates/graph/src/csr.rs",
+        include_str!("fixtures/unsafe_sanctioned_good.rs"),
+    );
+    let hits: Vec<_> = d.iter().filter(|d| d.rule == "forbid-unsafe").collect();
+    assert_eq!(hits.len(), 2, "one per unsafe token: {hits:?}");
+    assert!(hits.iter().all(|d| d.message.contains("sanctioned")));
+}
+
+#[test]
+fn forbid_unsafe_sanctioned_crate_root_denies_instead_of_forbidding() {
+    // net hosts the carve-out, so its root must carry deny(unsafe_code)…
+    let deny = "#![deny(unsafe_code)]\n//! net root.\n";
+    assert!(fired("crates/net/src/lib.rs", deny).is_empty());
+    // …and a forbid-only net root is flagged (forbid would make the
+    // module-level #[allow] a compile error, hiding the real policy).
+    let forbid = "#![forbid(unsafe_code)]\n//! net root.\n";
+    let d = check_source("crates/net/src/lib.rs", forbid);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("deny"), "{:?}", d[0]);
+    // Other crates still require forbid; deny alone is not enough there.
+    let d = check_source("crates/graph/src/lib.rs", deny);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("forbid"), "{:?}", d[0]);
+}
+
+#[test]
 fn print_macro_fires_on_bad_fixture() {
     let rules = fired_content("crates/nn/src/fixture.rs", include_str!("fixtures/print_bad.rs"));
     assert_eq!(rules, vec!["print-macro"]);

@@ -166,6 +166,7 @@ impl Writer {
         self.count(l.feature_elems);
         self.count(l.structure_wire_bytes);
         self.count(l.feature_wire_bytes);
+        self.count(l.feature_bus_elems);
     }
 
     fn finish(mut self) -> Vec<u8> {
@@ -292,6 +293,7 @@ impl<'a> Reader<'a> {
             feature_elems: self.count()?,
             structure_wire_bytes: self.count()?,
             feature_wire_bytes: self.count()?,
+            feature_bus_elems: self.count()?,
         })
     }
 
@@ -365,8 +367,8 @@ pub fn raw_frame_len(msg: &Message) -> usize {
     }
 }
 
-/// Raw ledger payload bytes: five fixed-width u64 counters.
-const LEDGER_RAW_LEN: usize = 5 * 8;
+/// Raw ledger payload bytes: six fixed-width u64 counters.
+const LEDGER_RAW_LEN: usize = 6 * 8;
 
 /// [`raw_frame_len`] for a request without wrapping it in a [`Message`].
 pub fn raw_request_frame_len(req: &Request) -> usize {
@@ -547,6 +549,7 @@ mod tests {
             feature_elems: 96,
             structure_wire_bytes: 52,
             feature_wire_bytes: 384,
+            feature_bus_elems: 48,
         }
     }
 
@@ -713,7 +716,7 @@ mod tests {
     fn version_mismatch_is_a_typed_codec_error() {
         let mut frame = encode(&Message::Request(Request::Stop { id: sample_id() }));
         // Codec byte sits right after the kind byte.
-        frame[5] = 0x20; // version nibble 2: a future format
+        frame[5] = 0x30; // version nibble 3: a future format
         assert!(matches!(decode(&frame), Err(NetError::Codec(_))));
         frame[5] = 0x03; // version nibble 0: a past format
         assert!(matches!(decode(&frame), Err(NetError::Codec(_))));

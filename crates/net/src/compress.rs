@@ -29,8 +29,9 @@ use crate::NetError;
 
 /// Version nibble carried in the high bits of every codec byte. Bump on
 /// any incompatible change to the packed layouts below; decoders reject
-/// other versions with a typed [`NetError::Codec`].
-pub const FORMAT_VERSION: u8 = 1;
+/// other versions with a typed [`NetError::Codec`]. Version 2 added the
+/// `feature_bus_elems` counter to the on-wire fetch ledger.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Row width used to quantize *flat* `f32` vectors (parameters,
 /// gradients), which have no natural row structure: the vector is cut
@@ -543,7 +544,7 @@ mod tests {
 
     #[test]
     fn wrong_version_and_invalid_fields_are_codec_errors() {
-        for bad in [0x00, 0x23, 0xF0, 0x20] {
+        for bad in [0x00, 0x13, 0xF0, 0x30] {
             assert!(
                 matches!(CodecConfig::from_byte(bad), Err(NetError::Codec(_))),
                 "byte {bad:#04x} accepted"

@@ -33,8 +33,13 @@
 //! Fault-free clusters never consult a clock: the master uses plain
 //! blocking receives, which is what makes a full-quorum run bit-identical
 //! to a sequential execution of the same arithmetic.
+//!
+//! Unsafe code is denied crate-wide and re-allowed for exactly one
+//! module: [`shm`], the sanctioned home of the mmap-backed feature bus
+//! (`splpg-lint`'s `forbid-unsafe` rule pins both the carve-out and the
+//! per-block justification pragmas inside it).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
@@ -44,6 +49,8 @@ pub mod conformance;
 mod fault;
 mod message;
 pub mod process;
+#[allow(unsafe_code)]
+pub mod shm;
 mod tcp;
 mod transport;
 
@@ -51,6 +58,7 @@ pub use cluster::{build_cluster, run_cluster, ClusterConfig, MasterHub, WorkerPo
 pub use compress::{CodecConfig, FeatCodec, StructCodec};
 pub use fault::{FaultPlan, FaultyTransport, RetryPolicy};
 pub use message::{FetchLedger, Message, MsgId, Request, Response};
+pub use shm::{SegmentSpec, ShmError, ShmLane, ShmOwner, ShmSegment, ShmTransport};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{ChannelTransport, KindStat, Transport, WireSnapshot, WireStats};
 

@@ -50,6 +50,11 @@ pub struct FetchLedger {
     /// On-wire bytes the feature fetches cost under the negotiated
     /// codec (equals the raw byte model when compression is off).
     pub feature_wire_bytes: u64,
+    /// Feature elements served zero-copy over the shared-memory bus
+    /// instead of the wire — the "local bus" plane of the comm-cost
+    /// ablation. These elements are *not* double-counted in
+    /// `feature_elems`.
+    pub feature_bus_elems: u64,
 }
 
 impl FetchLedger {
@@ -60,6 +65,7 @@ impl FetchLedger {
         self.feature_elems += other.feature_elems;
         self.structure_wire_bytes += other.structure_wire_bytes;
         self.feature_wire_bytes += other.feature_wire_bytes;
+        self.feature_bus_elems += other.feature_bus_elems;
     }
 
     /// Element-wise difference `self - base` (saturating).
@@ -72,6 +78,7 @@ impl FetchLedger {
                 .structure_wire_bytes
                 .saturating_sub(base.structure_wire_bytes),
             feature_wire_bytes: self.feature_wire_bytes.saturating_sub(base.feature_wire_bytes),
+            feature_bus_elems: self.feature_bus_elems.saturating_sub(base.feature_bus_elems),
         }
     }
 }

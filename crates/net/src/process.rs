@@ -49,6 +49,11 @@ pub const ENV_WORKER: &str = "SPLPG_PROC_WORKER";
 pub const ENV_WORKERS: &str = "SPLPG_PROC_WORKERS";
 /// Path of the port file naming the master's listener address.
 pub const ENV_PORT_FILE: &str = "SPLPG_PROC_PORT_FILE";
+/// Name of the shared-memory feature segment the master published, when
+/// the feature bus is enabled — unset otherwise. Children attach
+/// read-only via [`crate::shm::ShmLane::attach`] and silently fall back
+/// to the wire path when the segment is absent or fails validation.
+pub const ENV_SHM: &str = "SPLPG_PROC_SHM";
 
 const ROLE_WORKER: &str = "worker";
 
@@ -79,6 +84,9 @@ pub struct ProcessSpec {
     ///
     /// [`WorkerPort::with_codec`]: crate::WorkerPort::with_codec
     pub codec: crate::compress::CodecConfig,
+    /// Shared-memory feature-segment name to advertise to children via
+    /// [`ENV_SHM`] (`None` leaves the variable unset and the bus off).
+    pub shm_segment: Option<String>,
 }
 
 /// Handle on the spawned worker processes: kills whatever is still
@@ -154,12 +162,16 @@ pub fn spawn_cluster(spec: &ProcessSpec) -> Result<(MasterHub, ProcessChildren),
     let exe = std::env::current_exe().map_err(|e| io_err("current_exe failed", e))?;
     let mut children = ProcessChildren { children: Vec::new(), port_file: port_file.clone() };
     for w in 0..spec.workers {
-        let child = Command::new(&exe)
-            .args(&spec.child_args)
+        let mut cmd = Command::new(&exe);
+        cmd.args(&spec.child_args)
             .env(ENV_ROLE, ROLE_WORKER)
             .env(ENV_WORKER, w.to_string())
             .env(ENV_WORKERS, spec.workers.to_string())
-            .env(ENV_PORT_FILE, &port_file)
+            .env(ENV_PORT_FILE, &port_file);
+        if let Some(name) = &spec.shm_segment {
+            cmd.env(ENV_SHM, name);
+        }
+        let child = cmd
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
@@ -315,6 +327,7 @@ pub struct WorkerEnv {
     worker: usize,
     workers: usize,
     port_file: PathBuf,
+    shm_segment: Option<String>,
 }
 
 impl WorkerEnv {
@@ -326,6 +339,12 @@ impl WorkerEnv {
     /// Total worker count of the cluster.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Name of the shared-memory feature segment the launcher advertised
+    /// via [`ENV_SHM`], if the feature bus is enabled for this run.
+    pub fn shm_segment(&self) -> Option<&str> {
+        self.shm_segment.as_deref()
     }
 
     /// Reads the master's address from the port file and dials it,
@@ -390,7 +409,8 @@ pub fn worker_from_env() -> Result<Option<WorkerEnv>, NetError> {
         )));
     }
     let port_file = PathBuf::from(get(ENV_PORT_FILE)?);
-    Ok(Some(WorkerEnv { worker, workers, port_file }))
+    let shm_segment = std::env::var(ENV_SHM).ok();
+    Ok(Some(WorkerEnv { worker, workers, port_file, shm_segment }))
 }
 
 /// Writes `addr` into a uniquely named file in the temp directory,

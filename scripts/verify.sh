@@ -65,6 +65,16 @@ echo "== wire compression ablation (codec gate) =="
 # reference. SPLPG_BENCH_MS=5 keeps it to the in-process rows.
 SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin wire_compress
 
+echo "== shared-memory feature bus (local-vs-wire gate) =="
+# Exits nonzero unless the bus run moves the baseline's entire feature
+# volume off the wire (>=10x fewer feature wire bytes) bit-identically,
+# a deliberately torn segment degrades to the wire path with a typed
+# fault, and the ledger-carried bus bytes reconcile exactly with the
+# CommTracker meters. Skips itself (exit 0, prints SKIP) on hosts
+# without usable POSIX shared memory. SPLPG_BENCH_MS=5 keeps it to the
+# in-process rows.
+SPLPG_BENCH_MS=5 cargo run -q -p splpg-bench --release --bin shm_bus
+
 if [ "${SPLPG_BENCH_ASSERT:-0}" = "1" ]; then
     echo "== kernel bench speedup assertion =="
     # Fails if multi-threaded matmul/sampling lose to scalar, or the

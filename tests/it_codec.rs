@@ -34,6 +34,7 @@ fn random_ledger(rng: &mut StdRng) -> FetchLedger {
         feature_elems: rng.gen_range(0..100_000),
         structure_wire_bytes: rng.gen_range(0..1_000_000),
         feature_wire_bytes: rng.gen_range(0..1_000_000),
+        feature_bus_elems: rng.gen_range(0..100_000),
     }
 }
 
@@ -349,8 +350,9 @@ fn version_mismatch_is_a_typed_codec_error() {
     let mut rng = StdRng::seed_from_u64(0x7E01);
     for cfg in all_configs() {
         let mut frame = codec::encode_with(&random_message(&mut rng), cfg);
-        // Byte 5 is the codec byte; its high nibble is the format version.
-        frame[5] = (frame[5] & 0x0f) | 0x20;
+        // Byte 5 is the codec byte; its high nibble is the format version
+        // (currently 2) — nibble 3 is a future format.
+        frame[5] = (frame[5] & 0x0f) | 0x30;
         match codec::decode(&frame) {
             Err(NetError::Codec(msg)) => {
                 assert!(msg.contains("version"), "error should name the version: {msg}")

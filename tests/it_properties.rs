@@ -186,6 +186,7 @@ fn arbitrary_messages(seed: u64, payload_len: usize) -> Vec<Message> {
         feature_elems: seed % 4096,
         structure_wire_bytes: seed % 8192,
         feature_wire_bytes: seed % 16384,
+        feature_bus_elems: seed % 2048,
     };
     vec![
         Message::Request(Request::Epoch { id: id(), params: floats(payload_len) }),
